@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures.  The
+expensive inputs — the full experiment grid run, the datasets, the trained
+baselines — are computed once per session and shared.  Every benchmark
+prints its table (visible with ``pytest -s``) and also writes it to
+``benchmarks/results/<name>.txt`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import paper_grid, run_grid
+from repro.dataset import generate_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a named report and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def sm_dataset():
+    return generate_dataset("SM")
+
+
+@pytest.fixture(scope="session")
+def xl_dataset():
+    return generate_dataset("XL")
+
+
+@pytest.fixture(scope="session")
+def grid_probes():
+    """One full Section III-B grid run (both sizes, both selections,
+    ICL 1..100, 5 sets, 3 seeds), shared by all LLM-side benchmarks."""
+    return run_grid(paper_grid(n_queries=4), workers=None)

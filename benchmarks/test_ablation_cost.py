@@ -1,0 +1,56 @@
+"""Ablation (Section V-C) — the compute-cost case against LLM autotuning.
+
+"we do not expect fine-tuning and LLM inference to be more computationally
+efficient than existing non-LLM-based techniques suitable to such
+problems" — quantified: per ICL count, the FLOPs of one 8B-transformer
+prediction (measured prompt tokens) vs. training a whole GBT on the same
+examples and predicting.
+
+Expected shape: prompt length grows linearly with ICL count; the LLM's
+per-prediction compute exceeds the GBT train+predict cost by many orders
+of magnitude at every ICL count — and the accuracy comparison (Table I vs
+Section IV-A) goes the same way.
+"""
+
+import pytest
+
+from repro.analysis.cost import context_cost_table
+from repro.utils.tables import Table
+
+
+def test_ablation_cost(grid_probes, emit, benchmark):
+    rows = benchmark.pedantic(
+        context_cost_table, args=(grid_probes,), rounds=1, iterations=1
+    )
+
+    t = Table(
+        ["n ICL", "mean prompt tokens", "LLM FLOPs/prediction",
+         "GBT train+predict FLOPs", "LLM overhead factor"],
+        title=(
+            "Section V-C: compute cost of one LLM prediction vs training "
+            "a GBT on the same examples (8B dense transformer)"
+        ),
+    )
+    for row in rows:
+        t.add_row(
+            [row.n_icl, row.mean_prompt_tokens,
+             row.llm_flops_per_prediction,
+             row.gbt_train_plus_predict_flops,
+             row.llm_overhead_factor]
+        )
+    emit("ablation_cost", t.render())
+
+    tokens = [row.mean_prompt_tokens for row in rows]
+    assert all(b > a for a, b in zip(tokens, tokens[1:])), (
+        "prompt length grows with ICL count"
+    )
+    for row in rows:
+        assert row.llm_overhead_factor > 1e3, (
+            "LLM inference is never compute-competitive with the GBT"
+        )
+    # Linear-ish token growth: tokens per example roughly constant.
+    per_example = [
+        (tokens[i + 1] - tokens[i]) / (rows[i + 1].n_icl - rows[i].n_icl)
+        for i in range(len(rows) - 1)
+    ]
+    assert max(per_example) < 2.0 * min(per_example)

@@ -1,0 +1,72 @@
+"""Ablation (LLAMBO mode 2) — does bucket classification rescue ICL?
+
+The related work describes a *generative surrogate* that predicts N-ary
+performance classes instead of regressing a value.  Coarsening the output
+space removes the decimal-tokenization pathologies of Section IV-B — but
+the underlying failure (parroting context statistics instead of modelling
+configuration-performance structure) remains.
+
+Expected shape: the model parses cleanly (single-token labels) and beats
+uniform chance through label-frequency parroting, but stays near the
+majority-class baseline — far from a usable classifier.
+"""
+
+import pytest
+
+from repro.core.generative import GenerativeSurrogate
+from repro.dataset import Syr2kTask, generate_dataset
+from repro.dataset.splits import disjoint_example_sets
+from repro.utils.tables import Table
+
+N_BUCKETS = 5
+N_ICL = 30
+N_QUERIES = 20
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for size in ("SM", "XL"):
+        dataset = generate_dataset(size)
+        surrogate = GenerativeSurrogate(Syr2kTask(size), n_buckets=N_BUCKETS)
+        sets, queries = disjoint_example_sets(
+            dataset, 1, N_ICL, seed=17, n_queries=N_QUERIES
+        )
+        out[size] = surrogate.evaluate(dataset, sets[0], queries, seed=1)
+    return out
+
+
+def test_ablation_generative_mode(results, emit, benchmark):
+    def _one():
+        dataset = generate_dataset("SM", indices=range(400))
+        surrogate = GenerativeSurrogate(Syr2kTask("SM"), n_buckets=3)
+        sets, queries = disjoint_example_sets(
+            dataset, 1, 10, seed=3, n_queries=4
+        )
+        return surrogate.evaluate(dataset, sets[0], queries, seed=1)
+
+    benchmark.pedantic(_one, rounds=1, iterations=1)
+
+    t = Table(
+        ["size", "parse rate", "accuracy", "majority baseline", "chance",
+         "mean bucket distance"],
+        title=(
+            f"Generative surrogate: {N_BUCKETS}-ary bucket classification "
+            f"({N_ICL} ICL, {N_QUERIES} queries)"
+        ),
+    )
+    for size, stats in results.items():
+        t.add_row(
+            [size, stats["parse_rate"], stats["accuracy"],
+             stats["majority_baseline"], stats["chance"],
+             stats["mean_bucket_distance"]]
+        )
+    emit("ablation_generative_mode", t.render())
+
+    for size, stats in results.items():
+        assert stats["parse_rate"] > 0.8, "single-token labels parse cleanly"
+        assert stats["accuracy"] < 0.8, (
+            "coarsening does not make the model a usable classifier"
+        )
+        # Within a sensible band of the trivial baselines.
+        assert stats["accuracy"] >= stats["chance"] - 0.1

@@ -1,0 +1,80 @@
+"""Ablation (intro context) — transfer learning from a related task.
+
+The introduction motivates LLM-based approaches by noting that even
+transfer-learning autotuners (the Gaussian-copula method of the paper's
+reference [5], which produced the dataset used here) "still require
+dozens or more evaluations".  This benchmark runs that substrate: tune
+syr2k XL using a copula fitted on the SM table, against random search and
+GP-BO under the same small budget.
+
+Expected shape: copula transfer beats random immediately (its very first
+proposals land in the fast region), and reaches a good configuration with
+fewer evaluations than cold-start GP-BO; with a larger budget GP-BO
+catches up — the classic transfer-learning trade-off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataset import Syr2kPerformanceModel, Syr2kTask, generate_dataset
+from repro.dataset.syr2k import syr2k_space
+from repro.tuning import (
+    BayesianOptTuner,
+    CopulaTransferTuner,
+    RandomSearchTuner,
+    compare_tuners,
+)
+from repro.utils.tables import Table
+
+BUDGET = 30
+REPETITIONS = 3
+
+
+@pytest.fixture(scope="module")
+def comparison(sm_dataset):
+    space = syr2k_space()
+    xl_model = Syr2kPerformanceModel(Syr2kTask("XL"))
+    return compare_tuners(
+        [
+            RandomSearchTuner(space, seed=5),
+            BayesianOptTuner(space, seed=5),
+            CopulaTransferTuner(space, sm_dataset, seed=5),
+        ],
+        xl_model,
+        budget=BUDGET,
+        repetitions=REPETITIONS,
+    )
+
+
+def test_ablation_transfer(comparison, emit, benchmark, sm_dataset):
+    def _fit_copula():
+        from repro.tuning.copula import GaussianCopula
+
+        return GaussianCopula(sm_dataset)
+
+    benchmark.pedantic(_fit_copula, rounds=1, iterations=1)
+
+    t = Table(
+        ["tuner", "best @5 evals", "best @15 evals", f"best @{BUDGET} evals",
+         "regret"],
+        title=(
+            f"SM -> XL transfer tuning (budget {BUDGET}, optimum "
+            f"{comparison.global_optimum:.4f} s)"
+        ),
+    )
+    for name, _ in comparison.ranking():
+        curve = comparison.mean_curve(name)
+        t.add_row(
+            [name, float(curve[4]), float(curve[14]), float(curve[-1]),
+             comparison.mean_regret(name)]
+        )
+    emit("ablation_transfer", t.render())
+
+    random_curve = comparison.mean_curve("random")
+    copula_curve = comparison.mean_curve("copula-transfer")
+    # Transfer's head start: better already after 5 evaluations...
+    assert copula_curve[4] < random_curve[4]
+    # ...and still at least as good at the full budget.
+    assert comparison.mean_best("copula-transfer") <= (
+        comparison.mean_best("random") * 1.02
+    )

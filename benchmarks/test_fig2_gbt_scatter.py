@@ -1,0 +1,83 @@
+"""Figure 2 — GBT runtime predictions with the full training set.
+
+The paper's figure is a predicted-vs-true scatter at 8519 training
+examples showing tight calibration across the whole runtime domain for
+both sizes.  We regenerate it as a decile calibration table: test points
+are bucketed by true runtime and the mean prediction per bucket is
+reported; a faithful model keeps every bucket's mean ratio near 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataset.splits import train_test_split
+from repro.gbt import (
+    BoostingParams,
+    FeatureEncoder,
+    GradientBoostingRegressor,
+    TargetTransform,
+)
+from repro.utils.tables import Table
+
+
+def _calibration(dataset):
+    train, test = train_test_split(dataset, 0.8, seed=1)
+    enc = FeatureEncoder(dataset.space)
+    tt = TargetTransform("log")
+    model = GradientBoostingRegressor(
+        BoostingParams(
+            n_estimators=250, learning_rate=0.1, max_depth=6,
+            min_samples_leaf=2,
+        )
+    ).fit(enc.encode_dataset(train), tt.forward(train.runtimes))
+    pred = tt.inverse(model.predict(enc.encode_dataset(test)))
+    true = test.runtimes
+    edges = np.quantile(true, np.linspace(0, 1, 11))
+    rows = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (true >= lo) & (true <= hi)
+        rows.append(
+            (
+                float(lo),
+                float(hi),
+                float(true[mask].mean()),
+                float(pred[mask].mean()),
+                float(pred[mask].mean() / true[mask].mean()),
+                int(mask.sum()),
+            )
+        )
+    return rows, len(train)
+
+
+@pytest.fixture(scope="module")
+def calibration(sm_dataset, xl_dataset):
+    return {"SM": _calibration(sm_dataset), "XL": _calibration(xl_dataset)}
+
+
+def test_fig2_gbt_scatter(calibration, emit, benchmark, sm_dataset):
+    benchmark.pedantic(
+        _calibration, args=(sm_dataset,), rounds=1, iterations=1
+    )
+
+    blocks = []
+    for size, (rows, n_train) in calibration.items():
+        t = Table(
+            ["true decile lo", "true decile hi", "mean true", "mean pred",
+             "pred/true", "n"],
+            title=(
+                f"Figure 2 ({size}): GBT calibration by true-runtime "
+                f"decile, {n_train} training examples"
+            ),
+        )
+        for row in rows:
+            t.add_row(list(row))
+        blocks.append(t.render())
+    emit("fig2_gbt_scatter", "\n\n".join(blocks))
+
+    # Shape: calibrated across the whole domain (paper: tight diagonal).
+    for size, (rows, _) in calibration.items():
+        ratios = [r[4] for r in rows]
+        tol = 0.25 if size == "SM" else 0.10
+        assert all(abs(r - 1.0) < tol for r in ratios), (
+            f"{size} calibration drifts: {ratios}"
+        )

@@ -1,0 +1,69 @@
+"""Section IV-A — quality of LLM predictions over the full grid.
+
+Paper's headline statistics:
+
+* best R^2 0.4643 (SM, 50 ICL); R^2 non-negative in ~1/4 of experiments;
+* mean R^2 -6.643 with standard deviation 22.766 (wildly unreliable);
+* CLT-aggregated MARE 0.3593 (std 0.2474), MSRE 0.1021 (std 3.2609);
+* prediction error does not improve (often worsens) with more ICL;
+* slightly over 10% of generated values verbatim-copy an ICL value.
+
+Expected reproduction shape: best R^2 well below the GBT baseline's,
+mostly-negative R^2 distribution with a minority non-negative share,
+MARE a third-ish on average, error flat/increasing past ~10 examples,
+and a low-but-nonzero copy rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import build_report
+from repro.utils.tables import Table
+
+
+@pytest.fixture(scope="module")
+def report(grid_probes):
+    return build_report(grid_probes)
+
+
+def test_sec4a_llm_quality(report, grid_probes, emit, benchmark):
+    benchmark.pedantic(
+        build_report, args=(grid_probes,), rounds=1, iterations=1
+    )
+
+    t = Table(["statistic", "paper", "reproduced"],
+              title="Section IV-A: LLM prediction quality")
+    t.add_row(["experiments", 84, len(report.cells)])
+    t.add_row(["generations", 284, len(grid_probes)])
+    t.add_row(["best R2", 0.4643, report.best_r2])
+    t.add_row(["mean R2", -6.643, report.mean_r2])
+    t.add_row(["std R2", 22.766, report.std_r2])
+    t.add_row(["non-negative R2 share", 0.25, report.frac_nonnegative_r2])
+    t.add_row(["mean MARE", 0.3593, report.mare.mean])
+    t.add_row(["std MARE", 0.2474, report.mare.std])
+    t.add_row(["mean MSRE", 0.1021, report.msre.mean])
+    t.add_row(["std MSRE", 3.2609, report.msre.std])
+    t.add_row(["ICL copy rate", "~0.10+", report.copy_rate])
+    t.add_row(["parse rate", None, report.parse_rate])
+
+    icl = Table(["n ICL examples", "mean MARE"],
+                title="Error vs. amount of in-context learning")
+    for n, v in report.per_icl_mare.items():
+        icl.add_row([n, v])
+    emit("sec4a_llm_quality", t.render() + "\n\n" + icl.render())
+
+    # --- shape assertions -------------------------------------------- #
+    assert report.mean_r2 < -1.0, "R2 is strongly negative on average"
+    assert report.std_r2 > 5.0, "R2 varies wildly across experiments"
+    assert 0.05 < report.frac_nonnegative_r2 < 0.5, "~a quarter non-negative"
+    assert report.best_r2 < 0.85, "even the best experiment is mediocre"
+    assert 0.15 < report.mare.mean < 0.6, "MARE around a third"
+    assert 0.05 < report.copy_rate < 0.4, "copies exist but are a minority"
+    assert report.parse_rate > 0.95
+
+    # Error does not keep improving with context: the large-ICL error is
+    # no better than the mid-ICL error.
+    mares = report.per_icl_mare
+    assert mares[100] > 0.5 * mares[10], (
+        "more ICL does not continue to help (paper: error often increases)"
+    )

@@ -1,0 +1,144 @@
+"""Section IV-C — searching within distributions; needles in a haystack.
+
+Paper's findings:
+
+* using the mean or median of the generable-value distribution is *worse*
+  than the sampled value;
+* needle fractions (share of values within a relative-error bound):
+
+      bound   LLM sampled   XGBoost     LLM optimal decoder
+      50%     ~0.5+         0.95        -
+      10%     0.20          0.52        -
+      1%      0.03          0.06        (still loses)
+
+* XGBoost strongly outperforms the LLM's optimal capability across all
+  error thresholds.
+
+Expected reproduction shape: mean/median decoding no better than
+sampling; GBT dominates the sampled LLM at every bound; even the
+hypothetical optimal decoder does not close the gap at tight bounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import enumerate_value_decodings, needle_fractions
+from repro.analysis.distributions import mode_confidence, summarize_candidates
+from repro.analysis.haystack import HaystackReport
+from repro.analysis.metrics import relative_errors
+from repro.dataset.splits import train_test_split
+from repro.gbt import (
+    BoostingParams,
+    FeatureEncoder,
+    GradientBoostingRegressor,
+    TargetTransform,
+)
+from repro.utils.tables import Table
+
+BOUNDS = (0.5, 0.1, 0.01)
+
+
+@pytest.fixture(scope="module")
+def llm_side(grid_probes):
+    sampled_errors, truths, haystacks = [], [], []
+    mean_errors, median_errors = [], []
+    for p in grid_probes:
+        if not (p.parsed and p.value_steps):
+            continue
+        alts = enumerate_value_decodings(p.value_steps, max_candidates=400)
+        if not alts.candidates:
+            continue
+        sampled_errors.append(p.relative_error)
+        truths.append(p.truth)
+        haystacks.append(alts)
+        summary = summarize_candidates(alts.values, alts.probs)
+        mean_errors.append(abs(summary.mean - p.truth) / p.truth)
+        median_errors.append(abs(summary.median - p.truth) / p.truth)
+    return (
+        np.asarray(sampled_errors),
+        truths,
+        haystacks,
+        np.asarray(mean_errors),
+        np.asarray(median_errors),
+    )
+
+
+@pytest.fixture(scope="module")
+def gbt_errors(sm_dataset, xl_dataset):
+    errors = []
+    for ds in (sm_dataset, xl_dataset):
+        train, test = train_test_split(ds, 0.8, seed=1)
+        train = train.subset(np.arange(100))  # paper compares 100-sample GBT
+        enc = FeatureEncoder(ds.space)
+        tt = TargetTransform("log")
+        model = GradientBoostingRegressor(
+            BoostingParams(n_estimators=150, learning_rate=0.08, max_depth=4,
+                           min_samples_leaf=2)
+        ).fit(enc.encode_dataset(train), tt.forward(train.runtimes))
+        pred = tt.inverse(model.predict(enc.encode_dataset(test)))
+        errors.append(relative_errors(test.runtimes, pred))
+    return np.concatenate(errors)
+
+
+def test_sec4c_needles(llm_side, gbt_errors, emit, benchmark):
+    sampled_errors, truths, haystacks, mean_errors, median_errors = llm_side
+    benchmark.pedantic(
+        HaystackReport.build,
+        args=(sampled_errors, haystacks, truths),
+        kwargs={"bounds": BOUNDS},
+        rounds=1,
+        iterations=1,
+    )
+    report = HaystackReport.build(
+        sampled_errors, haystacks, truths, bounds=BOUNDS
+    )
+    gbt = needle_fractions(gbt_errors, bounds=BOUNDS)
+
+    t = Table(
+        ["rel-error bound", "LLM sampled", "LLM mean-decode",
+         "LLM median-decode", "LLM optimal decoder", "GBT (100 samples)"],
+        title="Section IV-C: needles in a haystack",
+    )
+    mean_frac = needle_fractions(mean_errors, bounds=BOUNDS)
+    median_frac = needle_fractions(median_errors, bounds=BOUNDS)
+    for b in BOUNDS:
+        t.add_row(
+            [f"{b:.0%}", report.sampled[b], mean_frac[b], median_frac[b],
+             report.optimal[b], gbt[b]]
+        )
+    stats = Table(["statistic", "value"], title="Distribution decoding")
+    stats.add_row(["mean MARE (sampled)", float(np.mean(sampled_errors))])
+    stats.add_row(["mean MARE (mean decode)", float(np.mean(mean_errors))])
+    stats.add_row(["mean MARE (median decode)", float(np.mean(median_errors))])
+
+    # "logit weights are often higher in the mode closer to the ground
+    # truth, but not to such a degree that this method resolves enough
+    # ambiguity to improve the model's response."
+    top_hits, margins = [], []
+    for h, truth in zip(haystacks, truths):
+        if len(h.candidates) >= 2:
+            is_top, margin = mode_confidence(h, truth)
+            top_hits.append(is_top)
+            margins.append(margin)
+    top_mode_share = float(np.mean(top_hits)) if top_hits else float("nan")
+    stats.add_row(["top mode closest to truth (share)", top_mode_share])
+    stats.add_row(["mean top-two mode mass margin", float(np.mean(margins))])
+    emit("sec4c_needles", t.render() + "\n\n" + stats.render())
+
+    # Often right, but not decisively so.
+    assert 0.4 < top_mode_share < 0.95
+
+    # --- shape assertions -------------------------------------------- #
+    # GBT dominates the sampled LLM at every bound (the paper's headline).
+    for b in BOUNDS:
+        assert gbt[b] > report.sampled[b], f"GBT must win at {b:.0%}"
+    # The distribution is not centered usefully: mean/median no better
+    # than sampling.
+    assert float(np.mean(mean_errors)) >= 0.8 * float(np.mean(sampled_errors))
+    assert float(np.mean(median_errors)) >= 0.8 * float(np.mean(sampled_errors))
+    # Optimal decoding bounds sampling from above.
+    for b in BOUNDS:
+        assert report.optimal[b] >= report.sampled[b] - 1e-9
+    # Tight bound: both techniques struggle ("Neither technique excels
+    # beyond the 1% relative error threshold").
+    assert report.sampled[0.01] < 0.25

@@ -1,0 +1,88 @@
+"""Table I — XGBoost(-equivalent) prediction metrics.
+
+Paper's rows (R^2 / MARE / MSRE for SM and XL at 100, 500, 1000, 5000 and
+8519 training examples):
+
+    100   -> SM 0.44 / 0.17 / 0.073   XL 0.69 / 0.13 / 0.058
+    8519  -> SM 0.80 / 0.08 / 0.013   XL 0.98 / 0.04 / 0.003
+
+Expected reproduction shape: R^2 increases monotonically with training
+data for both sizes; XL is uniformly easier than SM; SM saturates around
+0.8 and XL near 1.0.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import score_predictions
+from repro.dataset.splits import train_test_split
+from repro.gbt import (
+    BoostingParams,
+    FeatureEncoder,
+    GradientBoostingRegressor,
+    RandomizedSearch,
+    TargetTransform,
+)
+from repro.utils.tables import Table
+
+TRAIN_SIZES = (100, 500, 1000, 5000, None)  # None -> full 80% train split
+
+
+def _metrics_for(dataset, n_train, search_iterations):
+    train, test = train_test_split(dataset, 0.8, seed=1)
+    if n_train is not None:
+        train = train.subset(np.arange(n_train))
+    enc = FeatureEncoder(dataset.space)
+    tt = TargetTransform("log")
+    x_tr, y_tr = enc.encode_dataset(train), tt.forward(train.runtimes)
+    if search_iterations > 0 and len(train) <= 1000:
+        search = RandomizedSearch(n_iterations=search_iterations, seed=0)
+        search.fit(x_tr, y_tr)
+        model = search.result.model
+    else:
+        model = GradientBoostingRegressor(
+            BoostingParams(
+                n_estimators=250, learning_rate=0.1, max_depth=6,
+                min_samples_leaf=2,
+            )
+        ).fit(x_tr, y_tr)
+    pred = tt.inverse(model.predict(enc.encode_dataset(test)))
+    return score_predictions(test.runtimes, pred), len(train)
+
+
+@pytest.fixture(scope="module")
+def table1(sm_dataset, xl_dataset):
+    rows = {}
+    for n in TRAIN_SIZES:
+        sm, n_sm = _metrics_for(sm_dataset, n, search_iterations=6)
+        xl, _ = _metrics_for(xl_dataset, n, search_iterations=6)
+        rows[n_sm if n is None else n] = (sm, xl)
+    return rows
+
+
+def test_table1_gbt_metrics(table1, emit, benchmark, sm_dataset):
+    # Benchmark the unit of work: one 500-example fit+score.
+    benchmark.pedantic(
+        _metrics_for, args=(sm_dataset, 500, 0), rounds=1, iterations=1
+    )
+
+    t = Table(
+        ["Training Examples", "R2 SM", "R2 XL", "MARE SM", "MARE XL",
+         "MSRE SM", "MSRE XL"],
+        title="Table I: GBT (XGBoost stand-in) prediction metrics",
+    )
+    for n, (sm, xl) in sorted(table1.items()):
+        t.add_row([n, sm.r2, xl.r2, sm.mare, xl.mare, sm.msre, xl.msre])
+    emit("table1_gbt_metrics", t.render())
+
+    ns = sorted(table1)
+    sm_r2 = [table1[n][0].r2 for n in ns]
+    xl_r2 = [table1[n][1].r2 for n in ns]
+    # Shape assertions mirroring the paper's trends:
+    assert all(b >= a - 0.05 for a, b in zip(sm_r2, sm_r2[1:])), "SM R2 rises"
+    assert all(b >= a - 0.05 for a, b in zip(xl_r2, xl_r2[1:])), "XL R2 rises"
+    assert all(x > s for s, x in zip(sm_r2[1:], xl_r2[1:])), "XL easier than SM"
+    assert sm_r2[-1] > 0.7, "SM saturates around the paper's 0.80"
+    assert xl_r2[-1] > 0.95, "XL saturates around the paper's 0.98"
+    assert table1[ns[-1]][0].mare < 0.12, "full-train SM MARE ~0.08"
+    assert table1[ns[-1]][1].mare < 0.06, "full-train XL MARE ~0.04"

@@ -1,0 +1,68 @@
+"""Fixing the failure: the paper's Section V-D numeric-head proposal.
+
+The paper ends by proposing that an LLM could emit a special token that
+delegates number generation to a supporting quantitative model.  This
+example runs that design (``repro.core.hybrid``) head-to-head against the
+plain LLM surrogate at the identical in-context budget and shows the
+failure disappear.
+
+Run:  python examples/fixing_the_failure.py
+"""
+
+import numpy as np
+
+from repro import DiscriminativeSurrogate, Syr2kTask, generate_dataset
+from repro.analysis import score_predictions
+from repro.core import GBTNumericHead, HybridSurrogate, KNNNumericHead
+from repro.dataset.splits import disjoint_example_sets
+from repro.utils.tables import Table
+
+N_ICL = 100
+N_QUERIES = 25
+
+
+def main() -> None:
+    task = Syr2kTask("SM")
+    dataset = generate_dataset(task)
+    sets, queries = disjoint_example_sets(
+        dataset, 1, N_ICL, seed=13, n_queries=N_QUERIES
+    )
+    examples = [
+        (dataset.config(int(r)), float(dataset.runtimes[int(r)]))
+        for r in sets[0]
+    ]
+    configs = [dataset.config(int(q)) for q in queries]
+    truths = np.asarray([float(dataset.runtimes[int(q)]) for q in queries])
+
+    print(f"{N_ICL} in-context examples, {N_QUERIES} held-out queries\n")
+
+    # Plain LLM (the paper's failing setting).
+    llm = DiscriminativeSurrogate(task)
+    llm_preds, llm_truths = [], []
+    for i, c in enumerate(configs):
+        p = llm.predict(examples, c, seed=i)
+        if p.parsed and p.value:
+            llm_preds.append(p.value)
+            llm_truths.append(truths[i])
+    llm_metrics = score_predictions(llm_truths, llm_preds)
+
+    table = Table(["predictor", "R2", "MARE"], title="Same context budget")
+    table.add_row(["plain LLM surrogate", llm_metrics.r2, llm_metrics.mare])
+
+    for head in (KNNNumericHead(k=7), GBTNumericHead()):
+        hybrid = HybridSurrogate(task, head=head)
+        preds = [hybrid.predict(examples, c).value for c in configs]
+        m = score_predictions(truths, preds)
+        table.add_row([f"hybrid ({head.name} numeric head)", m.r2, m.mare])
+
+    print(table.render())
+    print(
+        "\nThe hybrid keeps the LLM's prompt/format handling but routes the "
+        "number itself through a small regressor fitted on the in-context "
+        "examples — the failure the paper documents is a property of\n"
+        "generating digits token-by-token, not of the task."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Does more in-context learning help?  (It does not.)
+
+Sweeps the number of ICL examples from 1 to 100 on both problem sizes
+and both selection strategies, printing the per-ICL-count error — the
+paper's counterintuitive finding that "LLM prediction error often
+increases with additional ICL examples", including in the curated
+minimal-edit-distance setting designed to make the task as easy as
+possible.
+
+Run:  python examples/icl_scaling.py
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core import paper_grid, run_grid
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    specs = paper_grid(
+        sizes=("SM", "XL"),
+        icl_counts=(1, 2, 5, 10, 20, 50, 100),
+        n_sets=3,
+        seeds=(1, 2),
+        n_queries=3,
+    )
+    print(f"running {len(specs)} experiment cells "
+          f"({sum(s.n_queries for s in specs)} generations)...")
+    probes = run_grid(specs, workers=None)
+
+    errors = defaultdict(list)
+    copies = defaultdict(list)
+    for p in probes:
+        if p.parsed:
+            key = (p.spec.selection, p.spec.n_icl)
+            errors[key].append(min(p.relative_error, 10.0))
+            copies[key].append(p.exact_copy)
+
+    table = Table(
+        ["n ICL", "MARE (random)", "MARE (curated)", "copy rate (random)",
+         "copy rate (curated)"],
+        title="Prediction error vs. amount of in-context learning",
+    )
+    for n in (1, 2, 5, 10, 20, 50, 100):
+        table.add_row(
+            [
+                n,
+                float(np.mean(errors[("random", n)])),
+                float(np.mean(errors[("curated", n)])),
+                float(np.mean(copies[("random", n)])),
+                float(np.mean(copies[("curated", n)])),
+            ]
+        )
+    print()
+    print(table.render())
+    print(
+        "\nNote how error plateaus (or worsens) past ~10 examples, and how "
+        "curated near-identical examples do not rescue accuracy — the "
+        "model parrots context statistics instead of regressing."
+    )
+
+
+if __name__ == "__main__":
+    main()

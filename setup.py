@@ -1,0 +1,11 @@
+"""Setup shim: setup.cfg holds the metadata.
+
+Packaging deliberately uses the legacy setuptools path (no pyproject
+build-system section) so ``pip install -e .`` works in fully offline
+environments, where PEP-517 build isolation would try to download
+setuptools/wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,126 @@
+"""repro — reproduction of "Is In-Context Learning Feasible for HPC
+Performance Autotuning?" (IPPS 2025).
+
+The package is organized by subsystem (see DESIGN.md for the full map):
+
+* :mod:`repro.dataset` — the syr2k configuration space and performance data;
+* :mod:`repro.gbt` — from-scratch gradient-boosted trees (XGBoost stand-in);
+* :mod:`repro.llm` — tokenizer, surrogate LM with full logit access,
+  generation engine;
+* :mod:`repro.prompts` — LLAMBO-style prompt construction and parsing;
+* :mod:`repro.core` — the discriminative-surrogate experiment pipeline;
+* :mod:`repro.analysis` — metrics, decoding-tree enumeration, haystack
+  search, copy/prefix analyses;
+* :mod:`repro.tuning` — classic autotuners plus the LLM candidate sampler.
+
+Quickstart::
+
+    from repro import generate_dataset, DiscriminativeSurrogate, Syr2kTask
+
+    ds = generate_dataset("SM")
+    surrogate = DiscriminativeSurrogate(Syr2kTask("SM"))
+    examples = [(ds.config(i), float(ds.runtimes[i])) for i in range(10)]
+    pred = surrogate.predict(examples, ds.config(42), seed=1)
+    print(pred.value, "vs truth", ds.runtimes[42])
+"""
+
+from repro.analysis import (
+    HaystackReport,
+    aggregate_metric,
+    enumerate_value_decodings,
+    mare,
+    msre,
+    needle_fractions,
+    r2_score,
+    score_predictions,
+    token_position_table,
+)
+from repro.core import (
+    DiscriminativeSurrogate,
+    ExperimentSpec,
+    build_report,
+    paper_grid,
+    quick_grid,
+    run_grid,
+)
+from repro.dataset import (
+    ConfigSpace,
+    PerformanceDataset,
+    Syr2kPerformanceModel,
+    Syr2kTask,
+    generate_dataset,
+    syr2k_space,
+)
+from repro.errors import ReproError
+from repro.gbt import (
+    FeatureEncoder,
+    GradientBoostingRegressor,
+    RandomizedSearch,
+    TargetTransform,
+)
+from repro.llm import (
+    GenerationEngine,
+    LMConfig,
+    SamplingParams,
+    SurrogateLM,
+    Tokenizer,
+)
+from repro.prompts import PromptBuilder, extract_prediction
+from repro.tuning import (
+    BayesianOptTuner,
+    HillClimbTuner,
+    LLMCandidateTuner,
+    RandomSearchTuner,
+    compare_tuners,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # dataset
+    "ConfigSpace",
+    "Syr2kTask",
+    "syr2k_space",
+    "Syr2kPerformanceModel",
+    "PerformanceDataset",
+    "generate_dataset",
+    # gbt
+    "FeatureEncoder",
+    "TargetTransform",
+    "GradientBoostingRegressor",
+    "RandomizedSearch",
+    # llm
+    "Tokenizer",
+    "SurrogateLM",
+    "LMConfig",
+    "SamplingParams",
+    "GenerationEngine",
+    # prompts
+    "PromptBuilder",
+    "extract_prediction",
+    # core
+    "DiscriminativeSurrogate",
+    "ExperimentSpec",
+    "paper_grid",
+    "quick_grid",
+    "run_grid",
+    "build_report",
+    # analysis
+    "score_predictions",
+    "r2_score",
+    "mare",
+    "msre",
+    "aggregate_metric",
+    "enumerate_value_decodings",
+    "token_position_table",
+    "needle_fractions",
+    "HaystackReport",
+    # tuning
+    "RandomSearchTuner",
+    "HillClimbTuner",
+    "BayesianOptTuner",
+    "LLMCandidateTuner",
+    "compare_tuners",
+]

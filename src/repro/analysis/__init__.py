@@ -1,0 +1,75 @@
+"""Analysis of predictions and language-model generations.
+
+This package implements every quantitative lens the paper applies:
+
+* :mod:`repro.analysis.metrics` — R^2, MARE, MSRE and relative errors;
+* :mod:`repro.analysis.clt` — Central-Limit-Theorem aggregation across
+  experiments with standard errors and confidence intervals;
+* :mod:`repro.analysis.decoding` — enumeration of all feasible alternative
+  decodings of a generation from recorded logits (Table II, Section IV-B);
+* :mod:`repro.analysis.distributions` — value-distribution statistics:
+  mean/median/mode decoding, bimodality, cross-seed logit similarity
+  (Figure 4, Section IV-C);
+* :mod:`repro.analysis.copying` — ICL copy-rate and prefix-cluster
+  detection (Figure 3, Section IV-A);
+* :mod:`repro.analysis.haystack` — "needles in a haystack" error-bounded
+  search over generable values (Section IV-C-1).
+"""
+
+from repro.analysis.metrics import (
+    PredictionMetrics,
+    mare,
+    msre,
+    r2_score,
+    relative_errors,
+    score_predictions,
+)
+from repro.analysis.clt import CLTAggregate, aggregate_metric
+from repro.analysis.decoding import (
+    DecodingAlternatives,
+    TokenPositionStats,
+    ValueCandidate,
+    enumerate_value_decodings,
+    token_position_table,
+)
+from repro.analysis.distributions import (
+    DistributionSummary,
+    bimodality_split,
+    cross_seed_similarity,
+    mode_confidence,
+    summarize_candidates,
+)
+from repro.analysis.copying import (
+    CopyReport,
+    copy_rate,
+    prefix_clusters,
+    shared_prefix_len,
+)
+from repro.analysis.haystack import HaystackReport, needle_fractions
+
+__all__ = [
+    "PredictionMetrics",
+    "r2_score",
+    "mare",
+    "msre",
+    "relative_errors",
+    "score_predictions",
+    "CLTAggregate",
+    "aggregate_metric",
+    "DecodingAlternatives",
+    "TokenPositionStats",
+    "ValueCandidate",
+    "enumerate_value_decodings",
+    "token_position_table",
+    "DistributionSummary",
+    "summarize_candidates",
+    "bimodality_split",
+    "cross_seed_similarity",
+    "mode_confidence",
+    "CopyReport",
+    "copy_rate",
+    "prefix_clusters",
+    "shared_prefix_len",
+    "HaystackReport",
+    "needle_fractions",
+]

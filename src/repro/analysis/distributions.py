@@ -1,0 +1,207 @@
+"""Value-distribution statistics over generable decodings.
+
+Section IV-C examines whether the *distribution* of values an LLM could
+have produced carries more information than the single sampled value:
+
+* the probability-weighted mean/median of the haystack (both turn out
+  *worse* than the sample in the paper);
+* bimodality induced by distinct string prefixes (Figure 4: "1.7 vs 2.7");
+* near-identity of the candidate token sets across sampling seeds, with
+  only small logit perturbations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.decoding import DecodingAlternatives
+from repro.errors import AnalysisError
+from repro.utils.validation import check_probability_vector, check_same_length
+
+__all__ = [
+    "DistributionSummary",
+    "summarize_candidates",
+    "bimodality_split",
+    "cross_seed_similarity",
+    "SeedSimilarity",
+    "mode_confidence",
+]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Moments and extremes of a weighted candidate-value distribution."""
+
+    mean: float
+    median: float
+    mode: float
+    minimum: float
+    maximum: float
+    n_candidates: int
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies within the generable range."""
+        return self.minimum <= value <= self.maximum
+
+
+def summarize_candidates(
+    values: Sequence[float], probs: Sequence[float]
+) -> DistributionSummary:
+    """Summarize a discrete value distribution.
+
+    ``median`` is the weighted median (smallest value whose cumulative
+    probability reaches 0.5); ``mode`` is the highest-probability value.
+    """
+    vals, p = check_same_length(values, probs, "values", "probs")
+    p = check_probability_vector(p, "probs")
+    order = np.argsort(vals)
+    vs, ps = vals[order], p[order]
+    cum = np.cumsum(ps)
+    median = float(vs[np.searchsorted(cum, 0.5)])
+    return DistributionSummary(
+        mean=float(np.sum(vs * ps)),
+        median=median,
+        mode=float(vals[int(np.argmax(p))]),
+        minimum=float(vs[0]),
+        maximum=float(vs[-1]),
+        n_candidates=int(vals.size),
+    )
+
+
+@dataclass(frozen=True)
+class PrefixMode:
+    """One prefix-defined mode of a candidate distribution."""
+
+    prefix: str
+    mass: float
+    mean_value: float
+    n_candidates: int
+
+
+def bimodality_split(
+    alternatives: DecodingAlternatives,
+    prefix_len: int = 3,
+    mode_threshold: float = 0.15,
+) -> tuple[list[PrefixMode], bool]:
+    """Group candidate values by their string prefix and detect bimodality.
+
+    Figure 4 observes that generations form modes keyed by distinct string
+    prefixes (e.g. ``1.7`` vs ``2.7``).  We group candidates by the first
+    ``prefix_len`` characters of their text, sum probability mass per
+    group, and report the distribution *bimodal* when at least two groups
+    each hold ``mode_threshold`` of the mass.
+
+    Returns
+    -------
+    (modes, is_multimodal):
+        Modes sorted by descending mass.
+    """
+    if prefix_len < 1:
+        raise AnalysisError("prefix_len must be >= 1")
+    if not alternatives.candidates:
+        raise AnalysisError("cannot split an empty candidate set")
+    probs = alternatives.probs
+    groups: dict[str, list[int]] = {}
+    for i, cand in enumerate(alternatives.candidates):
+        groups.setdefault(cand.text[:prefix_len], []).append(i)
+    modes = []
+    for prefix, idxs in groups.items():
+        mass = float(probs[idxs].sum())
+        vals = np.asarray([alternatives.candidates[i].value for i in idxs])
+        w = probs[idxs]
+        mean_value = float((vals * w).sum() / w.sum()) if w.sum() > 0 else float(
+            vals.mean()
+        )
+        modes.append(
+            PrefixMode(
+                prefix=prefix,
+                mass=mass,
+                mean_value=mean_value,
+                n_candidates=len(idxs),
+            )
+        )
+    modes.sort(key=lambda m: -m.mass)
+    is_multimodal = len(modes) >= 2 and modes[1].mass >= mode_threshold
+    return modes, is_multimodal
+
+
+def mode_confidence(
+    alternatives: DecodingAlternatives,
+    truth: float,
+    prefix_len: int = 3,
+) -> tuple[bool, float]:
+    """Is the heaviest prefix mode the one closest to the ground truth?
+
+    Section IV-C: "We find that the logit weights are often higher in the
+    mode closer to the ground truth, but not to such a degree that this
+    method resolves enough ambiguity to improve the model's response."
+    This function measures exactly that: it splits the candidate
+    distribution into prefix modes and reports whether the highest-mass
+    mode is also the mode whose mean value is nearest the truth, plus the
+    mass margin between the top two modes.
+
+    Returns
+    -------
+    (top_mode_is_closest, mass_margin):
+        ``mass_margin`` is the top mode's mass minus the runner-up's
+        (1.0 when unimodal) — small margins are the unresolved ambiguity
+        the paper describes.
+    """
+    if truth <= 0:
+        raise AnalysisError(f"truth must be positive, got {truth}")
+    modes, _ = bimodality_split(alternatives, prefix_len=prefix_len)
+    if len(modes) == 1:
+        return True, 1.0
+    closest = min(modes, key=lambda m: abs(m.mean_value - truth))
+    margin = modes[0].mass - modes[1].mass
+    return closest.prefix == modes[0].prefix, float(margin)
+
+
+@dataclass(frozen=True)
+class SeedSimilarity:
+    """How similar two same-prompt generations are across sampling seeds."""
+
+    mean_jaccard: float
+    mean_abs_logit_delta: float
+    n_positions: int
+    identical_support: bool
+
+
+def cross_seed_similarity(a, b) -> SeedSimilarity:
+    """Compare the recorded candidate sets of two seeds of one prompt.
+
+    Parameters
+    ----------
+    a, b:
+        Sequences of :class:`repro.analysis.decoding.StepCandidates` —
+        the value-region steps of the two generations.
+
+    Section IV-A: "different seeds often produce identical token sets with
+    slightly altered logit probabilities".  For each aligned position we
+    compute the Jaccard overlap of candidate-token supports and, on the
+    shared tokens, the mean absolute logit difference.
+    """
+    n = min(len(a), len(b))
+    if n == 0:
+        raise AnalysisError("need at least one aligned position")
+    jaccards: list[float] = []
+    deltas: list[float] = []
+    identical = True
+    for i in range(n):
+        sa = dict(zip(a[i].tokens, np.asarray(a[i].logits, dtype=float)))
+        sb = dict(zip(b[i].tokens, np.asarray(b[i].logits, dtype=float)))
+        inter = set(sa) & set(sb)
+        union = set(sa) | set(sb)
+        jaccards.append(len(inter) / len(union) if union else 1.0)
+        if set(sa) != set(sb):
+            identical = False
+        deltas.extend(abs(sa[t] - sb[t]) for t in inter)
+    return SeedSimilarity(
+        mean_jaccard=float(np.mean(jaccards)),
+        mean_abs_logit_delta=float(np.mean(deltas)) if deltas else 0.0,
+        n_positions=n,
+        identical_support=identical,
+    )

@@ -1,0 +1,119 @@
+"""Needle-in-a-haystack error-bounded search over generable values.
+
+Section IV-C-1: the distribution of generable values is a "haystack" in
+which a hypothetical post-hoc decoder might find "needles" — values within
+a relative error bound of the ground truth.  The paper compares, at bounds
+of 50% / 10% / 1%, the fraction of LLM *sampled* values within the bound
+against XGBoost's test predictions, and also asks whether *any* generable
+value qualifies (the LLM's "optimal capability").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.decoding import DecodingAlternatives
+from repro.errors import AnalysisError
+from repro.utils.validation import check_1d
+
+__all__ = ["HaystackReport", "needle_fractions", "best_generable_error"]
+
+#: The paper's three relative-error thresholds.
+DEFAULT_BOUNDS: tuple[float, ...] = (0.5, 0.1, 0.01)
+
+
+def needle_fractions(
+    relative_errors, bounds: Sequence[float] = DEFAULT_BOUNDS
+) -> dict[float, float]:
+    """Fraction of values whose relative error is within each bound."""
+    errs = check_1d(relative_errors, "relative_errors")
+    if errs.size == 0:
+        raise AnalysisError("no relative errors to score")
+    if np.any(errs < 0):
+        raise AnalysisError("relative errors must be non-negative")
+    out = {}
+    for b in bounds:
+        if b <= 0:
+            raise AnalysisError(f"error bound must be positive, got {b}")
+        out[float(b)] = float((errs <= b).mean())
+    return out
+
+
+def best_generable_error(
+    alternatives: DecodingAlternatives, truth: float
+) -> float:
+    """Minimal relative error over the whole haystack of one generation.
+
+    This is the error a *perfect* post-hoc decoder could achieve by picking
+    the best value the model could have produced.
+    """
+    if truth == 0:
+        raise AnalysisError("relative error undefined for zero ground truth")
+    values = alternatives.values
+    if values.size == 0:
+        raise AnalysisError("empty haystack")
+    return float(np.min(np.abs(values - truth) / abs(truth)))
+
+
+@dataclass(frozen=True)
+class HaystackReport:
+    """Needle fractions for sampled values and for the optimal decoder.
+
+    Attributes
+    ----------
+    bounds:
+        The relative-error thresholds, descending.
+    sampled:
+        Fraction of experiments whose *sampled* value met each bound.
+    optimal:
+        Fraction whose haystack contained *any* qualifying value (the
+        hypothetical post-hoc decoder's ceiling).
+    n:
+        Number of experiments aggregated.
+    """
+
+    bounds: tuple[float, ...]
+    sampled: dict[float, float]
+    optimal: dict[float, float]
+    n: int
+
+    @staticmethod
+    def build(
+        sampled_errors,
+        haystacks: Sequence[DecodingAlternatives],
+        truths,
+        bounds: Sequence[float] = DEFAULT_BOUNDS,
+    ) -> "HaystackReport":
+        """Aggregate one experiment batch into a report.
+
+        Parameters
+        ----------
+        sampled_errors:
+            Relative error of the sampled value per experiment.
+        haystacks:
+            Enumerated decodings per experiment (aligned with ``truths``).
+        truths:
+            Ground-truth runtime per experiment.
+        """
+        errs = check_1d(sampled_errors, "sampled_errors")
+        truths = check_1d(truths, "truths")
+        if len(haystacks) != errs.size or truths.size != errs.size:
+            raise AnalysisError(
+                "sampled_errors, haystacks and truths must align"
+            )
+        best = np.asarray(
+            [
+                best_generable_error(h, t)
+                for h, t in zip(haystacks, truths)
+            ],
+            dtype=float,
+        )
+        return HaystackReport(
+            bounds=tuple(float(b) for b in bounds),
+            sampled=needle_fractions(errs, bounds),
+            optimal=needle_fractions(best, bounds),
+            n=int(errs.size),
+        )

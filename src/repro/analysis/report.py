@@ -1,0 +1,122 @@
+"""Consolidated full-text report over a grid run.
+
+Combines every analysis the paper performs — prediction quality (IV-A),
+token-position variability (IV-B / Table II), and the haystack search
+(IV-C) — into one renderable report, so the CLI and notebooks can get the
+whole picture from a single call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.decoding import (
+    DecodingAlternatives,
+    enumerate_value_decodings,
+    token_position_table,
+)
+from repro.analysis.haystack import DEFAULT_BOUNDS, HaystackReport
+from repro.core.records import GridReport, build_report
+from repro.core.runner import ProbeResult
+from repro.errors import AnalysisError
+from repro.utils.tables import Table
+
+__all__ = ["FullReport", "analyze_grid"]
+
+
+@dataclass
+class FullReport:
+    """Everything the paper reports, computed from one probe list."""
+
+    quality: GridReport
+    position_rows: list
+    permutation_row: object
+    haystack: HaystackReport
+
+    def render(self) -> str:
+        """Render all sections as one text report."""
+        sections = []
+
+        q = Table(["statistic", "value"], title="Prediction quality (IV-A)")
+        q.add_row(["experiments", len(self.quality.cells)])
+        q.add_row(["best R2", self.quality.best_r2])
+        q.add_row(["mean R2", self.quality.mean_r2])
+        q.add_row(["std R2", self.quality.std_r2])
+        q.add_row(["non-negative R2 share", self.quality.frac_nonnegative_r2])
+        q.add_row(["mean MARE", self.quality.mare.mean])
+        q.add_row(["mean MSRE", self.quality.msre.mean])
+        q.add_row(["ICL copy rate", self.quality.copy_rate])
+        q.add_row(["parse rate", self.quality.parse_rate])
+        sections.append(q.render())
+
+        t2 = Table(
+            ["position", "mean #", "std #", "n"],
+            title="Selectable-token variability (Table II)",
+        )
+        for r in self.position_rows[:9]:
+            t2.add_row(
+                [f"token {r.position}", r.mean_possibilities,
+                 r.std_possibilities, r.n_samples]
+            )
+        t2.add_row(
+            ["permutations", self.permutation_row.mean_possibilities,
+             self.permutation_row.std_possibilities,
+             self.permutation_row.n_samples]
+        )
+        sections.append(t2.render())
+
+        hs = Table(
+            ["bound", "sampled within", "optimal decoder within"],
+            title="Needles in a haystack (IV-C)",
+        )
+        for b in self.haystack.bounds:
+            hs.add_row([f"{b:.0%}", self.haystack.sampled[b],
+                        self.haystack.optimal[b]])
+        sections.append(hs.render())
+        return "\n\n".join(sections)
+
+
+def analyze_grid(
+    probes: list[ProbeResult],
+    max_candidates: int = 300,
+    bounds=DEFAULT_BOUNDS,
+) -> FullReport:
+    """Run every analysis over a grid run's probes."""
+    if not probes:
+        raise AnalysisError("no probes to analyse")
+    quality = build_report(probes)
+
+    alts: list[DecodingAlternatives] = []
+    parsed_alts: list[DecodingAlternatives] = []
+    sampled_errors: list[float] = []
+    truths: list[float] = []
+    for p in probes:
+        if not p.value_steps:
+            continue
+        a = enumerate_value_decodings(p.value_steps, max_candidates=max_candidates)
+        if not a.candidates:
+            continue
+        alts.append(a)
+        if p.parsed:
+            parsed_alts.append(a)
+            sampled_errors.append(p.relative_error)
+            truths.append(p.truth)
+    if not alts:
+        raise AnalysisError("no generations produced value regions")
+    if not parsed_alts:
+        raise AnalysisError("no parsed generations to build a haystack from")
+    rows, perm = token_position_table(alts)
+    haystack = HaystackReport.build(
+        np.asarray(sampled_errors),
+        parsed_alts,
+        np.asarray(truths),
+        bounds=bounds,
+    )
+    return FullReport(
+        quality=quality,
+        position_rows=rows,
+        permutation_row=perm,
+        haystack=haystack,
+    )

@@ -1,0 +1,95 @@
+"""Variance decomposition: what actually drives prediction variability?
+
+Section IV-A: "different seeds often produce identical token sets with
+slightly altered logit probabilities, supporting the hypothesis that the
+knowledge expression is primarily based on the prompt rather than a
+randomizable component of the model."  This module quantifies that claim
+as a variance decomposition of the predicted values:
+
+* **within-prompt (seed) variance** — same prompt, different sampling
+  seeds;
+* **between-prompt variance** — different ICL material / queries.
+
+If the paper's hypothesis holds, the prompt component dominates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.runner import ProbeResult
+from repro.errors import AnalysisError
+
+__all__ = ["VarianceDecomposition", "seed_variance_decomposition"]
+
+
+@dataclass(frozen=True)
+class VarianceDecomposition:
+    """One-way random-effects style decomposition of log-predictions.
+
+    Attributes
+    ----------
+    within_seed_var:
+        Mean variance across seeds within one prompt (same size,
+        selection, ICL count, set and query; only the seed differs).
+    between_prompt_var:
+        Variance of per-prompt means across prompts.
+    n_prompts, n_total:
+        Group and observation counts.
+    """
+
+    within_seed_var: float
+    between_prompt_var: float
+    n_prompts: int
+    n_total: int
+
+    @property
+    def prompt_share(self) -> float:
+        """Fraction of total variance attributable to the prompt."""
+        total = self.within_seed_var + self.between_prompt_var
+        if total == 0:
+            return 1.0
+        return self.between_prompt_var / total
+
+
+def seed_variance_decomposition(
+    probes: list[ProbeResult],
+) -> VarianceDecomposition:
+    """Decompose prediction variance into seed vs prompt components.
+
+    Predictions are compared in log space (runtimes are multiplicative);
+    probes that failed to parse or predicted non-positive values are
+    skipped.  Groups are formed by everything except the sampling seed.
+
+    Raises
+    ------
+    AnalysisError
+        If fewer than two groups with at least two seeds each exist.
+    """
+    groups: dict[tuple, list[float]] = defaultdict(list)
+    for p in probes:
+        if not p.parsed or not p.predicted or p.predicted <= 0:
+            continue
+        s = p.spec
+        key = (s.size, s.selection, s.n_icl, s.set_id, p.query_index)
+        groups[key].append(np.log(p.predicted))
+    multi = {k: v for k, v in groups.items() if len(v) >= 2}
+    if len(multi) < 2:
+        raise AnalysisError(
+            "need >= 2 prompts observed under >= 2 seeds each"
+        )
+    within = float(
+        np.mean([np.var(v, ddof=1) for v in multi.values()])
+    )
+    means = np.asarray([np.mean(v) for v in multi.values()])
+    between = float(np.var(means, ddof=1))
+    n_total = sum(len(v) for v in multi.values())
+    return VarianceDecomposition(
+        within_seed_var=within,
+        between_prompt_var=between,
+        n_prompts=len(multi),
+        n_total=n_total,
+    )

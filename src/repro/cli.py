@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+``dataset``   generate a syr2k performance table and write it as CSV;
+``predict``   run one LLM surrogate prediction against the dataset;
+``grid``      run a (reduced or full) experiment grid and print the
+              Section IV-A summary report;
+``tune``      compare autotuners on a syr2k task;
+``table1``    print the GBT baseline metrics for a list of training sizes.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import score_predictions
+from repro.core import build_report, paper_grid, run_grid
+from repro.core.surrogate import DiscriminativeSurrogate
+from repro.dataset import Syr2kTask, generate_dataset
+from repro.dataset.io import save_dataset_csv
+from repro.dataset.splits import disjoint_example_sets, train_test_split
+from repro.dataset.syr2k import SIZE_NAMES, syr2k_space
+from repro.gbt import (
+    BoostingParams,
+    FeatureEncoder,
+    GradientBoostingRegressor,
+    TargetTransform,
+)
+from repro.utils.tables import Table
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for 'Is In-Context Learning Feasible "
+            "for HPC Performance Autotuning?'"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("dataset", help="generate a syr2k dataset CSV")
+    p.add_argument("--size", choices=SIZE_NAMES, default="SM")
+    p.add_argument("--output", required=True, help="CSV output path")
+    p.add_argument("--seed", type=int, default=20250705)
+
+    p = sub.add_parser("predict", help="one LLM surrogate prediction")
+    p.add_argument("--size", choices=SIZE_NAMES, default="SM")
+    p.add_argument("--n-icl", type=int, default=10)
+    p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("grid", help="run an experiment grid + report")
+    p.add_argument("--sizes", nargs="+", choices=SIZE_NAMES, default=["SM", "XL"])
+    p.add_argument(
+        "--icl", nargs="+", type=int, default=[1, 5, 20, 50],
+        help="ICL example counts",
+    )
+    p.add_argument("--sets", type=int, default=2)
+    p.add_argument("--seeds", nargs="+", type=int, default=[1, 2])
+    p.add_argument("--queries", type=int, default=3)
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="also save the probes as JSONL for later `repro report`",
+    )
+
+    p = sub.add_parser(
+        "report", help="full analysis report from saved probes"
+    )
+    p.add_argument("probes", help="JSONL file written by `repro grid --save`")
+
+    p = sub.add_parser("tune", help="compare autotuners")
+    p.add_argument("--size", choices=SIZE_NAMES, default="SM")
+    p.add_argument("--budget", type=int, default=50)
+    p.add_argument("--repetitions", type=int, default=3)
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("table1", help="GBT baseline metrics (Table I)")
+    p.add_argument("--sizes", nargs="+", choices=SIZE_NAMES, default=["SM", "XL"])
+    p.add_argument(
+        "--train", nargs="+", type=int, default=[100, 500, 1000],
+        help="training-set sizes",
+    )
+    return parser
+
+
+def _cmd_dataset(args) -> int:
+    dataset = generate_dataset(args.size, seed=args.seed)
+    save_dataset_csv(dataset, args.output)
+    s = dataset.summary()
+    print(
+        f"wrote {s['rows']} rows for syr2k {args.size} to {args.output} "
+        f"(runtimes {s['runtime_min']:.6f}..{s['runtime_max']:.6f} s)"
+    )
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    dataset = generate_dataset(args.size)
+    task = Syr2kTask(args.size)
+    sets, queries = disjoint_example_sets(
+        dataset, 1, args.n_icl, seed=args.seed
+    )
+    examples = [
+        (dataset.config(int(r)), float(dataset.runtimes[int(r)]))
+        for r in sets[0]
+    ]
+    query_row = int(queries[0])
+    pred = DiscriminativeSurrogate(task).predict(
+        examples, dataset.config(query_row), seed=args.seed
+    )
+    truth = float(dataset.runtimes[query_row])
+    print(f"generated : {pred.generated_text!r}")
+    print(f"parsed    : {pred.value}")
+    print(f"truth     : {truth:.7f}")
+    if pred.value:
+        print(f"rel error : {abs(pred.value - truth) / truth:.1%}")
+    print(f"ICL copy  : {pred.exact_copy}")
+    return 0
+
+
+def _cmd_grid(args) -> int:
+    specs = paper_grid(
+        sizes=tuple(args.sizes),
+        icl_counts=tuple(args.icl),
+        n_sets=args.sets,
+        seeds=tuple(args.seeds),
+        n_queries=args.queries,
+    )
+    print(f"running {len(specs)} experiment cells...", file=sys.stderr)
+    probes = run_grid(specs, workers=args.workers)
+    if args.save:
+        from repro.core.storage import save_probes_jsonl
+
+        save_probes_jsonl(probes, args.save)
+        print(f"saved {len(probes)} probes to {args.save}", file=sys.stderr)
+    report = build_report(probes)
+    for line in report.summary_lines():
+        print(line)
+    t = Table(["n ICL", "mean MARE"], title="error vs ICL count")
+    for n, v in report.per_icl_mare.items():
+        t.add_row([n, v])
+    print()
+    print(t.render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import analyze_grid
+    from repro.core.storage import load_probes_jsonl
+
+    probes = load_probes_jsonl(args.probes)
+    print(f"loaded {len(probes)} probes from {args.probes}", file=sys.stderr)
+    print(analyze_grid(probes).render())
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.dataset import Syr2kPerformanceModel
+    from repro.tuning import (
+        BayesianOptTuner,
+        HillClimbTuner,
+        LLMCandidateTuner,
+        RandomSearchTuner,
+        compare_tuners,
+    )
+
+    task = Syr2kTask(args.size)
+    space = syr2k_space()
+    model = Syr2kPerformanceModel(task)
+    comparison = compare_tuners(
+        [
+            RandomSearchTuner(space, seed=args.seed),
+            HillClimbTuner(space, seed=args.seed),
+            BayesianOptTuner(space, seed=args.seed),
+            LLMCandidateTuner(space, task, seed=args.seed),
+        ],
+        model,
+        budget=args.budget,
+        repetitions=args.repetitions,
+    )
+    t = Table(
+        ["tuner", "mean best runtime", "regret"],
+        title=f"syr2k {args.size} (optimum {comparison.global_optimum:.6f})",
+    )
+    for name, best in comparison.ranking():
+        t.add_row([name, best, comparison.mean_regret(name)])
+    print(t.render())
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    t = Table(
+        ["size", "train n", "R2", "MARE", "MSRE"],
+        title="GBT baseline metrics (Table I shape)",
+    )
+    for size in args.sizes:
+        dataset = generate_dataset(size)
+        train, test = train_test_split(dataset, 0.8, seed=1)
+        enc = FeatureEncoder(dataset.space)
+        tt = TargetTransform("log")
+        x_test = enc.encode_dataset(test)
+        for n in args.train:
+            sub = train.subset(np.arange(min(n, len(train))))
+            model = GradientBoostingRegressor(
+                BoostingParams(
+                    n_estimators=200, learning_rate=0.1, max_depth=6,
+                    min_samples_leaf=2,
+                )
+            ).fit(enc.encode_dataset(sub), tt.forward(sub.runtimes))
+            m = score_predictions(
+                test.runtimes, tt.inverse(model.predict(x_test))
+            )
+            t.add_row([size, len(sub), m.r2, m.mare, m.msre])
+    print(t.render())
+    return 0
+
+
+_COMMANDS = {
+    "dataset": _cmd_dataset,
+    "predict": _cmd_predict,
+    "grid": _cmd_grid,
+    "report": _cmd_report,
+    "tune": _cmd_tune,
+    "table1": _cmd_table1,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

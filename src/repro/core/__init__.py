@@ -1,0 +1,61 @@
+"""The paper's primary contribution: the ICL-feasibility evaluation pipeline.
+
+This package wires the substrates together into the experiments of
+Sections III-IV: LLAMBO-style discriminative surrogate prediction
+(:mod:`repro.core.surrogate`), the full experiment grid — ICL counts from
+one to one hundred, five disjoint example sets, three sampling seeds, two
+problem sizes, random vs. minimal-edit-distance curated selection —
+(:mod:`repro.core.grid`), the (optionally parallel) experiment runner with
+full logit capture (:mod:`repro.core.runner`), and result aggregation
+(:mod:`repro.core.records`).
+"""
+
+from repro.core.surrogate import DiscriminativeSurrogate, SurrogatePrediction
+from repro.core.generative import (
+    GenerativePrediction,
+    GenerativeSurrogate,
+    bucketize,
+)
+from repro.core.hybrid import (
+    GBTNumericHead,
+    HybridPrediction,
+    HybridSurrogate,
+    KNNNumericHead,
+    NumericHead,
+)
+from repro.core.grid import ExperimentSpec, paper_grid, quick_grid
+from repro.core.records import (
+    CellMetrics,
+    GridReport,
+    build_report,
+    cell_metrics,
+    group_probes,
+)
+from repro.core.runner import ProbeResult, run_grid, run_spec
+from repro.core.storage import load_probes_jsonl, save_probes_jsonl
+
+__all__ = [
+    "DiscriminativeSurrogate",
+    "SurrogatePrediction",
+    "GenerativeSurrogate",
+    "GenerativePrediction",
+    "bucketize",
+    "HybridSurrogate",
+    "HybridPrediction",
+    "NumericHead",
+    "KNNNumericHead",
+    "GBTNumericHead",
+    "ExperimentSpec",
+    "paper_grid",
+    "quick_grid",
+    "ProbeResult",
+    "run_spec",
+    "run_grid",
+    "CellMetrics",
+    "GridReport",
+    "cell_metrics",
+    "group_probes",
+    "build_report",
+    "save_probes_jsonl",
+    "load_probes_jsonl",
+]

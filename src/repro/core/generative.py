@@ -1,0 +1,167 @@
+"""Generative surrogate mode: N-ary performance-bucket classification.
+
+LLAMBO's second prompting mode (Section II-B of the paper): instead of
+regressing a runtime, the model assigns the query configuration to one of
+``n_buckets`` performance classes demonstrated in context.  The paper
+describes but does not evaluate this mode; we implement it fully so the
+benchmark suite can test whether coarsening the output space rescues
+in-context learning (it does not — the model parrots bucket labels the
+same way it parrots value prefixes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.decoding import StepCandidates
+from repro.dataset.generate import PerformanceDataset
+from repro.dataset.syr2k import Syr2kTask
+from repro.errors import AnalysisError, ParseError
+from repro.llm.engine import GenerationEngine
+from repro.llm.model import SurrogateLM
+from repro.llm.sampling import SamplingParams
+from repro.llm.tokenizer import Tokenizer
+from repro.prompts.builder import PromptBuilder
+from repro.prompts.parser import extract_class_label
+
+__all__ = ["bucketize", "GenerativePrediction", "GenerativeSurrogate"]
+
+
+def bucketize(
+    runtimes: Sequence[float], n_buckets: int, edges: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantile-bucket runtimes into ``n_buckets`` classes (0 = fastest).
+
+    Returns
+    -------
+    (labels, edges):
+        Integer labels per runtime and the internal bucket edges used
+        (pass the returned ``edges`` back in to bucketize new values on
+        the same scale).
+    """
+    values = np.asarray(runtimes, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise AnalysisError("runtimes must be a non-empty 1-D array")
+    if n_buckets < 2:
+        raise AnalysisError(f"need >= 2 buckets, got {n_buckets}")
+    if edges is None:
+        qs = np.linspace(0, 1, n_buckets + 1)[1:-1]
+        edges = np.quantile(values, qs)
+    labels = np.searchsorted(edges, values, side="right")
+    return labels.astype(np.int64), np.asarray(edges, dtype=float)
+
+
+@dataclass
+class GenerativePrediction:
+    """One bucket-classification prediction with its evidence."""
+
+    bucket: int | None
+    generated_text: str
+    icl_labels: list[str]
+    value_steps: list[StepCandidates]
+    n_prompt_tokens: int
+    seed: int
+
+    @property
+    def parsed(self) -> bool:
+        return self.bucket is not None
+
+
+class GenerativeSurrogate:
+    """LLAMBO generative surrogate over performance buckets."""
+
+    def __init__(
+        self,
+        task: Syr2kTask,
+        n_buckets: int = 5,
+        tokenizer: Tokenizer | None = None,
+        model: SurrogateLM | None = None,
+        sampling: SamplingParams | None = None,
+    ):
+        if n_buckets < 2:
+            raise AnalysisError(f"need >= 2 buckets, got {n_buckets}")
+        self.task = task
+        self.n_buckets = n_buckets
+        self.tokenizer = tokenizer or Tokenizer()
+        self.model = model or SurrogateLM(self.tokenizer.vocab)
+        self.engine = GenerationEngine(self.model, sampling=sampling)
+        self.builder = PromptBuilder(task, self.tokenizer)
+
+    def predict(
+        self,
+        examples: Sequence[tuple[dict, int]],
+        query_config: dict,
+        seed: int = 0,
+    ) -> GenerativePrediction:
+        """Classify ``query_config`` given labelled ICL ``examples``."""
+        parts = self.builder.generative(
+            examples, query_config, n_buckets=self.n_buckets
+        )
+        trace = self.engine.generate(parts.ids, seed=seed)
+        text = trace.generated_text(self.tokenizer.vocab)
+        try:
+            bucket = extract_class_label(text, self.n_buckets)
+        except ParseError:
+            bucket = None
+        return GenerativePrediction(
+            bucket=bucket,
+            generated_text=text,
+            icl_labels=list(parts.icl_value_strings),
+            value_steps=trace.value_region(self.tokenizer.vocab),
+            n_prompt_tokens=int(parts.ids.size),
+            seed=int(seed),
+        )
+
+    def evaluate(
+        self,
+        dataset: PerformanceDataset,
+        example_rows: Sequence[int],
+        query_rows: Sequence[int],
+        seed: int = 0,
+    ) -> dict:
+        """Run a labelled classification experiment on dataset rows.
+
+        Buckets are fit on the example rows' runtimes and reused for the
+        queries (as a real deployment would).  Returns accuracy, the mean
+        absolute bucket distance, and the majority-class baseline accuracy.
+        """
+        example_rows = np.asarray(example_rows, dtype=np.int64)
+        query_rows = np.asarray(query_rows, dtype=np.int64)
+        if example_rows.size == 0 or query_rows.size == 0:
+            raise AnalysisError("need non-empty example and query rows")
+        ex_labels, edges = bucketize(
+            dataset.runtimes[example_rows], self.n_buckets
+        )
+        q_labels, _ = bucketize(
+            dataset.runtimes[query_rows], self.n_buckets, edges=edges
+        )
+        examples = [
+            (dataset.config(int(r)), int(lbl))
+            for r, lbl in zip(example_rows, ex_labels)
+        ]
+        hits = 0
+        dist = []
+        parsed = 0
+        for i, (row, truth) in enumerate(zip(query_rows, q_labels)):
+            pred = self.predict(
+                examples, dataset.config(int(row)), seed=seed * 1000 + i
+            )
+            if not pred.parsed:
+                continue
+            parsed += 1
+            hits += int(pred.bucket == truth)
+            dist.append(abs(pred.bucket - int(truth)))
+        counts = np.bincount(ex_labels, minlength=self.n_buckets)
+        majority = int(np.argmax(counts))
+        majority_acc = float(np.mean(q_labels == majority))
+        return {
+            "n_queries": int(query_rows.size),
+            "parse_rate": parsed / query_rows.size,
+            "accuracy": hits / parsed if parsed else 0.0,
+            "mean_bucket_distance": float(np.mean(dist)) if dist else float("nan"),
+            "majority_baseline": majority_acc,
+            "chance": 1.0 / self.n_buckets,
+        }

@@ -1,0 +1,143 @@
+"""Experiment-grid specification (Section III-B).
+
+One :class:`ExperimentSpec` names an *experiment* in the paper's sense: a
+problem size, an example-selection strategy, an ICL example count, an
+example-set id (of the five disjoint sets), and a sampling seed.  Each
+experiment issues ``n_queries`` predictions, over which the per-experiment
+metrics (R^2, MARE, MSRE) are computed; the Central Limit Theorem is then
+applied across experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence
+
+from repro.dataset.syr2k import SIZE_DIMENSIONS
+from repro.errors import ExperimentError
+
+__all__ = ["ExperimentSpec", "paper_grid", "quick_grid"]
+
+_SELECTIONS = ("random", "curated")
+
+#: The paper's ICL example counts: "ranging from one to one hundred".
+PAPER_ICL_COUNTS: tuple[int, ...] = (1, 2, 5, 10, 20, 50, 100)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment cell of the grid.
+
+    Attributes
+    ----------
+    size:
+        Problem size ("SM" / "XL" in the paper).
+    selection:
+        "random" (ICL examples drawn uniformly) or "curated" (minimal
+        configuration-space edit distance to the query).
+    n_icl:
+        Number of in-context examples.
+    set_id:
+        Which of the disjoint example sets (0-based).
+    seed:
+        Sampling seed for generation.
+    n_queries:
+        Predictions made within this experiment.
+    root_seed:
+        Root of the deterministic seed tree (dataset + selections).
+    """
+
+    size: str
+    selection: str
+    n_icl: int
+    set_id: int
+    seed: int
+    n_queries: int = 4
+    root_seed: int = 20250705
+
+    def __post_init__(self):
+        if self.size not in SIZE_DIMENSIONS:
+            raise ExperimentError(f"unknown size {self.size!r}")
+        if self.selection not in _SELECTIONS:
+            raise ExperimentError(
+                f"selection must be one of {_SELECTIONS}, got {self.selection!r}"
+            )
+        if self.n_icl < 1:
+            raise ExperimentError(f"n_icl must be >= 1, got {self.n_icl}")
+        if self.set_id < 0:
+            raise ExperimentError(f"set_id must be >= 0, got {self.set_id}")
+        if self.n_queries < 1:
+            raise ExperimentError(
+                f"n_queries must be >= 1, got {self.n_queries}"
+            )
+
+    @property
+    def cell_key(self) -> tuple:
+        """Grouping key identifying this experiment cell."""
+        return (self.size, self.selection, self.n_icl, self.set_id, self.seed)
+
+    @property
+    def experiment_key(self) -> tuple:
+        """Metric-grouping key: an *experiment* in the paper's sense.
+
+        The five disjoint example sets exist "to limit the possibility of
+        poor examples biasing the results" — they are variance reduction
+        within one experiment, so per-experiment metrics pool across
+        ``set_id`` (giving each R^2 a healthy sample of query truths).
+        """
+        return (self.size, self.selection, self.n_icl, self.seed)
+
+
+def paper_grid(
+    sizes: Sequence[str] = ("SM", "XL"),
+    icl_counts: Sequence[int] = PAPER_ICL_COUNTS,
+    n_sets: int = 5,
+    seeds: Sequence[int] = (1, 2, 3),
+    selections: Sequence[str] = _SELECTIONS,
+    n_queries: int = 4,
+    root_seed: int = 20250705,
+) -> list[ExperimentSpec]:
+    """The full Section III-B grid (defaults mirror the paper).
+
+    Five disjoint example sets, three sampling seeds, ICL counts 1..100,
+    both sizes, both selection strategies.
+    """
+    specs = [
+        ExperimentSpec(
+            size=size,
+            selection=selection,
+            n_icl=n_icl,
+            set_id=set_id,
+            seed=seed,
+            n_queries=n_queries,
+            root_seed=root_seed,
+        )
+        for size, selection, n_icl, set_id, seed in product(
+            sizes, selections, icl_counts, range(n_sets), seeds
+        )
+    ]
+    if not specs:
+        raise ExperimentError("grid is empty")
+    return specs
+
+
+def quick_grid(
+    sizes: Sequence[str] = ("SM", "XL"),
+    icl_counts: Sequence[int] = (1, 5, 20, 50),
+    n_sets: int = 2,
+    seeds: Sequence[int] = (1, 2),
+    selections: Sequence[str] = _SELECTIONS,
+    n_queries: int = 3,
+    root_seed: int = 20250705,
+) -> list[ExperimentSpec]:
+    """A reduced grid for tests and fast benchmark runs."""
+    return paper_grid(
+        sizes=sizes,
+        icl_counts=icl_counts,
+        n_sets=n_sets,
+        seeds=seeds,
+        selections=selections,
+        n_queries=n_queries,
+        root_seed=root_seed,
+    )

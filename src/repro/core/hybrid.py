@@ -1,0 +1,220 @@
+"""The paper's Section V-D proposal, implemented: a numeric-head hybrid.
+
+"an LLM can be given a unique token to signal to a supporting model that
+a number should be generated at a particular position within its
+response.  This mimics modern LLM tool usage patterns by providing a hook
+for any number-generating process to transparently assist the LLM."
+
+:class:`HybridSurrogate` realizes that design: the language model runs
+the prompt exactly as in the discriminative pipeline, but the moment the
+generation reaches the value position (the format scorer's "value starts
+here" state), control transfers to a pluggable *numeric head* — a small
+quantitative model fitted on the very same in-context examples — whose
+prediction is serialized back into the demonstrated value format and
+spliced into the response.
+
+Two heads ship with the library:
+
+* :class:`KNNNumericHead` — distance-weighted k-nearest-neighbour
+  regression in normalized configuration space (cheap enough to refit per
+  prompt, like a tool call would);
+* :class:`GBTNumericHead` — a small gradient-boosted ensemble on the ICL
+  examples.
+
+The ablation benchmark shows the hybrid repairs the failure the paper
+documents: with the identical prompt budget, prediction R^2 jumps from
+negative territory to the level a dedicated regressor achieves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.dataset.space import ConfigSpace
+from repro.dataset.syr2k import Syr2kTask
+from repro.errors import AnalysisError
+from repro.gbt.boosting import BoostingParams, GradientBoostingRegressor
+from repro.gbt.encoding import FeatureEncoder, TargetTransform
+from repro.llm.model import SurrogateLM
+from repro.llm.tokenizer import Tokenizer
+from repro.prompts.builder import PromptBuilder
+
+__all__ = [
+    "NumericHead",
+    "KNNNumericHead",
+    "GBTNumericHead",
+    "HybridPrediction",
+    "HybridSurrogate",
+]
+
+
+class NumericHead:
+    """A small regressor fitted on the in-context examples.
+
+    Subclasses implement :meth:`fit` and :meth:`predict_one` over
+    normalized ordinal feature rows.
+    """
+
+    name = "numeric-head"
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "NumericHead":
+        raise NotImplementedError
+
+    def predict_one(self, x_row: np.ndarray) -> float:
+        raise NotImplementedError
+
+
+class KNNNumericHead(NumericHead):
+    """Distance-weighted k-NN regression in normalized feature space."""
+
+    name = "knn"
+
+    def __init__(self, k: int = 5, power: float = 2.0):
+        if k < 1:
+            raise AnalysisError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.power = power
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNNumericHead":
+        self._x = np.asarray(x, dtype=float)
+        self._y = np.asarray(y, dtype=float)
+        return self
+
+    def predict_one(self, x_row: np.ndarray) -> float:
+        if self._x is None:
+            raise AnalysisError("KNNNumericHead used before fit()")
+        d = np.sqrt(((self._x - x_row[None, :]) ** 2).sum(axis=1))
+        k = min(self.k, d.size)
+        nearest = np.argsort(d)[:k]
+        w = 1.0 / (d[nearest] ** self.power + 1e-9)
+        # Geometric weighting in log space matches the multiplicative
+        # structure of runtimes.
+        return float(np.exp(np.average(np.log(self._y[nearest]), weights=w)))
+
+
+class GBTNumericHead(NumericHead):
+    """A small boosted-tree ensemble refit on the ICL examples."""
+
+    name = "gbt"
+
+    def __init__(self, n_estimators: int = 60, max_depth: int = 3):
+        self.params = BoostingParams(
+            n_estimators=n_estimators,
+            learning_rate=0.15,
+            max_depth=max_depth,
+            min_samples_leaf=1,
+        )
+        self._model: GradientBoostingRegressor | None = None
+        self._tt = TargetTransform("log")
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GBTNumericHead":
+        self._model = GradientBoostingRegressor(self.params).fit(
+            x, self._tt.forward(y)
+        )
+        return self
+
+    def predict_one(self, x_row: np.ndarray) -> float:
+        if self._model is None:
+            raise AnalysisError("GBTNumericHead used before fit()")
+        return float(self._tt.inverse(self._model.predict(x_row[None, :]))[0])
+
+
+@dataclass
+class HybridPrediction:
+    """One hybrid prediction: the spliced response plus provenance."""
+
+    value: float
+    value_text: str
+    generated_text: str
+    head_name: str
+    n_prompt_tokens: int
+
+    @property
+    def parsed(self) -> bool:
+        return True  # the numeric head always yields a well-formed value
+
+
+class HybridSurrogate:
+    """LLM front-end + numeric-head back-end (the Section V-D design).
+
+    Parameters
+    ----------
+    task:
+        The syr2k task.
+    head:
+        The numeric head (default k-NN); refit on each prompt's examples.
+    """
+
+    def __init__(
+        self,
+        task: Syr2kTask,
+        head: NumericHead | None = None,
+        tokenizer: Tokenizer | None = None,
+        model: SurrogateLM | None = None,
+    ):
+        self.task = task
+        self.head = head or KNNNumericHead()
+        self.tokenizer = tokenizer or Tokenizer()
+        self.model = model or SurrogateLM(self.tokenizer.vocab)
+        self.builder = PromptBuilder(task, self.tokenizer)
+        self.space: ConfigSpace = task.space()
+        self._encoder = FeatureEncoder(self.space)
+        # Standardization constants over the whole space so distances are
+        # comparable across features.
+        full = self._encoder.encode_indices(np.arange(self.space.size))
+        self._mean = full.mean(axis=0)
+        self._std = full.std(axis=0)
+        self._std[self._std == 0] = 1.0
+
+    def _features(self, configs: Sequence[Mapping[str, object]]) -> np.ndarray:
+        idx = [self.space.to_index(c) for c in configs]
+        raw = self._encoder.encode_indices(np.asarray(idx))
+        return (raw - self._mean) / self._std
+
+    def predict(
+        self,
+        examples: Sequence[tuple[Mapping[str, object], float]],
+        query_config: Mapping[str, object],
+        seed: int = 0,
+    ) -> HybridPrediction:
+        """Predict the query's runtime via the numeric head.
+
+        The prompt is built and analysed exactly as in the discriminative
+        pipeline — the LM's format analysis determines the demonstrated
+        value format — but the number itself comes from the head fitted
+        on the in-context examples.
+        """
+        if not examples:
+            raise AnalysisError("hybrid prediction needs >= 1 ICL example")
+        parts = self.builder.discriminative(examples, query_config)
+        analysis = self.model.prepare(parts.ids)
+
+        x = self._features([cfg for cfg, _ in examples])
+        y = np.asarray([rt for _, rt in examples], dtype=float)
+        self.head.fit(x, y)
+        value = self.head.predict_one(self._features([query_config])[0])
+        value = float(max(value, 1e-9))
+
+        # Serialize in the demonstrated format (decimals learned from the
+        # prompt), then splice into the response like a tool result.
+        decimals = analysis.expected_decimals or 7
+        if value >= 1.0:
+            text = f"{value:.{min(decimals, 6)}f}"
+        else:
+            text = f"{value:.{decimals}f}"
+        if float(text) == 0.0:
+            # Demonstrated precision cannot express the head's value;
+            # widen rather than returning a degenerate zero.
+            text = f"{value:.9f}"
+        return HybridPrediction(
+            value=float(text),
+            value_text=text,
+            generated_text=text + "\n",
+            head_name=self.head.name,
+            n_prompt_tokens=int(parts.ids.size),
+        )

@@ -1,0 +1,168 @@
+"""Aggregation of probe results into the paper's reported statistics."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.clt import CLTAggregate, aggregate_metric
+from repro.analysis.metrics import PredictionMetrics, score_predictions
+from repro.core.runner import ProbeResult
+from repro.errors import AnalysisError
+
+__all__ = [
+    "CellMetrics",
+    "GridReport",
+    "group_probes",
+    "cell_metrics",
+    "build_report",
+]
+
+
+@dataclass(frozen=True)
+class CellMetrics:
+    """Per-experiment metrics (one cell of the grid)."""
+
+    cell_key: tuple
+    metrics: PredictionMetrics | None
+    n_probes: int
+    n_parsed: int
+    n_copies: int
+
+    @property
+    def parse_rate(self) -> float:
+        return self.n_parsed / self.n_probes if self.n_probes else 0.0
+
+
+def group_probes(
+    probes: list[ProbeResult], *, by: str = "experiment"
+) -> dict[tuple, list[ProbeResult]]:
+    """Group probes by experiment (default) or by fine-grained cell.
+
+    ``by="experiment"`` pools the disjoint example sets (the paper's unit
+    of metric reporting); ``by="cell"`` keeps each (set, seed) separate.
+    """
+    if by not in ("experiment", "cell"):
+        raise AnalysisError(f"unknown grouping {by!r}")
+    groups: dict[tuple, list[ProbeResult]] = defaultdict(list)
+    for p in probes:
+        key = p.spec.experiment_key if by == "experiment" else p.spec.cell_key
+        groups[key].append(p)
+    return dict(groups)
+
+
+def cell_metrics(cell_key: tuple, probes: list[ProbeResult]) -> CellMetrics:
+    """Score one experiment cell.
+
+    Metrics use the parsed predictions only; ``metrics`` is ``None`` when
+    fewer than two probes parsed (R^2 needs variance in the truths).
+    """
+    if not probes:
+        raise AnalysisError("empty cell")
+    parsed = [p for p in probes if p.parsed]
+    metrics = None
+    if len(parsed) >= 2:
+        truths = np.asarray([p.truth for p in parsed])
+        preds = np.asarray([p.predicted for p in parsed])
+        metrics = score_predictions(truths, preds)
+    return CellMetrics(
+        cell_key=cell_key,
+        metrics=metrics,
+        n_probes=len(probes),
+        n_parsed=len(parsed),
+        n_copies=sum(1 for p in probes if p.exact_copy),
+    )
+
+
+@dataclass
+class GridReport:
+    """The Section IV-A summary statistics over a whole grid run.
+
+    Attributes
+    ----------
+    cells:
+        Per-experiment metrics.
+    r2_values:
+        Finite per-cell R^2 scores.
+    best_r2 / mean_r2 / std_r2:
+        Headline R^2 statistics ("The highest R^2 score our LLM achieves
+        is 0.4643 ... average R^2 score of -6.643 and a standard
+        deviation of 22.766").
+    frac_nonnegative_r2:
+        Share of experiments with a non-negative R^2 ("only a quarter").
+    mare / msre:
+        CLT aggregates of the per-experiment MARE/MSRE.
+    copy_rate:
+        Fraction of all generated values verbatim-copied from ICL
+        ("slightly over 10%").
+    parse_rate:
+        Fraction of probes whose output contained a parsable value.
+    """
+
+    cells: list[CellMetrics]
+    r2_values: np.ndarray
+    best_r2: float
+    mean_r2: float
+    std_r2: float
+    frac_nonnegative_r2: float
+    mare: CLTAggregate
+    msre: CLTAggregate
+    copy_rate: float
+    parse_rate: float
+    per_icl_mare: dict[int, float] = field(default_factory=dict)
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable headline, mirroring the paper's reporting."""
+        return [
+            f"experiments: {len(self.cells)}",
+            f"best R2: {self.best_r2:.4f}",
+            f"mean R2: {self.mean_r2:.4f} (std {self.std_r2:.4f})",
+            f"non-negative R2 share: {self.frac_nonnegative_r2:.3f}",
+            f"MARE: {self.mare}",
+            f"MSRE: {self.msre}",
+            f"ICL copy rate: {self.copy_rate:.4f}",
+            f"parse rate: {self.parse_rate:.4f}",
+        ]
+
+
+def build_report(probes: list[ProbeResult]) -> GridReport:
+    """Aggregate a grid run into the paper's summary statistics."""
+    if not probes:
+        raise AnalysisError("no probes to report on")
+    groups = group_probes(probes)
+    cells = [cell_metrics(key, group) for key, group in groups.items()]
+    scored = [c for c in cells if c.metrics is not None]
+    if not scored:
+        raise AnalysisError("no experiment produced scoreable metrics")
+    r2 = np.asarray(
+        [c.metrics.r2 for c in scored if np.isfinite(c.metrics.r2)]
+    )
+    if r2.size == 0:
+        raise AnalysisError("no finite R^2 values")
+    mare_vals = [c.metrics.mare for c in scored]
+    msre_vals = [c.metrics.msre for c in scored]
+
+    # MARE as a function of ICL count ("error often increases with
+    # additional ICL examples").
+    by_icl: dict[int, list[float]] = defaultdict(list)
+    for c in scored:
+        n_icl = c.cell_key[2]
+        by_icl[n_icl].append(c.metrics.mare)
+    per_icl = {k: float(np.mean(v)) for k, v in sorted(by_icl.items())}
+
+    n_probes = len(probes)
+    return GridReport(
+        cells=cells,
+        r2_values=r2,
+        best_r2=float(r2.max()),
+        mean_r2=float(r2.mean()),
+        std_r2=float(r2.std(ddof=1)) if r2.size > 1 else 0.0,
+        frac_nonnegative_r2=float((r2 >= 0).mean()),
+        mare=aggregate_metric(mare_vals),
+        msre=aggregate_metric(msre_vals),
+        copy_rate=sum(1 for p in probes if p.exact_copy) / n_probes,
+        parse_rate=sum(1 for p in probes if p.parsed) / n_probes,
+        per_icl_mare=per_icl,
+    )

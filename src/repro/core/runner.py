@@ -1,0 +1,150 @@
+"""Experiment execution: probes, per-process caching, parallel fan-out.
+
+Each :class:`ExperimentSpec` expands into ``n_queries`` *probes* (one
+prediction each).  Heavy, immutable state — datasets, tokenizer, surrogate
+LM — is cached per process so the multiprocessing fan-out only ships specs
+and results (chunky tasks, small payloads, per the HPC guides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.analysis.decoding import StepCandidates
+from repro.core.grid import ExperimentSpec
+from repro.core.surrogate import DiscriminativeSurrogate
+from repro.dataset.generate import PerformanceDataset, generate_dataset
+from repro.dataset.splits import curated_neighborhood, disjoint_example_sets
+from repro.dataset.syr2k import Syr2kTask
+from repro.errors import ExperimentError
+from repro.utils.parallel import parallel_map
+from repro.utils.rng import derive_seed
+
+__all__ = ["ProbeResult", "run_spec", "run_grid"]
+
+#: Cap on disjoint-set material: the largest grid draws 5 sets of 100.
+_MAX_SETS = 8
+
+
+@dataclass
+class ProbeResult:
+    """One prediction probe: everything the analyses need, no more.
+
+    The value-region candidates are retained (they feed Table II, Figures
+    3-4 and the haystack analysis); full prompts are not (only their
+    length), keeping result payloads small enough to ship across processes.
+    """
+
+    spec: ExperimentSpec
+    query_index: int
+    truth: float
+    predicted: float | None
+    predicted_text: str
+    generated_text: str
+    exact_copy: bool
+    icl_value_strings: list[str]
+    value_steps: list[StepCandidates]
+    n_prompt_tokens: int
+
+    @property
+    def parsed(self) -> bool:
+        return self.predicted is not None
+
+    @property
+    def relative_error(self) -> float:
+        """Relative error of the sampled prediction (inf when unparsed)."""
+        if self.predicted is None:
+            return float("inf")
+        return abs(self.predicted - self.truth) / abs(self.truth)
+
+
+@lru_cache(maxsize=8)
+def _dataset(size: str, root_seed: int) -> PerformanceDataset:
+    return generate_dataset(size, seed=root_seed)
+
+
+@lru_cache(maxsize=8)
+def _surrogate(size: str) -> DiscriminativeSurrogate:
+    return DiscriminativeSurrogate(Syr2kTask(size))
+
+
+def _probes_for(
+    spec: ExperimentSpec, dataset: PerformanceDataset
+) -> list[tuple[np.ndarray, int]]:
+    """Expand a spec into ``(icl_rows, query_row)`` probes."""
+    if spec.selection == "random":
+        n_sets = max(_MAX_SETS, spec.set_id + 1)
+        sets, queries = disjoint_example_sets(
+            dataset,
+            n_sets=n_sets,
+            set_size=spec.n_icl,
+            seed=derive_seed(spec.root_seed, "sets", spec.size, spec.n_icl),
+            n_queries=spec.n_queries,
+        )
+        return [(sets[spec.set_id], int(q)) for q in queries]
+    # Curated: each query gets its own minimal-edit-distance neighbourhood.
+    probes = []
+    for q in range(spec.n_queries):
+        rows, query_row = curated_neighborhood(
+            dataset,
+            set_size=spec.n_icl,
+            seed=derive_seed(
+                spec.root_seed, "curated", spec.size, spec.n_icl,
+                spec.set_id, q,
+            ),
+        )
+        probes.append((rows, int(query_row)))
+    return probes
+
+
+def run_spec(spec: ExperimentSpec) -> list[ProbeResult]:
+    """Execute all probes of one experiment cell (serially)."""
+    dataset = _dataset(spec.size, spec.root_seed)
+    surrogate = _surrogate(spec.size)
+    results: list[ProbeResult] = []
+    for probe_id, (icl_rows, query_row) in enumerate(
+        _probes_for(spec, dataset)
+    ):
+        examples = [
+            (dataset.config(int(r)), float(dataset.runtimes[int(r)]))
+            for r in icl_rows
+        ]
+        query_config = dataset.config(query_row)
+        # cell_key already includes spec.seed, so sampling streams differ
+        # across seeds while everything else about the probe is shared.
+        gen_seed = derive_seed(
+            spec.root_seed, "generation", *spec.cell_key, probe_id
+        )
+        pred = surrogate.predict(examples, query_config, seed=gen_seed)
+        results.append(
+            ProbeResult(
+                spec=spec,
+                query_index=int(dataset.indices[query_row]),
+                truth=float(dataset.runtimes[query_row]),
+                predicted=pred.value,
+                predicted_text=pred.value_text,
+                generated_text=pred.generated_text,
+                exact_copy=pred.exact_copy,
+                icl_value_strings=pred.icl_value_strings,
+                value_steps=pred.value_steps,
+                n_prompt_tokens=pred.n_prompt_tokens,
+            )
+        )
+    return results
+
+
+def run_grid(
+    specs: list[ExperimentSpec], workers: int | None = None
+) -> list[ProbeResult]:
+    """Execute a grid of experiments, optionally across processes.
+
+    Results are returned flattened, in spec order (deterministic
+    regardless of parallelism).
+    """
+    if not specs:
+        raise ExperimentError("no experiments to run")
+    nested = parallel_map(run_spec, specs, workers=workers)
+    return [probe for cell in nested for probe in cell]

@@ -1,0 +1,123 @@
+"""Persistence of grid runs: JSONL probe storage.
+
+A full Section III-B grid takes minutes to generate; analyses are cheap.
+This module serializes :class:`ProbeResult` lists — including the sparse
+value-region logits — to a JSON-lines file and back, so a grid run can be
+computed once and re-analysed many times (or shared as an artifact, as the
+paper's repository does).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.decoding import StepCandidates
+from repro.core.grid import ExperimentSpec
+from repro.core.runner import ProbeResult
+from repro.errors import ExperimentError
+
+__all__ = ["save_probes_jsonl", "load_probes_jsonl"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_probe(probe: ProbeResult) -> dict:
+    spec = probe.spec
+    return {
+        "spec": {
+            "size": spec.size,
+            "selection": spec.selection,
+            "n_icl": spec.n_icl,
+            "set_id": spec.set_id,
+            "seed": spec.seed,
+            "n_queries": spec.n_queries,
+            "root_seed": spec.root_seed,
+        },
+        "query_index": probe.query_index,
+        "truth": probe.truth,
+        "predicted": probe.predicted,
+        "predicted_text": probe.predicted_text,
+        "generated_text": probe.generated_text,
+        "exact_copy": probe.exact_copy,
+        "icl_value_strings": probe.icl_value_strings,
+        "n_prompt_tokens": probe.n_prompt_tokens,
+        "value_steps": [
+            {
+                "tokens": list(s.tokens),
+                "logits": [round(float(x), 6) for x in s.logits],
+                "chosen": s.chosen,
+            }
+            for s in probe.value_steps
+        ],
+    }
+
+
+def _decode_probe(record: dict) -> ProbeResult:
+    try:
+        spec = ExperimentSpec(**record["spec"])
+        steps = [
+            StepCandidates(
+                tokens=tuple(s["tokens"]),
+                logits=np.asarray(s["logits"], dtype=float),
+                chosen=int(s["chosen"]),
+            )
+            for s in record["value_steps"]
+        ]
+        return ProbeResult(
+            spec=spec,
+            query_index=int(record["query_index"]),
+            truth=float(record["truth"]),
+            predicted=(
+                None
+                if record["predicted"] is None
+                else float(record["predicted"])
+            ),
+            predicted_text=record["predicted_text"],
+            generated_text=record["generated_text"],
+            exact_copy=bool(record["exact_copy"]),
+            icl_value_strings=list(record["icl_value_strings"]),
+            value_steps=steps,
+            n_prompt_tokens=int(record["n_prompt_tokens"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ExperimentError(f"corrupt probe record: {exc}") from exc
+
+
+def save_probes_jsonl(probes: list[ProbeResult], path: str | Path) -> None:
+    """Write probes to a JSONL file (one header line, one line per probe)."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(
+            json.dumps({"format": "repro-probes", "version": _FORMAT_VERSION})
+            + "\n"
+        )
+        for probe in probes:
+            fh.write(json.dumps(_encode_probe(probe)) + "\n")
+
+
+def load_probes_jsonl(path: str | Path) -> list[ProbeResult]:
+    """Read probes written by :func:`save_probes_jsonl`.
+
+    Raises
+    ------
+    ExperimentError
+        On a missing/incompatible header or corrupt records.
+    """
+    path = Path(path)
+    with path.open() as fh:
+        header_line = fh.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError:
+            raise ExperimentError(f"{path} is not a probe JSONL file") from None
+        if header.get("format") != "repro-probes":
+            raise ExperimentError(f"{path} is not a probe JSONL file")
+        if header.get("version") != _FORMAT_VERSION:
+            raise ExperimentError(
+                f"{path} has format version {header.get('version')}, "
+                f"expected {_FORMAT_VERSION}"
+            )
+        return [_decode_probe(json.loads(line)) for line in fh if line.strip()]

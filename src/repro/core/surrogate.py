@@ -1,0 +1,115 @@
+"""The discriminative surrogate: predict a runtime from ICL examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.decoding import StepCandidates
+from repro.dataset.syr2k import Syr2kTask
+from repro.errors import ParseError
+from repro.llm.engine import GenerationEngine
+from repro.llm.model import SurrogateLM
+from repro.llm.sampling import SamplingParams
+from repro.llm.tokenizer import Tokenizer
+from repro.prompts.builder import PromptBuilder
+from repro.prompts.parser import extract_prediction
+
+__all__ = ["SurrogatePrediction", "DiscriminativeSurrogate"]
+
+
+@dataclass
+class SurrogatePrediction:
+    """One surrogate prediction with its full generation evidence.
+
+    Attributes
+    ----------
+    value:
+        Parsed predicted runtime (None when the generation contained no
+        parsable value — a format failure).
+    value_text:
+        The exact value substring (what copy analysis compares to ICL).
+    generated_text:
+        The full generated surface text.
+    icl_value_strings:
+        The performance strings shown in context.
+    value_steps:
+        Recorded candidates for the value region of the generation (input
+        to the decoding-tree analyses).
+    n_prompt_tokens:
+        Prompt length (context-budget bookkeeping).
+    seed:
+        Sampling seed used.
+    """
+
+    value: float | None
+    value_text: str
+    generated_text: str
+    icl_value_strings: list[str]
+    value_steps: list[StepCandidates]
+    n_prompt_tokens: int
+    seed: int
+
+    @property
+    def parsed(self) -> bool:
+        """Whether a value could be extracted from the generation."""
+        return self.value is not None
+
+    @property
+    def exact_copy(self) -> bool:
+        """Whether the value string verbatim-copies an ICL value."""
+        return self.value_text in self.icl_value_strings
+
+
+class DiscriminativeSurrogate:
+    """LLAMBO discriminative surrogate on top of the surrogate LM.
+
+    Parameters
+    ----------
+    task:
+        The syr2k task (fixes the prompt's problem description).
+    tokenizer, model, engine:
+        Optional pre-built components; defaults construct the calibrated
+        stack.
+    """
+
+    def __init__(
+        self,
+        task: Syr2kTask,
+        tokenizer: Tokenizer | None = None,
+        model: SurrogateLM | None = None,
+        engine: GenerationEngine | None = None,
+        sampling: SamplingParams | None = None,
+        value_style: str = "decimal",
+    ):
+        self.task = task
+        self.tokenizer = tokenizer or Tokenizer()
+        self.model = model or SurrogateLM(self.tokenizer.vocab)
+        self.engine = engine or GenerationEngine(self.model, sampling=sampling)
+        self.builder = PromptBuilder(
+            task, self.tokenizer, value_style=value_style
+        )
+
+    def predict(
+        self,
+        examples: Sequence[tuple[Mapping[str, object], float]],
+        query_config: Mapping[str, object],
+        seed: int = 0,
+    ) -> SurrogatePrediction:
+        """Predict the runtime of ``query_config`` from ``examples``."""
+        parts = self.builder.discriminative(examples, query_config)
+        trace = self.engine.generate(parts.ids, seed=seed)
+        text = trace.generated_text(self.tokenizer.vocab)
+        try:
+            value, value_text = extract_prediction(text)
+        except ParseError:
+            value, value_text = None, ""
+        return SurrogatePrediction(
+            value=value,
+            value_text=value_text,
+            generated_text=text,
+            icl_value_strings=list(parts.icl_value_strings),
+            value_steps=trace.value_region(self.tokenizer.vocab),
+            n_prompt_tokens=int(parts.ids.size),
+            seed=int(seed),
+        )

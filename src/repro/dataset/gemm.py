@@ -1,0 +1,100 @@
+"""A second Polybench kernel: GEMM, sharing the tuning-space design.
+
+The paper evaluates syr2k only, but a usable autotuning library covers
+more than one kernel; GEMM (``C[N,M] += alpha * A[N,K] @ B[K,M]``) is the
+canonical companion.  The tunable space mirrors the syr2k one — two
+independent packing flags, an optional interchange of the outer loops,
+and three tile factors over the same 11 choices — so the prompt pipeline,
+encoders and tuners all work unchanged, and cross-kernel transfer
+(`repro.tuning.copula`) becomes testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.perfmodel import PerfModelParams, Syr2kPerformanceModel
+from repro.dataset.space import ConfigSpace
+from repro.dataset.syr2k import SIZE_NAMES, syr2k_space
+from repro.errors import DatasetError
+
+__all__ = ["GEMM_DIMENSIONS", "GemmTask", "GemmPerformanceModel", "gemm_space"]
+
+#: ``(M, N, K)`` dimensions per size (N rows, M columns, K depth).
+GEMM_DIMENSIONS: dict[str, tuple[int, int, int]] = {
+    "S": (70, 90, 60),
+    "SM": (140, 170, 120),
+    "M": (220, 250, 190),
+    "ML": (480, 600, 420),
+    "L": (1100, 1300, 950),
+    "XL": (2100, 2700, 1900),
+}
+
+
+def gemm_space() -> ConfigSpace:
+    """The GEMM tuning space (same structure as syr2k's)."""
+    space = syr2k_space()
+    return ConfigSpace(space.parameters, name="polybench-gemm")
+
+
+@dataclass(frozen=True)
+class GemmTask:
+    """A GEMM tuning task at one problem size."""
+
+    size: str
+
+    #: Kernel identifier used for prompt dispatch.
+    kernel = "gemm"
+
+    def __post_init__(self):
+        if self.size not in GEMM_DIMENSIONS:
+            raise DatasetError(
+                f"unknown gemm size {self.size!r}; choose from {SIZE_NAMES}"
+            )
+
+    @property
+    def dimensions(self) -> tuple[int, int, int]:
+        """``(M, N, K)``."""
+        return GEMM_DIMENSIONS[self.size]
+
+    @property
+    def m(self) -> int:
+        return self.dimensions[0]
+
+    @property
+    def n(self) -> int:
+        return self.dimensions[1]
+
+    @property
+    def k(self) -> int:
+        return self.dimensions[2]
+
+    @property
+    def flops(self) -> float:
+        """2 flops (multiply-add) per (i, j, k) triple."""
+        m, n, k = self.dimensions
+        return 2.0 * m * n * k
+
+    def space(self) -> ConfigSpace:
+        return gemm_space()
+
+    def __str__(self) -> str:
+        return f"gemm[{self.size}] (M={self.m}, N={self.n}, K={self.k})"
+
+
+class GemmPerformanceModel(Syr2kPerformanceModel):
+    """Analytical GEMM runtime model (rectangular ``k`` extent)."""
+
+    def __init__(
+        self,
+        task: GemmTask,
+        params: PerfModelParams | None = None,
+        seed: int = 20250705,
+    ):
+        if not isinstance(task, GemmTask):
+            raise DatasetError("GemmPerformanceModel requires a GemmTask")
+        super().__init__(task, params=params, seed=seed)
+        self.space = gemm_space()
+
+    def _loop_extents(self) -> tuple[float, float, float]:
+        return float(self.task.n), float(self.task.m), float(self.task.k)

@@ -1,0 +1,101 @@
+"""CSV persistence for performance datasets.
+
+The paper's artifacts ship performance data as CSV ("a feature-rich
+text-based CSV format" per the prompt of Figure 1); this module writes and
+reads the same layout: one column per tunable parameter, one ``size``
+column, and an ``objective`` column with the runtime.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.dataset.generate import PerformanceDataset
+from repro.dataset.space import ConfigSpace
+from repro.errors import DatasetError
+
+__all__ = ["save_dataset_csv", "load_dataset_csv"]
+
+_OBJECTIVE_COLUMN = "objective"
+_SIZE_COLUMN = "size"
+
+
+def save_dataset_csv(dataset: PerformanceDataset, path: str | Path) -> None:
+    """Write a dataset as CSV with one row per configuration."""
+    path = Path(path)
+    names = dataset.space.parameter_names
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([_SIZE_COLUMN, *names, _OBJECTIVE_COLUMN])
+        for row in range(len(dataset)):
+            cfg = dataset.config(row)
+            writer.writerow(
+                [
+                    dataset.size,
+                    *(cfg[name] for name in names),
+                    repr(float(dataset.runtimes[row])),
+                ]
+            )
+
+
+def _parse_value(param, text: str):
+    """Parse a CSV cell back into the parameter's value type."""
+    for value in param.values:
+        if str(value) == text:
+            return value
+    raise DatasetError(
+        f"CSV value {text!r} is not in the domain of parameter {param.name!r}"
+    )
+
+
+def load_dataset_csv(path: str | Path, space: ConfigSpace) -> PerformanceDataset:
+    """Read a dataset CSV written by :func:`save_dataset_csv`.
+
+    Raises
+    ------
+    DatasetError
+        On missing columns, domain violations, mixed sizes, or unparsable
+        objective values.
+    """
+    path = Path(path)
+    names = space.parameter_names
+    indices: list[int] = []
+    runtimes: list[float] = []
+    size: str | None = None
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        header = reader.fieldnames or []
+        missing = {_SIZE_COLUMN, _OBJECTIVE_COLUMN, *names} - set(header)
+        if missing:
+            raise DatasetError(f"CSV {path} is missing columns: {sorted(missing)}")
+        for lineno, row in enumerate(reader, start=2):
+            if size is None:
+                size = row[_SIZE_COLUMN]
+            elif row[_SIZE_COLUMN] != size:
+                raise DatasetError(
+                    f"CSV {path}:{lineno} mixes sizes "
+                    f"({row[_SIZE_COLUMN]!r} vs {size!r})"
+                )
+            cfg = {
+                name: _parse_value(space.parameter(name), row[name])
+                for name in names
+            }
+            indices.append(space.to_index(cfg))
+            try:
+                runtimes.append(float(row[_OBJECTIVE_COLUMN]))
+            except ValueError:
+                raise DatasetError(
+                    f"CSV {path}:{lineno} has unparsable objective "
+                    f"{row[_OBJECTIVE_COLUMN]!r}"
+                ) from None
+    if size is None:
+        raise DatasetError(f"CSV {path} contains no data rows")
+    return PerformanceDataset(
+        space=space,
+        size=size,
+        indices=np.asarray(indices, dtype=np.int64),
+        runtimes=np.asarray(runtimes, dtype=float),
+    )

@@ -1,0 +1,149 @@
+"""Tunable-parameter types for autotuning configuration spaces.
+
+A :class:`Parameter` is a named, finite, *ordered* domain of values.  The
+ordering gives every parameter an integer codomain ``0..cardinality-1`` used
+for the mixed-radix index bijection in :class:`repro.dataset.space.ConfigSpace`
+and for normalized distances between values (used by the minimal-edit-distance
+curation the paper describes in Section III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import InvalidConfigurationError
+
+__all__ = [
+    "Parameter",
+    "CategoricalParameter",
+    "BooleanParameter",
+    "OrdinalParameter",
+]
+
+
+class Parameter:
+    """Base class: a named, finite, ordered value domain.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in configurations and natural-language prompts.
+    values:
+        The ordered domain.  Values must be hashable and distinct.
+    """
+
+    #: Set by subclasses: whether inter-value distance reflects magnitude.
+    is_numeric = False
+
+    def __init__(self, name: str, values: Sequence[object]):
+        if not name or not isinstance(name, str):
+            raise ValueError(f"parameter name must be a non-empty str, got {name!r}")
+        vals = tuple(values)
+        if len(vals) == 0:
+            raise ValueError(f"parameter {name!r} must have at least one value")
+        if len(set(vals)) != len(vals):
+            raise ValueError(f"parameter {name!r} has duplicate values")
+        self.name = name
+        self.values = vals
+        self._index = {v: i for i, v in enumerate(vals)}
+
+    @property
+    def cardinality(self) -> int:
+        """Number of values in the domain."""
+        return len(self.values)
+
+    def index_of(self, value: object) -> int:
+        """Return the ordinal index of ``value`` in the domain.
+
+        Raises
+        ------
+        InvalidConfigurationError
+            If ``value`` is not in the domain.
+        """
+        try:
+            return self._index[value]
+        except (KeyError, TypeError):
+            raise InvalidConfigurationError(
+                f"value {value!r} is not in the domain of parameter "
+                f"{self.name!r} (domain: {self.values})"
+            ) from None
+
+    def value_at(self, index: int) -> object:
+        """Return the value at ordinal ``index``."""
+        if not 0 <= index < len(self.values):
+            raise InvalidConfigurationError(
+                f"index {index} out of range for parameter {self.name!r} "
+                f"with cardinality {self.cardinality}"
+            )
+        return self.values[index]
+
+    def contains(self, value: object) -> bool:
+        """Whether ``value`` is in the domain."""
+        try:
+            return value in self._index
+        except TypeError:
+            return False
+
+    def distance(self, a: object, b: object) -> float:
+        """Normalized distance in [0, 1] between two domain values.
+
+        For plain categorical parameters this is 0/1 (same/different); the
+        ordinal subclass refines it to normalized rank distance.
+        """
+        ia, ib = self.index_of(a), self.index_of(b)
+        return 0.0 if ia == ib else 1.0
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, {list(self.values)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.name == other.name
+            and self.values == other.values
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name, self.values))
+
+
+class CategoricalParameter(Parameter):
+    """An unordered finite domain (order used only for indexing)."""
+
+
+class BooleanParameter(Parameter):
+    """The two-valued domain ``(False, True)``."""
+
+    def __init__(self, name: str):
+        super().__init__(name, (False, True))
+
+
+class OrdinalParameter(Parameter):
+    """A numerically ordered domain (e.g. tile sizes).
+
+    Values must be real numbers sorted strictly ascending; distance is
+    normalized rank distance, so neighbouring tile sizes are "close" for the
+    purposes of edit-distance curation even when their magnitudes differ.
+    """
+
+    is_numeric = True
+
+    def __init__(self, name: str, values: Sequence[float]):
+        vals = tuple(values)
+        if any(not isinstance(v, (int, float)) or isinstance(v, bool) for v in vals):
+            raise ValueError(f"ordinal parameter {name!r} requires numeric values")
+        if list(vals) != sorted(vals):
+            raise ValueError(f"ordinal parameter {name!r} values must be ascending")
+        super().__init__(name, vals)
+
+    def distance(self, a: object, b: object) -> float:
+        ia, ib = self.index_of(a), self.index_of(b)
+        if self.cardinality == 1:
+            return 0.0
+        return abs(ia - ib) / (self.cardinality - 1)

@@ -1,0 +1,322 @@
+"""Analytical performance model for the syr2k loop nest.
+
+The paper uses empirical runtimes measured on a 2x AMD EPYC 7742 machine
+(Randall et al., ICS'23) for all 10,648 configurations at two sizes.  That
+trace is not redistributable, so this module implements the substitution
+documented in DESIGN.md: a first-principles cache/loop-nest cost model over
+the *identical* configuration space, producing a fixed, deterministic table
+of runtimes whose magnitudes, output-string statistics, and learnability
+match the paper's:
+
+* all SM runtimes are below one second (the paper's Figure-1 example is
+  ``0.0022155``), XL runtimes lie in ``[1, 10)`` seconds, so the tokenized
+  value strings exercise exactly the positions analysed in Table II;
+* XL is smoother (more learnable) than SM, reproducing Table I's ordering,
+  because small kernels are dominated by unmodelable micro-architectural
+  ruggedness and measurement jitter which the model injects deterministically.
+
+The model multiplies a flop-derived base time by physically motivated
+factors:
+
+``cache``        working-set pressure of a tile across L1/L2 capacity,
+``loop``         loop-control overhead and lost vectorization of tiny tiles,
+``remainder``    padding waste when tiles do not divide loop extents,
+``interchange``  locality shift from swapping the outer loops (interacts
+                 with tile aspect ratio, size, and packing),
+``packing``      copy overhead vs. conflict-miss relief for each array,
+``rugged``       deterministic per-configuration hash "noise" standing in
+                 for alignment/TLB/conflict effects no feature explains,
+``noise``        lognormal measurement jitter (fixed per configuration for
+                 the dataset table; fresh draws available via ``measure``).
+
+Everything is vectorized over configuration indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.dataset.space import ConfigSpace
+from repro.dataset.syr2k import TILE_SIZES, Syr2kTask, syr2k_space
+from repro.errors import DatasetError
+from repro.utils.rng import rng_from
+
+__all__ = ["PerfModelParams", "Syr2kPerformanceModel"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=float)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+@dataclass(frozen=True)
+class PerfModelParams:
+    """Tunable constants of the analytical cost model.
+
+    The defaults are calibrated (see ``benchmarks/test_table1_gbt_metrics``)
+    so a gradient-boosted-tree baseline reaches Table-I-like scores:
+    R^2 around 0.8 on SM and around 0.98 on XL with the full training set.
+    """
+
+    #: Peak effective flop rate (flops/second) for a perfectly tuned kernel.
+    peak_rate: float = 2.0e10
+    #: Half-saturation constant for size-dependent efficiency: small
+    #: problems cannot amortize startup/parallel overheads.
+    efficiency_halfsat: float = 400.0
+    #: L1 and L2 capacities in units of 8-byte doubles.
+    l1_doubles: float = 4096.0
+    l2_doubles: float = 65536.0
+    #: Added slowdown when the tile working set spills L1 / L2.
+    cache_l1_penalty: float = 0.8
+    cache_l2_penalty: float = 1.4
+    #: Loop-control overhead charged per tile traversal (per loop level).
+    loop_overhead: float = 1.6
+    #: Inner tiles below this lose vector efficiency ...
+    vector_width: float = 16.0
+    #: ... at this maximal relative cost.
+    vector_penalty: float = 0.6
+    #: Weight of partial-tile padding waste.
+    remainder_weight: float = 0.5
+    #: Interchange sensitivity per size class (sign encodes whether the
+    #: interchanged order streams the larger array more favourably).
+    interchange_beta: Mapping[str, float] = field(
+        default_factory=lambda: {
+            "S": 0.14, "SM": 0.12, "M": 0.06,
+            "ML": -0.04, "L": -0.10, "XL": -0.16,
+        }
+    )
+    #: Relative copy overhead of packing per size class (copying is poorly
+    #: amortized for small problems).
+    pack_cost: Mapping[str, float] = field(
+        default_factory=lambda: {
+            "S": 0.10, "SM": 0.08, "M": 0.05,
+            "ML": 0.03, "L": 0.015, "XL": 0.010,
+        }
+    )
+    #: Maximal relative benefit of packing once the working set spills L2.
+    pack_benefit: float = 0.22
+    #: Std-dev of the deterministic lognormal ruggedness term per size.
+    sigma_rugged: Mapping[str, float] = field(
+        default_factory=lambda: {
+            "S": 0.12, "SM": 0.085, "M": 0.06,
+            "ML": 0.04, "L": 0.025, "XL": 0.018,
+        }
+    )
+    #: Std-dev of lognormal measurement noise per size.
+    sigma_noise: Mapping[str, float] = field(
+        default_factory=lambda: {
+            "S": 0.06, "SM": 0.040, "M": 0.028,
+            "ML": 0.018, "L": 0.012, "XL": 0.009,
+        }
+    )
+
+    def for_size(self, size: str) -> tuple[float, float, float, float]:
+        """Return ``(beta, pack_cost, sigma_rugged, sigma_noise)`` for a size."""
+        try:
+            return (
+                float(self.interchange_beta[size]),
+                float(self.pack_cost[size]),
+                float(self.sigma_rugged[size]),
+                float(self.sigma_noise[size]),
+            )
+        except KeyError:
+            raise DatasetError(f"no model constants for size {size!r}") from None
+
+    def with_overrides(self, **kwargs) -> "PerfModelParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+class Syr2kPerformanceModel:
+    """Deterministic runtime model for one :class:`Syr2kTask`.
+
+    Parameters
+    ----------
+    task:
+        The syr2k size to model.
+    params:
+        Model constants; defaults reproduce the paper's regimes.
+    seed:
+        Root seed for the deterministic ruggedness and noise tables.  Two
+        models with equal task/params/seed produce identical runtimes.
+    """
+
+    def __init__(
+        self,
+        task: Syr2kTask,
+        params: PerfModelParams | None = None,
+        seed: int = 20250705,
+    ):
+        self.task = task
+        self.params = params or PerfModelParams()
+        self.seed = int(seed)
+        self.space: ConfigSpace = syr2k_space()
+        self._tiles = np.asarray(TILE_SIZES, dtype=float)
+        # Kernel-specific noise namespaces; the syr2k paths predate the
+        # kernel tag and are kept as-is so its calibrated tables are stable.
+        kernel = getattr(task, "kernel", "syr2k")
+        self._noise_ns: tuple = () if kernel == "syr2k" else (kernel,)
+        # Pre-drawn deterministic tables over the full space.
+        n = self.space.size
+        self._rugged_z = rng_from(
+            self.seed, "rugged", *self._noise_ns, task.size
+        ).standard_normal(n)
+        self._noise_z = rng_from(
+            self.seed, "noise", *self._noise_ns, task.size, 0
+        ).standard_normal(n)
+
+    # ------------------------------------------------------------------ #
+    def _features(self, indices: np.ndarray):
+        """Decode indices into model feature arrays."""
+        digits = self.space.ordinal_matrix(indices)
+        pack_a = digits[:, 0].astype(float)
+        pack_b = digits[:, 1].astype(float)
+        interchange = digits[:, 2].astype(float)
+        ti = self._tiles[digits[:, 3]]
+        tj = self._tiles[digits[:, 4]]
+        tk = self._tiles[digits[:, 5]]
+        return pack_a, pack_b, interchange, ti, tj, tk
+
+    def _base_time(self) -> float:
+        """Best-case kernel time from flops and size efficiency."""
+        n = self.task.n
+        efficiency = n / (n + self.params.efficiency_halfsat)
+        return self.task.flops / (self.params.peak_rate * efficiency)
+
+    def _loop_extents(self) -> tuple[float, float, float]:
+        """(outer, middle, inner) loop trip extents.
+
+        syr2k iterates ``i`` over N, ``j`` over M, and ``k`` up to ``i``
+        (bounded by N).  Kernel subclasses override this.
+        """
+        return float(self.task.n), float(self.task.m), float(self.task.n)
+
+    def noiseless_runtimes(self, indices: Sequence[int] | None = None) -> np.ndarray:
+        """Model runtimes *without* measurement noise (ruggedness included).
+
+        This is the machine's "true" mean behaviour; the published dataset
+        adds one fixed measurement-noise draw on top (see :meth:`runtimes`).
+        """
+        p = self.params
+        i_ext, j_ext, k_ext = self._loop_extents()
+        beta, pack_cost, sigma_rug, _ = p.for_size(self.task.size)
+
+        if indices is None:
+            idx = np.arange(self.space.size, dtype=np.int64)
+        else:
+            idx = np.asarray(indices, dtype=np.int64)
+        pack_a, pack_b, interchange, ti, tj, tk = self._features(idx)
+
+        # Tiles cannot exceed the loop extents they block.
+        ti_eff = np.minimum(ti, i_ext)
+        tj_eff = np.minimum(tj, j_ext)
+        tk_eff = np.minimum(tk, k_ext)
+
+        # --- cache pressure -------------------------------------------- #
+        working_set = ti_eff * tk_eff + tj_eff * tk_eff + ti_eff * tj_eff
+        cache = (
+            1.0
+            + p.cache_l1_penalty
+            * _sigmoid((working_set - p.l1_doubles) / (0.25 * p.l1_doubles))
+            + p.cache_l2_penalty
+            * _sigmoid((working_set - p.l2_doubles) / (0.25 * p.l2_doubles))
+        )
+
+        # --- loop overhead and vectorization --------------------------- #
+        loop = (
+            (1.0 + p.loop_overhead / ti_eff)
+            * (1.0 + p.loop_overhead / tj_eff)
+            * (1.0 + 0.5 * p.loop_overhead / tk_eff)
+        )
+        vec = 1.0 + p.vector_penalty * np.maximum(
+            0.0, (p.vector_width - tk_eff) / p.vector_width
+        )
+
+        # --- partial-tile remainder waste ------------------------------ #
+        def waste(tile: np.ndarray, extent: float) -> np.ndarray:
+            return np.ceil(extent / tile) * tile / extent
+
+        remainder = 1.0 + p.remainder_weight * (
+            (waste(ti_eff, i_ext) - 1.0)
+            + (waste(tj_eff, j_ext) - 1.0)
+            + 0.5 * (waste(tk_eff, k_ext) - 1.0)
+        ) / 2.5
+
+        # --- interchange ------------------------------------------------ #
+        # Swapping i/j trades streaming of the N-extent against the
+        # M-extent; its sign flips with tile aspect ratio and the benefit
+        # shrinks when the first array is packed (packing normalizes
+        # layout).  This interaction is what makes SM rugged for learners.
+        aspect = np.tanh(np.log(tj_eff / ti_eff))
+        inter_effect = beta * (0.6 + aspect)
+        interchange_factor = np.exp(
+            interchange * inter_effect * (1.0 - 0.5 * pack_a)
+        )
+
+        # --- packing ----------------------------------------------------- #
+        spill = _sigmoid((working_set - p.l2_doubles) / (0.25 * p.l2_doubles))
+        pack_a_factor = 1.0 + pack_a * (pack_cost - p.pack_benefit * spill)
+        pack_b_factor = 1.0 + pack_b * (0.9 * pack_cost - 0.8 * p.pack_benefit * spill)
+
+        # --- deterministic ruggedness ----------------------------------- #
+        rugged = np.exp(sigma_rug * self._rugged_z[idx])
+
+        runtime = (
+            self._base_time()
+            * cache
+            * loop
+            * vec
+            * remainder
+            * interchange_factor
+            * pack_a_factor
+            * pack_b_factor
+            * rugged
+        )
+        return runtime
+
+    def runtimes(self, indices: Sequence[int] | None = None) -> np.ndarray:
+        """The dataset's runtimes: noiseless model plus the fixed noise draw.
+
+        This is the deterministic table standing in for the paper's
+        measured data; every call returns identical values.
+        """
+        if indices is None:
+            idx = np.arange(self.space.size, dtype=np.int64)
+        else:
+            idx = np.asarray(indices, dtype=np.int64)
+        sigma_noise = self.params.for_size(self.task.size)[3]
+        base = self.noiseless_runtimes(idx)
+        return base * np.exp(sigma_noise * self._noise_z[idx])
+
+    def runtime(self, config: Mapping[str, object]) -> float:
+        """Dataset runtime of a single configuration dict."""
+        return float(self.runtimes([self.space.to_index(config)])[0])
+
+    def measure(
+        self, indices: Sequence[int], rep: int = 1
+    ) -> np.ndarray:
+        """Fresh empirical measurements (new noise draw per ``rep``).
+
+        ``rep=0`` is reserved for the dataset table; autotuners evaluating
+        configurations "on the machine" should pass ``rep >= 1`` (or vary
+        ``rep``) to model run-to-run variance.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if rep == 0:
+            return self.runtimes(idx)
+        sigma_noise = self.params.for_size(self.task.size)[3]
+        z = rng_from(
+            self.seed, "noise", *self._noise_ns, self.task.size, int(rep)
+        ).standard_normal(self.space.size)
+        return self.noiseless_runtimes(idx) * np.exp(sigma_noise * z[idx])
+
+    def __repr__(self) -> str:
+        return f"Syr2kPerformanceModel({self.task}, seed={self.seed})"

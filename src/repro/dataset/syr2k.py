@@ -1,0 +1,122 @@
+"""The Polybench/C ``syr2k`` autotuning task from the paper.
+
+The tunable space matches Section III-A and Figure 1 exactly:
+
+* ``first_array_packed``  — optionally pack (prefetch-copy) array ``A``;
+* ``second_array_packed`` — optionally pack array ``B``;
+* ``interchange_first_two_loops`` — optionally interchange the ``i``/``j``
+  loops of the nest;
+* ``outer/middle/inner_loop_tiling_factor`` — independent tile sizes for
+  the three loops, 11 choices each.
+
+That yields ``2 * 2 * 2 * 11**3 = 10,648`` unique configurations — the
+cardinality the paper reports.  The problem *size* (S, SM, M, ML, L, XL) is
+an invariant of each task, not a tunable (the prompt states this verbatim);
+the paper evaluates SM (``M=130, N=160``) and XL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.parameters import BooleanParameter, OrdinalParameter
+from repro.dataset.space import ConfigSpace
+from repro.errors import DatasetError
+
+__all__ = [
+    "TILE_SIZES",
+    "SIZE_NAMES",
+    "SIZE_DIMENSIONS",
+    "syr2k_space",
+    "Syr2kTask",
+]
+
+#: The 11 tile-size choices per loop (powers of two plus the cache-line
+#: friendly intermediates that appear in the paper's example prompts:
+#: 64, 80, 100, 128 all occur in Figure 1).
+TILE_SIZES: tuple[int, ...] = (4, 8, 16, 20, 32, 48, 64, 80, 96, 100, 128)
+
+#: Problem sizes smallest-to-largest, as enumerated in the prompt of Fig. 1.
+SIZE_NAMES: tuple[str, ...] = ("S", "SM", "M", "ML", "L", "XL")
+
+#: ``(M, N)`` array dimensions per size.  SM is fixed by the paper
+#: (``M=130, N=160``); the others interpolate/extrapolate the Polybench 4.2
+#: dataset sizes so that relative magnitudes are realistic.
+SIZE_DIMENSIONS: dict[str, tuple[int, int]] = {
+    "S": (60, 80),
+    "SM": (130, 160),
+    "M": (200, 240),
+    "ML": (450, 560),
+    "L": (1000, 1200),
+    "XL": (2000, 2600),
+}
+
+
+def syr2k_space() -> ConfigSpace:
+    """Build the 10,648-configuration syr2k tuning space."""
+    return ConfigSpace(
+        (
+            BooleanParameter("first_array_packed"),
+            BooleanParameter("second_array_packed"),
+            BooleanParameter("interchange_first_two_loops"),
+            OrdinalParameter("outer_loop_tiling_factor", TILE_SIZES),
+            OrdinalParameter("middle_loop_tiling_factor", TILE_SIZES),
+            OrdinalParameter("inner_loop_tiling_factor", TILE_SIZES),
+        ),
+        name="polybench-syr2k",
+    )
+
+
+@dataclass(frozen=True)
+class Syr2kTask:
+    """A syr2k tuning task: the shared space plus an invariant size.
+
+    Attributes
+    ----------
+    size:
+        One of :data:`SIZE_NAMES`.
+    """
+
+    size: str
+
+    #: Kernel identifier used for prompt dispatch and noise-table seeding.
+    kernel = "syr2k"
+
+    def __post_init__(self):
+        if self.size not in SIZE_DIMENSIONS:
+            raise DatasetError(
+                f"unknown syr2k size {self.size!r}; choose from {SIZE_NAMES}"
+            )
+
+    @property
+    def dimensions(self) -> tuple[int, int]:
+        """The ``(M, N)`` array dimensions of this size."""
+        return SIZE_DIMENSIONS[self.size]
+
+    @property
+    def m(self) -> int:
+        """Columns of the rectangular operands ``A`` and ``B``."""
+        return self.dimensions[0]
+
+    @property
+    def n(self) -> int:
+        """Rows of the operands and the order of the symmetric output ``C``."""
+        return self.dimensions[1]
+
+    @property
+    def flops(self) -> float:
+        """Approximate floating-point operations of the kernel.
+
+        ``syr2k`` updates the lower triangle of ``C`` (``N*(N+1)/2``
+        entries), each with a length-``M`` fused multiply-add pair, i.e.
+        roughly ``3 * M`` flops per entry.
+        """
+        n, m = self.n, self.m
+        return 3.0 * m * n * (n + 1) / 2.0
+
+    def space(self) -> ConfigSpace:
+        """The tuning space (identical across sizes)."""
+        return syr2k_space()
+
+    def __str__(self) -> str:
+        return f"syr2k[{self.size}] (M={self.m}, N={self.n})"

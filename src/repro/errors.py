@@ -1,0 +1,90 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError`` from misuse still propagates
+as-is where it indicates a caller bug at the Python level).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigSpaceError",
+    "UnknownParameterError",
+    "InvalidConfigurationError",
+    "DatasetError",
+    "ModelNotFittedError",
+    "TokenizationError",
+    "VocabularyError",
+    "GenerationError",
+    "PromptError",
+    "ParseError",
+    "ExperimentError",
+    "AnalysisError",
+    "TuningError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigSpaceError(ReproError):
+    """A configuration space was constructed or used inconsistently."""
+
+
+class UnknownParameterError(ConfigSpaceError, KeyError):
+    """A parameter name was requested that the space does not define."""
+
+    def __init__(self, name: str, known: tuple[str, ...] = ()):
+        self.name = name
+        self.known = known
+        msg = f"unknown parameter {name!r}"
+        if known:
+            msg += f"; space defines {', '.join(known)}"
+        super().__init__(msg)
+
+
+class InvalidConfigurationError(ConfigSpaceError, ValueError):
+    """A configuration assigns a value outside a parameter's domain."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded, or split as requested."""
+
+
+class ModelNotFittedError(ReproError, RuntimeError):
+    """A predictive model was used before :meth:`fit` was called."""
+
+
+class TokenizationError(ReproError, ValueError):
+    """Text could not be tokenized or token ids could not be decoded."""
+
+
+class VocabularyError(ReproError, ValueError):
+    """A vocabulary was constructed or queried inconsistently."""
+
+
+class GenerationError(ReproError, RuntimeError):
+    """The language-model generation engine failed to produce output."""
+
+
+class PromptError(ReproError, ValueError):
+    """A prompt could not be constructed from the given pieces."""
+
+
+class ParseError(ReproError, ValueError):
+    """Model output could not be parsed into the expected structure."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment grid or runner was configured inconsistently."""
+
+
+class AnalysisError(ReproError, ValueError):
+    """An analysis routine received data it cannot analyse."""
+
+
+class TuningError(ReproError, RuntimeError):
+    """An autotuning search was configured or driven inconsistently."""

@@ -1,0 +1,41 @@
+"""From-scratch gradient-boosted regression trees (the XGBoost stand-in).
+
+The paper's baseline is XGBoost tuned by a 1000-iteration randomized
+hyperparameter search (Section III-D, Table I, Figure 2).  xgboost is not
+installable offline, so this package reimplements the same algorithm
+family on numpy: histogram-binned regression trees grown with second-order
+(gradient/hessian) gain, shrinkage, row subsampling, and L2 leaf
+regularization, plus the randomized search driver.
+"""
+
+from repro.gbt.encoding import FeatureEncoder, TargetTransform
+from repro.gbt.histogram import BinnedMatrix, bin_matrix
+from repro.gbt.tree import RegressionTree, TreeParams
+from repro.gbt.boosting import BoostingParams, GradientBoostingRegressor
+from repro.gbt.search import (
+    Choice,
+    IntUniform,
+    LogUniform,
+    RandomizedSearch,
+    SearchResult,
+    Uniform,
+    default_search_space,
+)
+
+__all__ = [
+    "FeatureEncoder",
+    "TargetTransform",
+    "BinnedMatrix",
+    "bin_matrix",
+    "RegressionTree",
+    "TreeParams",
+    "BoostingParams",
+    "GradientBoostingRegressor",
+    "RandomizedSearch",
+    "SearchResult",
+    "Choice",
+    "Uniform",
+    "LogUniform",
+    "IntUniform",
+    "default_search_space",
+]

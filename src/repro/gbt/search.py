@@ -1,0 +1,197 @@
+"""Randomized hyperparameter search for the boosted-tree baseline.
+
+Section III-D: "We find the best-fitting model through a randomized search
+with 1000 iterations for varying amounts of available training data."  The
+search samples hyperparameters from independent distributions, scores each
+candidate on an internal validation split, and refits the winner on all
+training data.  Iteration count is a parameter (the benchmarks default
+lower for wall-clock sanity; the distribution matches the paper's tuned
+set: number of estimators, learning rate, maximum tree depth, and minimum
+samples per leaf).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ModelNotFittedError
+from repro.gbt.boosting import BoostingParams, GradientBoostingRegressor
+from repro.utils.rng import rng_from
+
+__all__ = [
+    "Choice",
+    "Uniform",
+    "LogUniform",
+    "IntUniform",
+    "default_search_space",
+    "SearchResult",
+    "RandomizedSearch",
+]
+
+
+class Choice:
+    """Uniform draw from an explicit finite set."""
+
+    def __init__(self, options):
+        self.options = list(options)
+        if not self.options:
+            raise ValueError("Choice requires at least one option")
+
+    def sample(self, rng: np.random.Generator):
+        return self.options[int(rng.integers(len(self.options)))]
+
+    def __repr__(self) -> str:
+        return f"Choice({self.options!r})"
+
+
+class Uniform:
+    """Uniform real draw from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        if not low < high:
+            raise ValueError(f"need low < high, got [{low}, {high}]")
+        self.low, self.high = float(low), float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low}, {self.high})"
+
+
+class LogUniform:
+    """Log-uniform real draw from ``[low, high]`` (both positive)."""
+
+    def __init__(self, low: float, high: float):
+        if not 0 < low < high:
+            raise ValueError(f"need 0 < low < high, got [{low}, {high}]")
+        self.low, self.high = float(low), float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(
+            math.exp(rng.uniform(math.log(self.low), math.log(self.high)))
+        )
+
+    def __repr__(self) -> str:
+        return f"LogUniform({self.low}, {self.high})"
+
+
+class IntUniform:
+    """Uniform integer draw from ``[low, high]`` inclusive."""
+
+    def __init__(self, low: int, high: int):
+        if not low <= high:
+            raise ValueError(f"need low <= high, got [{low}, {high}]")
+        self.low, self.high = int(low), int(high)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+    def __repr__(self) -> str:
+        return f"IntUniform({self.low}, {self.high})"
+
+
+def default_search_space() -> dict:
+    """The paper's tuned XGBoost hyperparameters as search distributions."""
+    return {
+        "n_estimators": IntUniform(50, 400),
+        "learning_rate": LogUniform(0.02, 0.4),
+        "max_depth": IntUniform(3, 9),
+        "min_samples_leaf": IntUniform(1, 16),
+        "subsample": Uniform(0.6, 1.0),
+        "reg_lambda": LogUniform(0.1, 10.0),
+    }
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a randomized search."""
+
+    best_params: BoostingParams
+    best_score: float
+    model: GradientBoostingRegressor
+    history: list[tuple[Mapping[str, object], float]] = field(default_factory=list)
+
+
+class RandomizedSearch:
+    """Randomized hyperparameter search with an internal validation split.
+
+    Parameters
+    ----------
+    space:
+        Mapping from :class:`BoostingParams` field names to distributions
+        (:func:`default_search_space` by default).
+    n_iterations:
+        Number of random candidates to evaluate.
+    validation_fraction:
+        Fraction of training rows held out for candidate scoring.
+    seed:
+        Drives candidate sampling and the validation split.
+    """
+
+    def __init__(
+        self,
+        space: Mapping[str, object] | None = None,
+        n_iterations: int = 30,
+        validation_fraction: float = 0.2,
+        seed: int = 0,
+    ):
+        if n_iterations < 1:
+            raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
+        if not 0.0 < validation_fraction < 1.0:
+            raise ValueError(
+                f"validation_fraction must be in (0,1), got {validation_fraction}"
+            )
+        self.space = dict(space) if space is not None else default_search_space()
+        self.n_iterations = n_iterations
+        self.validation_fraction = validation_fraction
+        self.seed = seed
+        self.result: SearchResult | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> SearchResult:
+        """Run the search and refit the best candidate on all of ``x, y``."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        n = x.shape[0]
+        if n < 5:
+            raise ValueError(f"need at least 5 rows to search, got {n}")
+        rng = rng_from(self.seed, "randomized-search")
+        perm = rng.permutation(n)
+        n_val = max(1, int(round(self.validation_fraction * n)))
+        n_val = min(n_val, n - 2)
+        val_rows, train_rows = perm[:n_val], perm[n_val:]
+        x_tr, y_tr = x[train_rows], y[train_rows]
+        x_va, y_va = x[val_rows], y[val_rows]
+
+        best_score = np.inf
+        best_params: BoostingParams | None = None
+        history: list[tuple[Mapping[str, object], float]] = []
+        for it in range(self.n_iterations):
+            sampled = {k: dist.sample(rng) for k, dist in self.space.items()}
+            params = BoostingParams(seed=int(rng.integers(2**31)), **sampled)
+            model = GradientBoostingRegressor(params).fit(x_tr, y_tr)
+            val_mse = float(np.mean((model.predict(x_va) - y_va) ** 2))
+            history.append((sampled, val_mse))
+            if val_mse < best_score:
+                best_score = val_mse
+                best_params = params
+
+        assert best_params is not None
+        final = GradientBoostingRegressor(best_params).fit(x, y)
+        self.result = SearchResult(
+            best_params=best_params,
+            best_score=best_score,
+            model=final,
+            history=history,
+        )
+        return self.result
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict with the refit best model."""
+        if self.result is None:
+            raise ModelNotFittedError("RandomizedSearch used before fit()")
+        return self.result.model.predict(x)

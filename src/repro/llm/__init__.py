@@ -1,0 +1,49 @@
+"""The language-model substrate: tokenizer, surrogate LM, generation engine.
+
+The paper runs Meta-Llama-3.1-8B-Instruct locally to obtain full access to
+generation logits.  Offline, this package substitutes a *surrogate LM*
+(:class:`SurrogateLM`) built from the mechanisms that drive in-context
+numeric prediction in transformer LMs — induction-head suffix matching,
+recency-weighted prompt statistics, instruction-tuned format following, and
+a fixed pretraining prior — with full per-step sparse logits recorded by
+the :class:`GenerationEngine`.  DESIGN.md documents why this substitution
+preserves every analysis the paper performs.
+
+The tokenizer mirrors the property of Llama-3's tokenizer that the paper's
+Table II hinges on: digit runs are split into chunks of up to three digits,
+so a decimal like ``0.0022155`` becomes ``0 | . | 002 | 215 | 5``.
+"""
+
+from repro.llm.vocab import SpecialTokens, Vocabulary, build_default_vocabulary
+from repro.llm.tokenizer import Tokenizer, chunk_digits
+from repro.llm.scorers import (
+    FormatScorer,
+    InductionScorer,
+    PriorScorer,
+    RecencyUnigramScorer,
+    SparseScores,
+)
+from repro.llm.model import LMConfig, SurrogateLM
+from repro.llm.sampling import SamplingParams, sample_token
+from repro.llm.trace import GenerationStep, GenerationTrace
+from repro.llm.engine import GenerationEngine
+
+__all__ = [
+    "Vocabulary",
+    "SpecialTokens",
+    "build_default_vocabulary",
+    "Tokenizer",
+    "chunk_digits",
+    "SparseScores",
+    "InductionScorer",
+    "RecencyUnigramScorer",
+    "FormatScorer",
+    "PriorScorer",
+    "LMConfig",
+    "SurrogateLM",
+    "SamplingParams",
+    "sample_token",
+    "GenerationStep",
+    "GenerationTrace",
+    "GenerationEngine",
+]

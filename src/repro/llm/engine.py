@@ -1,0 +1,87 @@
+"""The generation engine: autoregressive decoding with full logit capture."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GenerationError
+from repro.llm.model import SurrogateLM
+from repro.llm.sampling import SamplingParams, sample_token
+from repro.llm.trace import GenerationStep, GenerationTrace
+from repro.utils.rng import rng_from
+
+__all__ = ["GenerationEngine"]
+
+
+class GenerationEngine:
+    """Drive a :class:`SurrogateLM` autoregressively, recording every step.
+
+    Parameters
+    ----------
+    model:
+        The surrogate LM.
+    sampling:
+        Decoding hyperparameters shared by all generations.
+    max_new_tokens:
+        Hard cap per generation (the discriminative-surrogate responses
+        are a single short value string).
+    """
+
+    def __init__(
+        self,
+        model: SurrogateLM,
+        sampling: SamplingParams | None = None,
+        max_new_tokens: int = 16,
+    ):
+        if max_new_tokens < 1:
+            raise GenerationError(
+                f"max_new_tokens must be >= 1, got {max_new_tokens}"
+            )
+        self.model = model
+        self.sampling = sampling or SamplingParams()
+        self.max_new_tokens = max_new_tokens
+
+    def generate(self, prompt_ids, seed: int = 0) -> GenerationTrace:
+        """Generate a completion for ``prompt_ids`` under ``seed``.
+
+        Decoding stops at the first end-of-turn token, at a newline after
+        the value has begun, or at ``max_new_tokens``.
+        """
+        prompt = np.asarray(prompt_ids, dtype=np.int64)
+        if prompt.size == 0:
+            raise GenerationError("cannot generate from an empty prompt")
+        vocab = self.model.vocab
+        rng = rng_from(seed, "sampling")
+        trace = GenerationTrace(prompt_ids=prompt, seed=int(seed))
+        context = prompt.copy()
+        generated_strings: list[str] = []
+        value_started = False
+        analysis = self.model.prepare(prompt)
+
+        for step in range(self.max_new_tokens):
+            ids, logits = self.model.next_token_logits(
+                context,
+                generated_strings,
+                sample_seed=seed,
+                step=step,
+                analysis=analysis,
+            )
+            pos = sample_token(ids, logits, self.sampling, rng)
+            trace.steps.append(
+                GenerationStep(
+                    candidate_ids=ids, logits=logits, chosen_position=pos
+                )
+            )
+            chosen = int(ids[pos])
+            token_str = vocab.string_of(chosen)
+            context = np.append(context, chosen)
+            generated_strings.append(token_str)
+
+            if chosen == vocab.specials.eot or chosen == vocab.specials.end_of_text:
+                break
+            if token_str.isdigit():
+                value_started = True
+            elif value_started and not (token_str == "." or token_str.isdigit()):
+                # Value terminated by a non-numeric token (e.g. newline).
+                break
+        return trace

@@ -1,0 +1,143 @@
+"""Greedy tokenizer with Llama-3-style digit chunking.
+
+Segmentation rules (mirroring the properties of modern BPE tokenizers that
+matter for the paper's analysis):
+
+* text is pre-split into *pieces*: runs of letters (optionally preceded by
+  one space), runs of digits, and individual other characters (optionally
+  space-prefixed for punctuation that has a space variant);
+* digit runs are chunked **left-to-right into groups of three** — Llama 3
+  tokenizes ``0022155`` as ``002 | 215 | 5`` — so every decimal value
+  string becomes ``<int chunks> . <fraction chunks>``;
+* each piece is looked up in the vocabulary; misses fall back to single
+  characters and finally UTF-8 byte tokens, so encoding never fails and
+  ``decode(encode(text)) == text`` for all text.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import TokenizationError
+from repro.llm.vocab import Vocabulary, build_default_vocabulary
+
+__all__ = ["chunk_digits", "Tokenizer"]
+
+# Pieces: special markers | space?+letters | digits | space?+single other char.
+_PIECE_RE = re.compile(
+    r"<\|[a-z_]+\|>"  # special tokens pass through whole
+    r"|\n\n|\n"
+    r"| ?[A-Za-z]+"
+    r"|[0-9]+"
+    r"| ?[^\sA-Za-z0-9]"
+    r"| +"
+)
+
+
+def _is_ascii_digits(s: str) -> bool:
+    """ASCII-only digit check (``str.isdigit`` accepts Unicode digits
+    like '²' which are not in the vocabulary's digit-chunk set)."""
+    return bool(s) and all("0" <= c <= "9" for c in s)
+
+
+def chunk_digits(digits: str) -> list[str]:
+    """Split a digit run into Llama-3-style chunks of up to three digits.
+
+    Chunking is left-to-right: ``"1234567" -> ["123", "456", "7"]``.
+    """
+    if not _is_ascii_digits(digits):
+        raise TokenizationError(f"not a digit run: {digits!r}")
+    return [digits[i : i + 3] for i in range(0, len(digits), 3)]
+
+
+class Tokenizer:
+    """Encode/decode text against a :class:`Vocabulary`."""
+
+    def __init__(self, vocab: Vocabulary | None = None):
+        self.vocab = vocab or build_default_vocabulary()
+
+    # ------------------------------------------------------------------ #
+    def encode(self, text: str) -> list[int]:
+        """Encode ``text`` into token ids (never fails; byte fallback)."""
+        ids: list[int] = []
+        pos = 0
+        for match in _PIECE_RE.finditer(text):
+            if match.start() != pos:
+                # Characters the piece regex skipped (exotic whitespace).
+                self._encode_fallback(text[pos : match.start()], ids)
+            self._encode_piece(match.group(0), ids)
+            pos = match.end()
+        if pos != len(text):
+            self._encode_fallback(text[pos:], ids)
+        return ids
+
+    def _encode_piece(self, piece: str, ids: list[int]) -> None:
+        if _is_ascii_digits(piece):
+            for chunk in chunk_digits(piece):
+                ids.append(self.vocab.id_of(chunk))
+            return
+        if piece in self.vocab:
+            ids.append(self.vocab.id_of(piece))
+            return
+        # Space-prefixed word not in lexicon: try emitting the space
+        # separately, then the bare word.
+        if piece.startswith(" ") and len(piece) > 1:
+            bare = piece[1:]
+            ids.append(self.vocab.id_of(" "))
+            if _is_ascii_digits(bare):
+                for chunk in chunk_digits(bare):
+                    ids.append(self.vocab.id_of(chunk))
+            elif bare in self.vocab:
+                ids.append(self.vocab.id_of(bare))
+            else:
+                self._encode_fallback(bare, ids)
+            return
+        self._encode_fallback(piece, ids)
+
+    def _encode_fallback(self, text: str, ids: list[int]) -> None:
+        """Character-then-byte fallback for out-of-lexicon text."""
+        for ch in text:
+            if ch in self.vocab:
+                ids.append(self.vocab.id_of(ch))
+            else:
+                for b in ch.encode("utf-8"):
+                    ids.append(self.vocab.byte_id(b))
+
+    # ------------------------------------------------------------------ #
+    def decode(self, ids) -> str:
+        """Decode token ids back to text (inverse of :meth:`encode`)."""
+        out: list[str] = []
+        pending_bytes = bytearray()
+
+        def flush() -> None:
+            if pending_bytes:
+                out.append(pending_bytes.decode("utf-8", errors="replace"))
+                pending_bytes.clear()
+
+        for token_id in ids:
+            tid = int(token_id)
+            if self.vocab.is_byte(tid):
+                pending_bytes.extend(self.vocab.decode_bytes(tid))
+            else:
+                flush()
+                out.append(self.vocab.string_of(tid))
+        flush()
+        return "".join(out)
+
+    def token_strings(self, ids) -> list[str]:
+        """Per-token surface strings (byte tokens render as ``<0xNN>``)."""
+        return [self.vocab.string_of(int(i)) for i in ids]
+
+    def encode_value(self, value_text: str) -> list[int]:
+        """Encode a decimal value string, validating the paper's shape.
+
+        Raises
+        ------
+        TokenizationError
+            If ``value_text`` is not a plain non-negative decimal literal.
+        """
+        if not re.fullmatch(r"[0-9]+(\.[0-9]+)?", value_text):
+            raise TokenizationError(
+                f"not a plain decimal literal: {value_text!r}"
+            )
+        return self.encode(value_text)

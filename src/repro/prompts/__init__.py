@@ -1,0 +1,46 @@
+"""LLAMBO-style prompt construction and output parsing.
+
+Implements the three-part prompt of Figure 1 — system instructions,
+natural-language problem description, ICL examples + query — for the
+discriminative surrogate task, plus the two other LLAMBO modes the related
+work describes (generative N-ary classification and candidate sampling),
+and the robust output parser that recovers predictions from imperfectly
+formatted generations.
+"""
+
+from repro.prompts.serialize import (
+    deserialize_config,
+    example_block,
+    format_runtime,
+    query_block,
+    serialize_config,
+)
+from repro.prompts.templates import (
+    SYSTEM_INSTRUCTIONS,
+    SYSTEM_INSTRUCTIONS_CANDIDATE,
+    SYSTEM_INSTRUCTIONS_GENERATIVE,
+    problem_description,
+)
+from repro.prompts.builder import PromptBuilder, PromptParts
+from repro.prompts.parser import (
+    extract_configuration,
+    extract_prediction,
+    extract_class_label,
+)
+
+__all__ = [
+    "format_runtime",
+    "serialize_config",
+    "deserialize_config",
+    "example_block",
+    "query_block",
+    "SYSTEM_INSTRUCTIONS",
+    "SYSTEM_INSTRUCTIONS_GENERATIVE",
+    "SYSTEM_INSTRUCTIONS_CANDIDATE",
+    "problem_description",
+    "PromptBuilder",
+    "PromptParts",
+    "extract_prediction",
+    "extract_configuration",
+    "extract_class_label",
+]

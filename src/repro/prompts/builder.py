@@ -1,0 +1,191 @@
+"""Assembly of full chat prompts from the three Figure-1 parts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.dataset.syr2k import Syr2kTask
+from repro.errors import PromptError
+from repro.llm.tokenizer import Tokenizer
+from repro.prompts.serialize import (
+    example_block,
+    format_runtime,
+    query_block,
+    serialize_config,
+)
+from repro.prompts.templates import (
+    SYSTEM_INSTRUCTIONS,
+    SYSTEM_INSTRUCTIONS_CANDIDATE,
+    SYSTEM_INSTRUCTIONS_GENERATIVE,
+    problem_description,
+)
+
+__all__ = ["PromptParts", "PromptBuilder"]
+
+
+@dataclass
+class PromptParts:
+    """A built prompt: full text, token ids, and bookkeeping for analysis.
+
+    Attributes
+    ----------
+    text:
+        The complete chat-formatted prompt string.
+    ids:
+        Token ids of ``text``.
+    icl_value_strings:
+        The serialized performance strings shown in context (the copy/
+        prefix-cluster analyses compare generations against these).
+    n_examples:
+        Number of ICL examples included.
+    """
+
+    text: str
+    ids: np.ndarray
+    icl_value_strings: list[str]
+    n_examples: int
+
+
+class PromptBuilder:
+    """Builds LLAMBO-style prompts for one syr2k task.
+
+    Parameters
+    ----------
+    task:
+        The tuning task (fixes the problem description and size clause).
+    tokenizer:
+        Tokenizer used to encode the final prompt.
+    """
+
+    def __init__(
+        self,
+        task: Syr2kTask,
+        tokenizer: Tokenizer | None = None,
+        value_style: str = "decimal",
+    ):
+        self.task = task
+        self.tokenizer = tokenizer or Tokenizer()
+        # Validate eagerly so a typo fails at construction, not mid-grid.
+        format_runtime(1.0, value_style)
+        self.value_style = value_style
+
+    # ------------------------------------------------------------------ #
+    def _chat_wrap(self, system: str, user: str) -> str:
+        """Wrap system/user content in Llama-3 chat markers."""
+        return (
+            "<|begin_of_text|>"
+            "<|start_header_id|>system<|end_header_id|>\n\n"
+            f"{system}<|eot_id|>"
+            "<|start_header_id|>user<|end_header_id|>\n\n"
+            f"{user}<|eot_id|>"
+            "<|start_header_id|>assistant<|end_header_id|>\n\n"
+        )
+
+    def _finish(
+        self, system: str, user: str, icl_values: list[str], n_examples: int
+    ) -> PromptParts:
+        text = self._chat_wrap(system, user)
+        ids = np.asarray(self.tokenizer.encode(text), dtype=np.int64)
+        return PromptParts(
+            text=text,
+            ids=ids,
+            icl_value_strings=icl_values,
+            n_examples=n_examples,
+        )
+
+    # ------------------------------------------------------------------ #
+    def discriminative(
+        self,
+        examples: Sequence[tuple[Mapping[str, object], float]],
+        query_config: Mapping[str, object],
+    ) -> PromptParts:
+        """The paper's main prompt: predict the runtime of ``query_config``.
+
+        Parameters
+        ----------
+        examples:
+            ``(configuration, runtime)`` ICL pairs, in presentation order.
+        query_config:
+            The configuration whose performance the model must predict.
+        """
+        if not examples:
+            raise PromptError("discriminative prompts need >= 1 ICL example")
+        size = self.task.size
+        style = self.value_style
+        blocks = [example_block(cfg, size, rt, style) for cfg, rt in examples]
+        icl_values = [format_runtime(rt, style) for _, rt in examples]
+        user = (
+            problem_description(self.task)
+            + "\n\nHere are the examples:\n"
+            + "\n".join(blocks)
+            + "\nPlease complete the following:\n"
+            + query_block(query_config, size)
+        )
+        return self._finish(SYSTEM_INSTRUCTIONS, user, icl_values, len(examples))
+
+    def generative(
+        self,
+        examples: Sequence[tuple[Mapping[str, object], int]],
+        query_config: Mapping[str, object],
+        n_buckets: int,
+    ) -> PromptParts:
+        """Generative surrogate mode: N-ary bucket classification."""
+        if not examples:
+            raise PromptError("generative prompts need >= 1 ICL example")
+        if n_buckets < 2:
+            raise PromptError(f"need >= 2 buckets, got {n_buckets}")
+        size = self.task.size
+        blocks = []
+        labels = []
+        for cfg, bucket in examples:
+            if not 0 <= bucket < n_buckets:
+                raise PromptError(
+                    f"bucket {bucket} out of range [0, {n_buckets})"
+                )
+            blocks.append(
+                f"Hyperparameter configuration: {serialize_config(cfg, size)}\n"
+                f"Performance bucket: {bucket}\n"
+            )
+            labels.append(str(bucket))
+        user = (
+            problem_description(self.task)
+            + f"\n\nPerformance is discretized into {n_buckets} buckets "
+            "numbered 0 (fastest) through "
+            f"{n_buckets - 1} (slowest).\n\nHere are the examples:\n"
+            + "\n".join(blocks)
+            + "\nPlease complete the following:\n"
+            + f"Hyperparameter configuration: "
+            f"{serialize_config(query_config, size)}\n"
+            "Performance bucket:"
+        )
+        return self._finish(
+            SYSTEM_INSTRUCTIONS_GENERATIVE, user, labels, len(examples)
+        )
+
+    def candidate_sampling(
+        self,
+        examples: Sequence[tuple[Mapping[str, object], float]],
+        target_runtime: float,
+    ) -> PromptParts:
+        """Candidate-sampling mode: propose a configuration for a target."""
+        if not examples:
+            raise PromptError("candidate prompts need >= 1 ICL example")
+        size = self.task.size
+        style = self.value_style
+        blocks = [example_block(cfg, size, rt, style) for cfg, rt in examples]
+        icl_values = [format_runtime(rt, style) for _, rt in examples]
+        user = (
+            problem_description(self.task)
+            + "\n\nHere are the examples:\n"
+            + "\n".join(blocks)
+            + "\nPlease propose one hyperparameter configuration that "
+            "achieves the following performance:\n"
+            f"Performance: {format_runtime(target_runtime, style)}\n"
+            "Hyperparameter configuration:"
+        )
+        return self._finish(
+            SYSTEM_INSTRUCTIONS_CANDIDATE, user, icl_values, len(examples)
+        )

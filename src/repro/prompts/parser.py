@@ -1,0 +1,76 @@
+"""Robust parsing of LLM generations back into predictions.
+
+Section III-C: "minor deviations in natural language can make harnessing
+model outputs challenging ... In our experiments, we manually identify all
+relevant portions of all outputs produced by the LLM."  This module is the
+automated analogue: it tolerates label echoes, stray whitespace, and
+trailing prose, extracting the first well-formed value.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dataset.space import ConfigSpace, Configuration
+from repro.errors import ParseError
+from repro.prompts.serialize import deserialize_config
+
+__all__ = ["extract_prediction", "extract_class_label", "extract_configuration"]
+
+_DECIMAL_RE = re.compile(r"(\d+\.\d+|\d+)(?:[eE]([+-]?\d+))?")
+_INT_RE = re.compile(r"\d+")
+
+
+def extract_prediction(text: str) -> tuple[float, str]:
+    """Extract the first decimal value from a generation.
+
+    Returns
+    -------
+    (value, matched_text):
+        The parsed float and the exact substring it came from (the string
+        form is what the copy-rate analysis compares against ICL values).
+
+    Raises
+    ------
+    ParseError
+        If no decimal value occurs in ``text``.
+    """
+    m = _DECIMAL_RE.search(text)
+    if m is None:
+        raise ParseError(f"no decimal value in generation {text!r}")
+    matched = m.group(0)
+    try:
+        return float(matched), m.group(1)
+    except ValueError:  # pragma: no cover - regex guarantees parsability
+        raise ParseError(f"unparsable value {matched!r}") from None
+
+
+def extract_class_label(text: str, n_buckets: int) -> int:
+    """Extract a bucket label from a generative-mode generation.
+
+    Raises
+    ------
+    ParseError
+        If no integer in ``[0, n_buckets)`` occurs in ``text``.
+    """
+    if n_buckets < 2:
+        raise ParseError(f"need >= 2 buckets, got {n_buckets}")
+    for m in _INT_RE.finditer(text):
+        value = int(m.group(0))
+        if 0 <= value < n_buckets:
+            return value
+    raise ParseError(
+        f"no bucket label in [0, {n_buckets}) found in {text!r}"
+    )
+
+
+def extract_configuration(text: str, space: ConfigSpace) -> Configuration:
+    """Extract a proposed configuration from a candidate-mode generation.
+
+    Raises
+    ------
+    ParseError
+        If the text does not contain a complete, in-domain configuration.
+    """
+    config, _size = deserialize_config(text, space)
+    return config

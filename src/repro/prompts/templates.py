@@ -1,0 +1,127 @@
+"""The fixed prompt texts of Figure 1 plus the other LLAMBO task modes."""
+
+from __future__ import annotations
+
+from repro.dataset.syr2k import SIZE_DIMENSIONS, SIZE_NAMES, Syr2kTask
+
+__all__ = [
+    "SYSTEM_INSTRUCTIONS",
+    "SYSTEM_INSTRUCTIONS_GENERATIVE",
+    "SYSTEM_INSTRUCTIONS_CANDIDATE",
+    "problem_description",
+]
+
+#: Figure 1, "Example System Instructions" (discriminative surrogate).
+SYSTEM_INSTRUCTIONS = (
+    "The user may describe their optimization problem to give specific "
+    "context. Then they will demonstrate hyperparameter configurations for "
+    "a regression problem in a feature-rich text-based CSV format. "
+    "Following the examples, the user will provide a number of "
+    "configurations without performance values; you will need to infer the "
+    "objective based on their prior examples. Do not alter the user's "
+    "proposed configurations. Do NOT explain your thought process. ONLY "
+    "respond with your answer following the format that the user "
+    "demonstrated for you."
+)
+
+#: Generative surrogate mode: N-ary class labels instead of regression
+#: (LLAMBO's second prompting mode, Section II-B).
+SYSTEM_INSTRUCTIONS_GENERATIVE = (
+    "The user may describe their optimization problem to give specific "
+    "context. Then they will demonstrate hyperparameter configurations for "
+    "a classification problem in a feature-rich text-based CSV format. "
+    "Each configuration is labeled with a performance bucket index; lower "
+    "buckets are faster. Following the examples, the user will provide a "
+    "configuration without a bucket label; you will need to infer the "
+    "bucket based on their prior examples. Do NOT explain your thought "
+    "process. ONLY respond with a bucket index following the format the "
+    "user demonstrated for you."
+)
+
+#: Candidate-sampling mode: propose a configuration expected to achieve a
+#: given performance (LLAMBO's third prompting mode).
+SYSTEM_INSTRUCTIONS_CANDIDATE = (
+    "The user may describe their optimization problem to give specific "
+    "context. Then they will demonstrate hyperparameter configurations for "
+    "a regression problem in a feature-rich text-based CSV format. "
+    "Following the examples, the user will provide a target performance "
+    "value; you will need to propose one hyperparameter configuration that "
+    "you expect to achieve that performance. Do NOT explain your thought "
+    "process. ONLY respond with a configuration following the format that "
+    "the user demonstrated for you."
+)
+
+
+def problem_description(task) -> str:
+    """Figure 1, "Example User Problem Description", for ``task``.
+
+    The text enumerates the size scale, pins the task's invariant size and
+    its dimensions, lists the tunables, and gives the pseudocode of the
+    loop nest.  Dispatches on the task's kernel (syr2k or gemm).
+    """
+    if getattr(task, "kernel", "syr2k") == "gemm":
+        return _gemm_description(task)
+    m, n = task.dimensions
+    sizes = ", ".join(SIZE_NAMES)
+    return (
+        "The problem considers source-code optimization for a loop nest in "
+        "C++ code. The 'size' parameter is invariant, but denotes a "
+        "relativistic measure of the size of data inputs to the loop nest. "
+        "Sizes can be represented by the following values sorted "
+        f"smallest-to-largest: {sizes}\n"
+        f"For size '{task.size}', M={m} and N={n}. Size is NOT a tunable "
+        "component of the problem.\n"
+        "Tunable options in the configuration space are:\n"
+        "* The first and second array inputs to the problem can be "
+        "independently packed, represented as True/False for each\n"
+        "* The outermost two loops in the nest may be interchanged, "
+        "represented as True to perform interchange, else False\n"
+        "* Each loop (outer, middle, and inner) are tiled, and the tile "
+        "sizes can all be independently specified.\n"
+        "The performance objective is the runtime of a program compiled "
+        "with the modified source, so lower is better.\n"
+        "A pseudocode representation of the problem is:\n"
+        "input: Arrays A[N,M], B[N,M], C[N,N], scalar constant alpha\n"
+        "code segment:\n"
+        "# Optional packing array A\n"
+        "# Optional packing array B\n"
+        "# Optional interchange on outermost two loops\n"
+        "for i=0 to N in tiles of size outer_loop_tiling_factor\n"
+        "  for j=0 to M in tiles of size middle_loop_tiling_factor\n"
+        "    for k=0 to i in tiles of size inner_loop_tiling_factor\n"
+        "      C[i,k] = A[k,j]*alpha*B[i,j] + B[k,j]*alpha*A[i,j]"
+    )
+
+
+def _gemm_description(task) -> str:
+    """Problem description for the GEMM companion kernel."""
+    m, n, k = task.dimensions
+    sizes = ", ".join(SIZE_NAMES)
+    return (
+        "The problem considers source-code optimization for a loop nest in "
+        "C++ code. The 'size' parameter is invariant, but denotes a "
+        "relativistic measure of the size of data inputs to the loop nest. "
+        "Sizes can be represented by the following values sorted "
+        f"smallest-to-largest: {sizes}\n"
+        f"For size '{task.size}', M={m}, N={n} and K={k}. Size is NOT a "
+        "tunable component of the problem.\n"
+        "Tunable options in the configuration space are:\n"
+        "* The first and second array inputs to the problem can be "
+        "independently packed, represented as True/False for each\n"
+        "* The outermost two loops in the nest may be interchanged, "
+        "represented as True to perform interchange, else False\n"
+        "* Each loop (outer, middle, and inner) are tiled, and the tile "
+        "sizes can all be independently specified.\n"
+        "The performance objective is the runtime of a program compiled "
+        "with the modified source, so lower is better.\n"
+        "A pseudocode representation of the problem is:\n"
+        "input: Arrays A[N,K], B[K,M], C[N,M], scalar constant alpha\n"
+        "code segment:\n"
+        "# Optional packing array A\n"
+        "# Optional packing array B\n"
+        "# Optional interchange on outermost two loops\n"
+        "for i=0 to N in tiles of size outer_loop_tiling_factor\n"
+        "  for j=0 to M in tiles of size middle_loop_tiling_factor\n"
+        "    for k=0 to K in tiles of size inner_loop_tiling_factor\n"
+        "      C[i,j] = C[i,j] + alpha*A[i,k]*B[k,j]"
+    )

@@ -1,0 +1,37 @@
+"""Autotuning substrate: the search algorithms the paper's domain motivates.
+
+Performance autotuning is the application context of the whole study
+(Section I): intelligent search over configuration spaces using a limited
+budget of empirical evaluations.  This package implements the classic
+approaches the paper cites as background — random search, local search,
+and Bayesian optimization with a Gaussian-process surrogate (the ytopt /
+GPTune family) — plus the LLAMBO-style LLM candidate-sampling tuner, all
+against the syr2k performance model as the "machine" being measured.
+"""
+
+from repro.tuning.base import EvaluationBudget, Tuner, TuningHistory, TuningResult
+from repro.tuning.random_search import RandomSearchTuner
+from repro.tuning.hill_climb import HillClimbTuner
+from repro.tuning.gp import GaussianProcess, GPParams
+from repro.tuning.bo import BayesianOptTuner
+from repro.tuning.llm_sampler import LLMCandidateTuner
+from repro.tuning.copula import CopulaTransferTuner, GaussianCopula
+from repro.tuning.harness import TunerComparison, compare_tuners, run_tuner
+
+__all__ = [
+    "Tuner",
+    "TuningHistory",
+    "TuningResult",
+    "EvaluationBudget",
+    "RandomSearchTuner",
+    "HillClimbTuner",
+    "GaussianProcess",
+    "GPParams",
+    "BayesianOptTuner",
+    "LLMCandidateTuner",
+    "GaussianCopula",
+    "CopulaTransferTuner",
+    "run_tuner",
+    "compare_tuners",
+    "TunerComparison",
+]

@@ -1,0 +1,109 @@
+"""Tuner abstractions: histories, budgets, and the proposal protocol.
+
+A tuner proposes configuration *indices*; the harness evaluates them on
+the performance model (one "empirical measurement" each) and feeds the
+observation back.  Tuners never see the model internals — configurations
+and measured runtimes only, like a real autotuner on a real machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataset.space import ConfigSpace
+from repro.errors import TuningError
+
+__all__ = ["TuningHistory", "TuningResult", "EvaluationBudget", "Tuner"]
+
+
+@dataclass
+class TuningHistory:
+    """Observations made so far: parallel index/runtime lists."""
+
+    indices: list[int] = field(default_factory=list)
+    runtimes: list[float] = field(default_factory=list)
+
+    def record(self, index: int, runtime: float) -> None:
+        """Append one observation."""
+        if not np.isfinite(runtime) or runtime <= 0:
+            raise TuningError(f"runtime must be positive/finite, got {runtime}")
+        self.indices.append(int(index))
+        self.runtimes.append(float(runtime))
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    @property
+    def best_runtime(self) -> float:
+        if not self.runtimes:
+            raise TuningError("no observations yet")
+        return min(self.runtimes)
+
+    @property
+    def best_index(self) -> int:
+        if not self.runtimes:
+            raise TuningError("no observations yet")
+        return self.indices[int(np.argmin(self.runtimes))]
+
+    @property
+    def evaluated(self) -> set[int]:
+        return set(self.indices)
+
+    def best_so_far_curve(self) -> np.ndarray:
+        """Running minimum of runtimes after each evaluation."""
+        if not self.runtimes:
+            return np.empty(0)
+        return np.minimum.accumulate(np.asarray(self.runtimes))
+
+
+@dataclass(frozen=True)
+class EvaluationBudget:
+    """How many empirical evaluations a tuner may spend."""
+
+    n_evaluations: int
+
+    def __post_init__(self):
+        if self.n_evaluations < 1:
+            raise TuningError(
+                f"budget must be >= 1 evaluation, got {self.n_evaluations}"
+            )
+
+
+class Tuner:
+    """Base class: propose the next configuration index to evaluate.
+
+    Subclasses implement :meth:`propose`; the harness guarantees that
+    ``history`` contains every prior observation in order.  A tuner may
+    re-propose an evaluated index (the measurement is then a fresh noisy
+    repetition), but most avoid it via ``history.evaluated``.
+    """
+
+    #: Short name used in comparison tables.
+    name = "tuner"
+
+    def __init__(self, space: ConfigSpace, seed: int = 0):
+        self.space = space
+        self.seed = int(seed)
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh run (default: nothing)."""
+
+    def propose(self, history: TuningHistory) -> int:
+        """Return the configuration index to evaluate next."""
+        raise NotImplementedError
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one tuner run."""
+
+    tuner_name: str
+    history: TuningHistory
+    best_index: int
+    best_runtime: float
+    n_evaluations: int
+
+    def best_so_far_curve(self) -> np.ndarray:
+        return self.history.best_so_far_curve()

@@ -1,0 +1,106 @@
+"""Tuner execution and comparison harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.perfmodel import Syr2kPerformanceModel
+from repro.errors import TuningError
+from repro.tuning.base import EvaluationBudget, Tuner, TuningHistory, TuningResult
+
+__all__ = ["run_tuner", "TunerComparison", "compare_tuners"]
+
+
+def run_tuner(
+    tuner: Tuner,
+    model: Syr2kPerformanceModel,
+    budget: EvaluationBudget | int,
+) -> TuningResult:
+    """Drive one tuner against the performance model.
+
+    Each evaluation is a fresh noisy measurement (``rep`` = evaluation
+    ordinal), so repeated proposals see run-to-run variance like a real
+    machine.
+    """
+    if isinstance(budget, int):
+        budget = EvaluationBudget(budget)
+    if tuner.space.size != model.space.size:
+        raise TuningError("tuner and model spaces differ")
+    tuner.reset()
+    history = TuningHistory()
+    for step in range(budget.n_evaluations):
+        index = tuner.propose(history)
+        if not 0 <= index < model.space.size:
+            raise TuningError(
+                f"{tuner.name} proposed out-of-range index {index}"
+            )
+        runtime = float(model.measure([index], rep=step + 1)[0])
+        history.record(index, runtime)
+    return TuningResult(
+        tuner_name=tuner.name,
+        history=history,
+        best_index=history.best_index,
+        best_runtime=history.best_runtime,
+        n_evaluations=len(history),
+    )
+
+
+@dataclass
+class TunerComparison:
+    """Side-by-side results of several tuners on one task."""
+
+    results: dict[str, list[TuningResult]]
+    global_optimum: float
+
+    def mean_best(self, name: str) -> float:
+        """Mean best-found runtime across repetitions of one tuner."""
+        runs = self.results[name]
+        return float(np.mean([r.best_runtime for r in runs]))
+
+    def mean_regret(self, name: str) -> float:
+        """Mean relative gap to the global optimum."""
+        best = self.mean_best(name)
+        return (best - self.global_optimum) / self.global_optimum
+
+    def mean_curve(self, name: str) -> np.ndarray:
+        """Mean best-so-far curve across repetitions."""
+        curves = [r.best_so_far_curve() for r in self.results[name]]
+        return np.mean(np.stack(curves), axis=0)
+
+    def ranking(self) -> list[tuple[str, float]]:
+        """Tuners sorted by mean best runtime (ascending: winner first)."""
+        return sorted(
+            ((name, self.mean_best(name)) for name in self.results),
+            key=lambda kv: kv[1],
+        )
+
+
+def compare_tuners(
+    tuners: list[Tuner],
+    model: Syr2kPerformanceModel,
+    budget: int,
+    repetitions: int = 3,
+) -> TunerComparison:
+    """Run each tuner ``repetitions`` times under the same budget.
+
+    Tuner seeds are varied per repetition by re-seeding deterministically
+    (``tuner.seed + 1000 * rep``) so repetitions differ but the whole
+    comparison is reproducible.
+    """
+    if repetitions < 1:
+        raise TuningError(f"repetitions must be >= 1, got {repetitions}")
+    results: dict[str, list[TuningResult]] = {}
+    for tuner in tuners:
+        runs = []
+        base_seed = tuner.seed
+        for rep in range(repetitions):
+            tuner.seed = base_seed + 1000 * rep
+            runs.append(run_tuner(tuner, model, budget))
+        tuner.seed = base_seed
+        results[tuner.name] = runs
+    noiseless = model.noiseless_runtimes()
+    return TunerComparison(
+        results=results, global_optimum=float(noiseless.min())
+    )

@@ -1,0 +1,71 @@
+"""Stochastic hill climbing with random restarts.
+
+The climber walks the Hamming-1 neighbourhood of its incumbent: it
+evaluates unvisited neighbours in a random order, moves whenever an
+improvement is found, and restarts from a random configuration when the
+entire neighbourhood has been exhausted without improvement (a local
+minimum under measurement noise).
+"""
+
+from __future__ import annotations
+
+from repro.dataset.space import ConfigSpace
+from repro.tuning.base import Tuner, TuningHistory
+from repro.utils.rng import rng_from
+
+__all__ = ["HillClimbTuner"]
+
+
+class HillClimbTuner(Tuner):
+    """First-improvement hill climbing over the Hamming-1 neighbourhood."""
+
+    name = "hill-climb"
+
+    def __init__(self, space: ConfigSpace, seed: int = 0):
+        super().__init__(space, seed)
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = rng_from(self.seed, "hill-climb")
+        self._incumbent: int | None = None
+        self._incumbent_runtime = float("inf")
+        self._frontier: list[int] = []
+
+    def _restart(self, history: TuningHistory) -> int:
+        seen = history.evaluated
+        for _ in range(64):
+            idx = int(self._rng.integers(self.space.size))
+            if idx not in seen:
+                break
+        self._incumbent = None
+        self._incumbent_runtime = float("inf")
+        self._frontier = []
+        return idx
+
+    def _rebuild_frontier(self, history: TuningHistory) -> None:
+        assert self._incumbent is not None
+        seen = history.evaluated
+        neighbors = [
+            n for n in self.space.neighbors(self._incumbent) if n not in seen
+        ]
+        self._rng.shuffle(neighbors)
+        self._frontier = neighbors
+
+    def propose(self, history: TuningHistory) -> int:
+        if len(history) == 0:
+            return self._restart(history)
+
+        last_index = history.indices[-1]
+        last_runtime = history.runtimes[-1]
+        if last_runtime < self._incumbent_runtime:
+            # Move (or adopt the very first observation as incumbent).
+            self._incumbent = last_index
+            self._incumbent_runtime = last_runtime
+            self._rebuild_frontier(history)
+
+        while self._frontier:
+            candidate = self._frontier.pop()
+            if candidate not in history.evaluated:
+                return candidate
+        # Local minimum: restart.
+        return self._restart(history)

@@ -1,0 +1,32 @@
+"""Uniform random search — the canonical autotuning baseline."""
+
+from __future__ import annotations
+
+from repro.dataset.space import ConfigSpace
+from repro.tuning.base import Tuner, TuningHistory
+from repro.utils.rng import rng_from
+
+__all__ = ["RandomSearchTuner"]
+
+
+class RandomSearchTuner(Tuner):
+    """Propose uniformly random, not-yet-evaluated configurations."""
+
+    name = "random"
+
+    def __init__(self, space: ConfigSpace, seed: int = 0):
+        super().__init__(space, seed)
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = rng_from(self.seed, "random-search")
+
+    def propose(self, history: TuningHistory) -> int:
+        seen = history.evaluated
+        if len(seen) >= self.space.size:
+            # Space exhausted: repeat measurements of a random config.
+            return int(self._rng.integers(self.space.size))
+        while True:
+            idx = int(self._rng.integers(self.space.size))
+            if idx not in seen:
+                return idx

@@ -1,0 +1,39 @@
+"""Shared utilities: seeded RNG trees, table rendering, parallel maps, timing.
+
+These helpers keep the rest of the library deterministic (every stochastic
+component draws from an explicit, hierarchically derived seed), presentable
+(ASCII tables matching the paper's layout), and fast (process-pool fan-out
+for embarrassingly parallel experiment grids, per the HPC guides).
+"""
+
+from repro.utils.rng import SeedSequenceTree, derive_seed, rng_from
+from repro.utils.histogram import render_histogram
+from repro.utils.tables import Table, format_float, render_table
+from repro.utils.parallel import parallel_map, effective_workers
+from repro.utils.timing import Timer, format_duration
+from repro.utils.validation import (
+    check_1d,
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+    check_same_length,
+)
+
+__all__ = [
+    "SeedSequenceTree",
+    "derive_seed",
+    "rng_from",
+    "Table",
+    "format_float",
+    "render_table",
+    "render_histogram",
+    "parallel_map",
+    "effective_workers",
+    "Timer",
+    "format_duration",
+    "check_1d",
+    "check_fraction",
+    "check_positive",
+    "check_probability_vector",
+    "check_same_length",
+]

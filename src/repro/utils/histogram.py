@@ -1,0 +1,88 @@
+"""Text histograms for figure-like benchmark output.
+
+The paper's Figures 3 and 4 are probability histograms over generable
+values; the benchmark harness renders their text analogue: binned bars
+scaled to a fixed width, with optional per-value weights (probability
+mass) and markers for reference points (ICL values, ground truth).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_1d
+
+__all__ = ["render_histogram"]
+
+_BAR = "#"
+
+
+def render_histogram(
+    values,
+    weights=None,
+    bins: int = 12,
+    width: int = 40,
+    title: str = "",
+    markers: dict[str, float] | None = None,
+) -> str:
+    """Render a weighted histogram as ASCII bars.
+
+    Parameters
+    ----------
+    values:
+        Sample values (1-D).
+    weights:
+        Optional per-value weights (probability mass); uniform if omitted.
+    bins:
+        Number of equal-width bins across the value range.
+    width:
+        Character width of the longest bar.
+    title:
+        Optional heading line.
+    markers:
+        Optional ``{label: value}`` reference points; each bin line is
+        annotated with the labels of markers falling inside it.
+    """
+    vals = check_1d(values, "values")
+    if vals.size == 0:
+        raise ValueError("cannot render an empty histogram")
+    if bins < 1 or width < 1:
+        raise ValueError("bins and width must be >= 1")
+    if weights is None:
+        w = np.ones(vals.size)
+    else:
+        w = check_1d(weights, "weights")
+        if w.shape != vals.shape:
+            raise ValueError("weights must align with values")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+
+    lo, hi = float(vals.min()), float(vals.max())
+    if lo == hi:
+        hi = lo + (abs(lo) or 1.0) * 1e-6
+    edges = np.linspace(lo, hi, bins + 1)
+    mass, _ = np.histogram(vals, bins=edges, weights=w)
+    total = mass.sum() or 1.0
+    frac = mass / total
+    peak = frac.max() or 1.0
+
+    lines = []
+    if title:
+        lines.append(title)
+    for b in range(bins):
+        bar = _BAR * int(round(width * frac[b] / peak))
+        note = ""
+        if markers:
+            inside = [
+                label
+                for label, value in markers.items()
+                if edges[b] <= value < edges[b + 1]
+                or (b == bins - 1 and value == edges[-1])
+            ]
+            if inside:
+                note = "  <- " + ", ".join(sorted(inside))
+        lines.append(
+            f"[{edges[b]:>10.5f}, {edges[b + 1]:>10.5f}) "
+            f"{frac[b]:6.1%} |{bar:<{width}}|{note}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Process-pool helpers for embarrassingly parallel experiment grids.
+
+The experiment runner fans hundreds of independent (prompt, seed) cells out
+across processes.  Following the HPC guides, we keep the per-task payload
+picklable and chunky (one full experiment cell, not one token) so IPC cost
+is amortized, and we fall back to serial execution for tiny workloads where
+pool startup would dominate.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["effective_workers", "parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Below this many tasks a process pool costs more than it saves.
+_SERIAL_THRESHOLD = 4
+
+
+def effective_workers(requested: int | None = None) -> int:
+    """Resolve a worker count: ``None`` means "all cores, capped at 16"."""
+    cores = os.cpu_count() or 1
+    if requested is None:
+        return max(1, min(cores, 16))
+    if requested < 1:
+        raise ValueError(f"workers must be >= 1, got {requested}")
+    return min(requested, cores)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: int | None = None,
+    chunksize: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items``, preserving order.
+
+    Runs serially when the workload is small or only one worker is
+    available; otherwise uses a :class:`ProcessPoolExecutor`.  ``fn`` and
+    every item must be picklable in the parallel path.
+    """
+    items = list(items)
+    n = len(items)
+    nworkers = effective_workers(workers)
+    if n == 0:
+        return []
+    if nworkers == 1 or n < _SERIAL_THRESHOLD:
+        return [fn(item) for item in items]
+    if chunksize is None:
+        chunksize = max(1, n // (nworkers * 4))
+    with ProcessPoolExecutor(max_workers=nworkers) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))

@@ -1,0 +1,103 @@
+"""ASCII table rendering for benchmark output.
+
+The benchmark harness prints each reproduced table/figure as a plain-text
+table whose rows mirror the paper's layout.  This module provides a tiny,
+dependency-free renderer with per-column alignment and float formatting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["format_float", "Table", "render_table"]
+
+
+def format_float(value, digits: int = 4) -> str:
+    """Format a float compactly: fixed-point when readable, else scientific.
+
+    ``None`` and NaN render as ``"-"`` so missing cells stay aligned.
+    """
+    if value is None:
+        return "-"
+    v = float(value)
+    if math.isnan(v):
+        return "-"
+    if math.isinf(v):
+        return "inf" if v > 0 else "-inf"
+    if v == 0:
+        return "0"
+    a = abs(v)
+    if 1e-4 <= a < 1e7:
+        s = f"{v:.{digits}f}"
+        # Trim trailing zeros but keep at least one decimal digit.
+        if "." in s:
+            s = s.rstrip("0").rstrip(".")
+            if "." not in s and abs(v - round(v)) > 0:
+                s = f"{v:.{digits}f}"
+        return s
+    return f"{v:.{max(digits - 1, 1)}e}"
+
+
+@dataclass
+class Table:
+    """A simple column-oriented table builder.
+
+    Examples
+    --------
+    >>> t = Table(["n", "R2"], title="demo")
+    >>> t.add_row([100, 0.44])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    columns: Sequence[str]
+    title: str = ""
+    float_digits: int = 4
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, values: Sequence[object]) -> None:
+        """Append a row; floats are formatted, everything else ``str()``-ed."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells but table has "
+                f"{len(self.columns)} columns"
+            )
+        cells = []
+        for v in values:
+            if v is None or isinstance(v, float):
+                cells.append(format_float(v, self.float_digits))
+            else:
+                cells.append(str(v))
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Render the table as aligned ASCII text."""
+        return render_table(self.columns, self.rows, title=self.title)
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Render header + rows as an aligned, pipe-separated ASCII table."""
+    headers = [str(c) for c in columns]
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(fmt(headers))
+    lines.append(sep)
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Input-validation helpers shared across the library.
+
+Each helper raises ``ValueError`` (or ``TypeError`` for wrong types) with a
+message naming the offending argument, and returns the validated (and where
+relevant, converted-to-ndarray) value so call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_1d",
+    "check_same_length",
+    "check_positive",
+    "check_fraction",
+    "check_probability_vector",
+]
+
+
+def check_1d(x, name: str = "array") -> np.ndarray:
+    """Coerce ``x`` to a 1-D float ndarray, rejecting higher ranks."""
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def check_same_length(a, b, name_a: str = "a", name_b: str = "b"):
+    """Validate two 1-D arrays of equal nonzero length; return both."""
+    arr_a = check_1d(a, name_a)
+    arr_b = check_1d(b, name_b)
+    if arr_a.shape[0] != arr_b.shape[0]:
+        raise ValueError(
+            f"{name_a} and {name_b} must have equal length, "
+            f"got {arr_a.shape[0]} and {arr_b.shape[0]}"
+        )
+    if arr_a.shape[0] == 0:
+        raise ValueError(f"{name_a} and {name_b} must be non-empty")
+    return arr_a, arr_b
+
+
+def check_positive(value, name: str = "value", *, strict: bool = True) -> float:
+    """Validate a scalar is positive (or non-negative when not strict)."""
+    v = float(value)
+    if not np.isfinite(v):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if strict and v <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and v < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return v
+
+
+def check_fraction(value, name: str = "fraction", *, closed: bool = False) -> float:
+    """Validate a scalar lies in (0, 1), or [0, 1] when ``closed``."""
+    v = float(value)
+    if closed:
+        if not (0.0 <= v <= 1.0):
+            raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    else:
+        if not (0.0 < v < 1.0):
+            raise ValueError(f"{name} must be in (0, 1), got {value!r}")
+    return v
+
+
+def check_probability_vector(p, name: str = "p", *, atol: float = 1e-8) -> np.ndarray:
+    """Validate a non-negative vector summing to one (within ``atol``)."""
+    arr = check_1d(p, name)
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if np.any(arr < -atol):
+        raise ValueError(f"{name} must be non-negative")
+    total = float(arr.sum())
+    if abs(total - 1.0) > max(atol, atol * arr.size):
+        raise ValueError(f"{name} must sum to 1, sums to {total}")
+    return np.clip(arr, 0.0, None)

@@ -1,0 +1,55 @@
+"""Tests for CLT aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.clt import aggregate_metric
+
+
+class TestAggregateMetric:
+    def test_basic_stats(self):
+        agg = aggregate_metric([1.0, 2.0, 3.0])
+        assert agg.mean == pytest.approx(2.0)
+        assert agg.std == pytest.approx(1.0)
+        assert agg.n == 3
+        assert agg.sem == pytest.approx(1.0 / np.sqrt(3))
+
+    def test_ci_contains_mean(self):
+        agg = aggregate_metric([0.3, 0.4, 0.35, 0.5])
+        assert agg.ci_low <= agg.mean <= agg.ci_high
+
+    def test_ci_shrinks_with_n(self):
+        rng = np.random.default_rng(0)
+        small = aggregate_metric(rng.normal(0, 1, 10))
+        large = aggregate_metric(rng.normal(0, 1, 1000))
+        assert (large.ci_high - large.ci_low) < (small.ci_high - small.ci_low)
+
+    def test_clt_convergence(self):
+        """The grand mean converges to the true expectation."""
+        rng = np.random.default_rng(1)
+        values = rng.exponential(0.36, 5000)
+        agg = aggregate_metric(values)
+        assert abs(agg.mean - 0.36) < 0.02
+        assert agg.ci_low < 0.36 < agg.ci_high
+
+    def test_single_value(self):
+        agg = aggregate_metric([5.0])
+        assert agg.mean == 5.0 and agg.std == 0.0 and agg.sem == 0.0
+        assert agg.ci_low == agg.ci_high == 5.0
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_metric([1.0, float("inf")])
+        with pytest.raises(ValueError):
+            aggregate_metric([float("nan")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_metric([])
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            aggregate_metric([1.0, 2.0], confidence=1.5)
+
+    def test_str(self):
+        assert "+/-" in str(aggregate_metric([1.0, 2.0]))

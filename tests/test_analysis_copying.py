@@ -1,0 +1,86 @@
+"""Tests for ICL copy-rate and prefix-cluster analysis (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.copying import copy_rate, prefix_clusters, shared_prefix_len
+from repro.analysis.decoding import StepCandidates, enumerate_value_decodings
+from repro.errors import AnalysisError
+
+
+def _step(tokens, logits, chosen=0):
+    return StepCandidates(tuple(tokens), np.asarray(logits, float), chosen)
+
+
+class TestSharedPrefix:
+    def test_basic(self):
+        assert shared_prefix_len("0.0022155", "0.0021042") == 5
+        assert shared_prefix_len("abc", "abc") == 3
+        assert shared_prefix_len("abc", "xyz") == 0
+        assert shared_prefix_len("", "x") == 0
+
+
+class TestCopyRate:
+    def test_counts_exact_string_matches(self):
+        rate = copy_rate(
+            ["0.002", "0.003", "0.004"], ["0.002", "0.009"]
+        )
+        assert rate == pytest.approx(1 / 3)
+
+    def test_string_not_numeric_equality(self):
+        assert copy_rate(["0.0020"], ["0.002"]) == 0.0
+
+    def test_empty_generated_rejected(self):
+        with pytest.raises(AnalysisError):
+            copy_rate([], ["x"])
+
+
+class TestPrefixClusters:
+    def _alts(self):
+        steps = [
+            _step(["0"], [0.0]),
+            _step(["."], [0.0]),
+            _step(["002", "003", "777"], [2.0, 1.0, -3.0]),
+            _step(["\n"], [0.0]),
+        ]
+        return enumerate_value_decodings(steps)
+
+    def test_mass_assigned_to_nearest_icl(self):
+        alts = self._alts()
+        report = prefix_clusters(alts, ["0.0021042", "0.0035551"])
+        by_value = {c.icl_value: c for c in report.clusters}
+        assert by_value["0.0021042"].n_candidates == 1  # "0.002"
+        assert by_value["0.0035551"].n_candidates == 1  # "0.003"
+        assert report.densest_cluster.icl_value == "0.0021042"
+
+    def test_mass_concentrates_on_dense_icl(self):
+        """Figure 3: candidate mass peaks at the most common ICL values."""
+        alts = self._alts()
+        report = prefix_clusters(alts, ["0.0021042"] * 5 + ["0.0035551"])
+        dense = report.densest_cluster
+        assert dense.icl_multiplicity == 5
+
+    def test_exact_copy_mass(self):
+        steps = [
+            _step(["0"], [0.0]),
+            _step(["."], [0.0]),
+            _step(["002"], [0.0]),
+            _step(["\n"], [0.0]),
+        ]
+        alts = enumerate_value_decodings(steps)
+        report = prefix_clusters(alts, ["0.002"])
+        assert report.mass_on_exact_copies == pytest.approx(1.0)
+        assert report.mean_prefix_overlap == pytest.approx(1.0)
+
+    def test_unrelated_candidates_unclustered(self):
+        steps = [_step(["9"], [0.0]), _step(["\n"], [0.0])]
+        alts = enumerate_value_decodings(steps)
+        report = prefix_clusters(alts, ["0.002"])
+        assert all(c.mass == 0.0 for c in report.clusters)
+
+    def test_validation(self):
+        alts = self._alts()
+        with pytest.raises(AnalysisError):
+            prefix_clusters(alts, [])
+        with pytest.raises(AnalysisError):
+            prefix_clusters(alts, ["0.1"], min_prefix=0)

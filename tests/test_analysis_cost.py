@@ -1,0 +1,72 @@
+"""Tests for the compute-cost accounting (Section V-C argument)."""
+
+import pytest
+
+from repro.analysis.cost import (
+    ContextCostRow,
+    GBTCostModel,
+    TransformerCostModel,
+    context_cost_table,
+)
+from repro.core import quick_grid, run_grid
+from repro.errors import AnalysisError
+
+
+class TestTransformerCost:
+    def test_linear_in_tokens(self):
+        m = TransformerCostModel(n_params=1e9)
+        assert m.prompt_flops(1000, 0) == pytest.approx(2e12)
+        assert m.prompt_flops(2000, 0) == pytest.approx(4e12)
+
+    def test_generation_counted(self):
+        m = TransformerCostModel(n_params=1e9)
+        assert m.prompt_flops(0, 10) == pytest.approx(2e10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            TransformerCostModel().prompt_flops(-1)
+
+
+class TestGBTCost:
+    def test_train_scales_with_rows(self):
+        m = GBTCostModel()
+        assert m.train_flops(200) == pytest.approx(2 * m.train_flops(100))
+
+    def test_predict_cheap(self):
+        m = GBTCostModel()
+        assert m.predict_flops(1) < m.train_flops(100)
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            GBTCostModel().train_flops(-1)
+
+
+class TestContextCostTable:
+    @pytest.fixture(scope="class")
+    def probes(self):
+        return run_grid(
+            quick_grid(
+                sizes=("SM",), icl_counts=(5, 50), n_sets=1, seeds=(1,),
+                n_queries=2,
+            ),
+            workers=1,
+        )
+
+    def test_rows_per_icl_count(self, probes):
+        rows = context_cost_table(probes)
+        assert [r.n_icl for r in rows] == [5, 50]
+
+    def test_prompt_tokens_grow_with_icl(self, probes):
+        rows = context_cost_table(probes)
+        assert rows[1].mean_prompt_tokens > rows[0].mean_prompt_tokens
+
+    def test_llm_vastly_more_expensive(self, probes):
+        """The Section V-C point: one 8B-model prediction costs orders of
+        magnitude more than training the whole GBT on the same examples."""
+        rows = context_cost_table(probes)
+        for row in rows:
+            assert row.llm_overhead_factor > 1e3
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            context_cost_table([])

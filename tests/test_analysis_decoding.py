@@ -1,0 +1,133 @@
+"""Tests for decoding-tree enumeration (Table II machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.decoding import (
+    StepCandidates,
+    enumerate_value_decodings,
+    token_position_table,
+)
+from repro.errors import AnalysisError
+
+
+def _step(tokens, logits, chosen=0):
+    return StepCandidates(
+        tokens=tuple(tokens), logits=np.asarray(logits, float), chosen=chosen
+    )
+
+
+@pytest.fixture()
+def simple_steps():
+    """Value region: '0' '.' then chunk in {002, 003} then terminator."""
+    return [
+        _step(["0"], [0.0]),
+        _step(["."], [0.0]),
+        _step(["002", "003"], [1.0, 0.0]),
+        _step(["\n", "5"], [2.0, 0.0]),
+    ]
+
+
+class TestStepCandidates:
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            _step(["a"], [1.0, 2.0])
+        with pytest.raises(AnalysisError):
+            _step(["a"], [1.0], chosen=5)
+
+    def test_log_probs_normalized(self):
+        s = _step(["a", "b"], [1.0, 1.0])
+        np.testing.assert_allclose(np.exp(s.log_probs()).sum(), 1.0)
+
+
+class TestEnumerate:
+    def test_all_paths_found(self, simple_steps):
+        alts = enumerate_value_decodings(simple_steps)
+        texts = {c.text for c in alts.candidates}
+        assert texts == {"0.002", "0.003", "0.0025", "0.0035"}
+
+    def test_probabilities_normalized(self, simple_steps):
+        alts = enumerate_value_decodings(simple_steps)
+        np.testing.assert_allclose(alts.probs.sum(), 1.0)
+
+    def test_ordered_by_logprob(self, simple_steps):
+        alts = enumerate_value_decodings(simple_steps)
+        lps = [c.logprob for c in alts.candidates]
+        assert lps == sorted(lps, reverse=True)
+
+    def test_position_counts_follow_sampled_path(self, simple_steps):
+        alts = enumerate_value_decodings(simple_steps)
+        # sampled path = '0', '.', '002' then '\n' terminator
+        assert alts.position_counts == [1, 1, 2]
+        assert alts.naive_permutations == 2
+        assert alts.sampled_text == "0.002"
+
+    def test_cap_and_truncation(self):
+        steps = [
+            _step([f"{i:03d}" for i in range(100)], np.zeros(100))
+            for _ in range(3)
+        ]
+        alts = enumerate_value_decodings(steps, max_candidates=50)
+        assert len(alts.candidates) == 50
+        assert alts.truncated
+        assert alts.naive_permutations == 100**3
+
+    def test_invalid_decimals_discarded(self):
+        steps = [
+            _step(["0"], [0.0]),
+            _step(["."], [0.0]),
+            _step([".", "1"], [0.0, 0.0]),  # second '.' branch is invalid
+        ]
+        alts = enumerate_value_decodings(steps)
+        assert all(c.text.count(".") <= 1 for c in alts.candidates)
+        texts = {c.text for c in alts.candidates}
+        assert "0.1" in texts
+
+    def test_empty_steps_rejected(self):
+        with pytest.raises(AnalysisError):
+            enumerate_value_decodings([])
+
+    def test_bad_cap_rejected(self, simple_steps):
+        with pytest.raises(AnalysisError):
+            enumerate_value_decodings(simple_steps, max_candidates=0)
+
+    def test_values_parse(self, simple_steps):
+        alts = enumerate_value_decodings(simple_steps)
+        for c in alts.candidates:
+            assert c.value == pytest.approx(float(c.text))
+
+    def test_high_probability_path_first(self, simple_steps):
+        alts = enumerate_value_decodings(simple_steps)
+        # '002' has higher logit than '003', '\n' higher than '5'.
+        assert alts.candidates[0].text == "0.002"
+
+    def test_dedupes_identical_texts(self):
+        """Same value text reachable via different terminators counts once."""
+        steps = [
+            _step(["7"], [0.0]),
+            _step(["\n", "x"], [0.0, -1.0]),
+        ]
+        alts = enumerate_value_decodings(steps)
+        assert [c.text for c in alts.candidates] == ["7"]
+
+
+class TestPositionTable:
+    def test_aggregation(self, simple_steps):
+        a = enumerate_value_decodings(simple_steps)
+        rows, perm = token_position_table([a, a])
+        assert rows[0].position == 1
+        assert rows[0].n_samples == 2
+        assert rows[2].mean_possibilities == 2.0
+        assert perm.mean_possibilities == 2.0
+
+    def test_ragged_lengths(self, simple_steps):
+        short = enumerate_value_decodings(simple_steps[:2])
+        full = enumerate_value_decodings(simple_steps)
+        rows, _ = token_position_table([short, full])
+        assert rows[-1].n_samples == 1  # only the full trace reaches pos 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            token_position_table([])

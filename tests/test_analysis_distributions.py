@@ -1,0 +1,106 @@
+"""Tests for value-distribution analysis (Figure 4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.decoding import StepCandidates, enumerate_value_decodings
+from repro.analysis.distributions import (
+    bimodality_split,
+    cross_seed_similarity,
+    summarize_candidates,
+)
+from repro.errors import AnalysisError
+
+
+def _step(tokens, logits, chosen=0):
+    return StepCandidates(tuple(tokens), np.asarray(logits, float), chosen)
+
+
+class TestSummarize:
+    def test_moments(self):
+        s = summarize_candidates([1.0, 2.0, 3.0], [0.25, 0.5, 0.25])
+        assert s.mean == pytest.approx(2.0)
+        assert s.median == 2.0
+        assert s.mode == 2.0
+        assert s.minimum == 1.0 and s.maximum == 3.0
+
+    def test_weighted_median(self):
+        s = summarize_candidates([1.0, 10.0], [0.9, 0.1])
+        assert s.median == 1.0
+
+    def test_contains(self):
+        s = summarize_candidates([1.0, 3.0], [0.5, 0.5])
+        assert s.contains(2.0) and not s.contains(5.0)
+
+    def test_invalid_probs(self):
+        with pytest.raises(ValueError):
+            summarize_candidates([1.0], [0.5])
+
+
+class TestBimodality:
+    def _bimodal_alts(self):
+        steps = [
+            _step(["1", "2"], [0.0, 0.0]),
+            _step(["."], [0.0]),
+            _step(["7"], [0.0]),
+            _step(["\n"], [0.0]),
+        ]
+        return enumerate_value_decodings(steps)
+
+    def test_detects_two_prefix_modes(self):
+        """Figure 4: 1.7 vs 2.7 string-prefix modes."""
+        alts = self._bimodal_alts()
+        modes, multimodal = bimodality_split(alts, prefix_len=3)
+        assert multimodal
+        prefixes = {m.prefix for m in modes}
+        assert prefixes == {"1.7", "2.7"}
+
+    def test_masses_sum_to_one(self):
+        alts = self._bimodal_alts()
+        modes, _ = bimodality_split(alts)
+        assert sum(m.mass for m in modes) == pytest.approx(1.0)
+
+    def test_unimodal(self):
+        steps = [_step(["5"], [0.0]), _step(["\n"], [0.0])]
+        alts = enumerate_value_decodings(steps)
+        modes, multimodal = bimodality_split(alts)
+        assert not multimodal and len(modes) == 1
+
+    def test_invalid_args(self):
+        alts = self._bimodal_alts()
+        with pytest.raises(AnalysisError):
+            bimodality_split(alts, prefix_len=0)
+
+
+class TestCrossSeed:
+    def test_identical_support(self):
+        a = [_step(["0", "1"], [1.0, 0.0])]
+        b = [_step(["0", "1"], [1.05, -0.02])]
+        sim = cross_seed_similarity(a, b)
+        assert sim.identical_support
+        assert sim.mean_jaccard == 1.0
+        assert 0 < sim.mean_abs_logit_delta < 0.1
+
+    def test_partial_overlap(self):
+        a = [_step(["0", "1"], [1.0, 0.0])]
+        b = [_step(["0", "2"], [1.0, 0.0])]
+        sim = cross_seed_similarity(a, b)
+        assert not sim.identical_support
+        assert sim.mean_jaccard == pytest.approx(1 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            cross_seed_similarity([], [])
+
+    def test_real_lm_seeds_nearly_identical(self, engine, tokenizer):
+        """The surrogate LM reproduces the paper's cross-seed behaviour."""
+        text = (
+            "Performance: 0.0022155\n\nPerformance: 0.0031921\n\n"
+            "Performance:"
+        )
+        ids = np.asarray(tokenizer.encode(text))
+        t1 = engine.generate(ids, seed=1).value_region(tokenizer.vocab)
+        t2 = engine.generate(ids, seed=2).value_region(tokenizer.vocab)
+        if t1 and t2:  # both generations entered the value
+            sim = cross_seed_similarity(t1[:1], t2[:1])
+            assert sim.mean_jaccard > 0.8

@@ -1,0 +1,89 @@
+"""Tests for needle-in-a-haystack error-bound analysis (Section IV-C-1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.decoding import StepCandidates, enumerate_value_decodings
+from repro.analysis.haystack import (
+    HaystackReport,
+    best_generable_error,
+    needle_fractions,
+)
+from repro.errors import AnalysisError
+
+
+def _alts(chunks, logits=None):
+    steps = [
+        StepCandidates(
+            tuple(chunks),
+            np.asarray(logits if logits is not None else np.zeros(len(chunks))),
+            0,
+        ),
+        StepCandidates(("\n",), np.zeros(1), 0),
+    ]
+    return enumerate_value_decodings(steps)
+
+
+class TestNeedleFractions:
+    def test_fractions(self):
+        errs = [0.05, 0.2, 0.6, 0.009]
+        out = needle_fractions(errs, bounds=(0.5, 0.1, 0.01))
+        assert out[0.5] == pytest.approx(0.75)
+        assert out[0.1] == pytest.approx(0.5)
+        assert out[0.01] == pytest.approx(0.25)
+
+    def test_monotone_in_bound(self):
+        errs = np.random.default_rng(0).random(100)
+        out = needle_fractions(errs)
+        assert out[0.5] >= out[0.1] >= out[0.01]
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            needle_fractions([])
+        with pytest.raises(AnalysisError):
+            needle_fractions([-0.1])
+        with pytest.raises(AnalysisError):
+            needle_fractions([0.1], bounds=(0.0,))
+
+
+class TestBestGenerable:
+    def test_picks_best(self):
+        alts = _alts(["1", "2", "3"])
+        assert best_generable_error(alts, 2.1) == pytest.approx(0.1 / 2.1)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(AnalysisError):
+            best_generable_error(_alts(["1"]), 0.0)
+
+
+class TestReport:
+    def test_build(self):
+        haystacks = [_alts(["1", "2"]), _alts(["5", "9"])]
+        truths = [2.0, 9.0]
+        sampled_errors = [0.5, 4 / 9]  # sampled "1" and "5"
+        report = HaystackReport.build(sampled_errors, haystacks, truths)
+        assert report.n == 2
+        # both haystacks contain the exact truth -> optimal fraction = 1
+        assert report.optimal[0.01] == 1.0
+        assert report.sampled[0.01] == 0.0
+        assert report.sampled[0.5] == 1.0
+
+    def test_optimal_at_least_sampled(self):
+        """A perfect post-hoc decoder can only do better than sampling."""
+        rng = np.random.default_rng(3)
+        haystacks, truths, errs = [], [], []
+        for _ in range(10):
+            chunks = [str(rng.integers(1, 9)) for _ in range(4)]
+            alts = _alts(list(dict.fromkeys(chunks)))
+            truth = float(rng.integers(1, 9))
+            haystacks.append(alts)
+            truths.append(truth)
+            sampled = alts.candidates[0].value
+            errs.append(abs(sampled - truth) / truth)
+        report = HaystackReport.build(errs, haystacks, truths)
+        for b in report.bounds:
+            assert report.optimal[b] >= report.sampled[b] - 1e-12
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(AnalysisError):
+            HaystackReport.build([0.1], [_alts(["1"]), _alts(["2"])], [1.0])

@@ -1,0 +1,42 @@
+"""Tests for the consolidated full-text report."""
+
+import pytest
+
+from repro.analysis.report import FullReport, analyze_grid
+from repro.core import quick_grid, run_grid
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def probes():
+    return run_grid(
+        quick_grid(
+            sizes=("SM",), icl_counts=(5, 20), n_sets=2, seeds=(1,),
+            n_queries=3,
+        ),
+        workers=1,
+    )
+
+
+class TestAnalyzeGrid:
+    def test_full_report(self, probes):
+        report = analyze_grid(probes, max_candidates=100)
+        assert isinstance(report, FullReport)
+        assert report.quality.parse_rate > 0.8
+        assert report.position_rows[1].mean_possibilities < 3
+        assert report.haystack.n > 0
+
+    def test_render_contains_sections(self, probes):
+        text = analyze_grid(probes, max_candidates=100).render()
+        assert "Prediction quality (IV-A)" in text
+        assert "Table II" in text
+        assert "Needles in a haystack" in text
+
+    def test_optimal_dominates_sampled(self, probes):
+        report = analyze_grid(probes, max_candidates=100)
+        for b in report.haystack.bounds:
+            assert report.haystack.optimal[b] >= report.haystack.sampled[b] - 1e-9
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze_grid([])

@@ -1,0 +1,77 @@
+"""Tests for the seed/prompt variance decomposition."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.variance import seed_variance_decomposition
+from repro.core import quick_grid, run_grid
+from repro.core.grid import ExperimentSpec
+from repro.core.runner import ProbeResult
+from repro.errors import AnalysisError
+
+
+def _probe(seed, set_id, query, predicted):
+    spec = ExperimentSpec("SM", "random", 5, set_id, seed, n_queries=1)
+    return ProbeResult(
+        spec=spec,
+        query_index=query,
+        truth=0.002,
+        predicted=predicted,
+        predicted_text=str(predicted),
+        generated_text="",
+        exact_copy=False,
+        icl_value_strings=[],
+        value_steps=[],
+        n_prompt_tokens=100,
+    )
+
+
+class TestDecomposition:
+    def test_prompt_dominated(self):
+        """Same value per prompt regardless of seed -> prompt share 1."""
+        probes = []
+        for q, value in ((0, 0.001), (1, 0.004)):
+            for seed in (1, 2, 3):
+                probes.append(_probe(seed, 0, q, value))
+        d = seed_variance_decomposition(probes)
+        assert d.within_seed_var == pytest.approx(0.0)
+        assert d.prompt_share == pytest.approx(1.0)
+        assert d.n_prompts == 2 and d.n_total == 6
+
+    def test_seed_dominated(self):
+        """Same prompt-level mean, wild per-seed scatter -> low share."""
+        probes = []
+        for q in (0, 1):
+            for seed, value in ((1, 0.001), (2, 0.008)):
+                probes.append(_probe(seed, 0, q, value))
+        d = seed_variance_decomposition(probes)
+        assert d.prompt_share < 0.5
+
+    def test_unparsed_skipped(self):
+        probes = [
+            _probe(1, 0, 0, 0.001), _probe(2, 0, 0, 0.001),
+            _probe(1, 0, 1, 0.004), _probe(2, 0, 1, 0.004),
+            _probe(3, 0, 1, None),
+        ]
+        d = seed_variance_decomposition(probes)
+        assert d.n_total == 4
+
+    def test_insufficient_groups(self):
+        with pytest.raises(AnalysisError):
+            seed_variance_decomposition([_probe(1, 0, 0, 0.001)])
+
+    def test_on_real_grid(self):
+        """The paper's hypothesis holds for the surrogate LM: the prompt
+        explains most of the prediction variance."""
+        probes = run_grid(
+            quick_grid(
+                sizes=("SM",), icl_counts=(5, 20), n_sets=2,
+                seeds=(1, 2, 3), n_queries=2,
+            ),
+            workers=2,
+        )
+        d = seed_variance_decomposition(probes)
+        assert d.n_prompts >= 4
+        assert d.prompt_share > 0.5

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_args(self):
+        args = build_parser().parse_args(
+            ["dataset", "--size", "XL", "--output", "x.csv"]
+        )
+        assert args.command == "dataset" and args.size == "XL"
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["dataset", "--size", "HUGE", "--output", "x.csv"]
+            )
+
+
+class TestCommands:
+    def test_dataset_roundtrip(self, tmp_path, capsys, space):
+        out = tmp_path / "sm.csv"
+        assert main(["dataset", "--size", "SM", "--output", str(out)]) == 0
+        assert out.exists()
+        assert "10648 rows" in capsys.readouterr().out
+        from repro.dataset.io import load_dataset_csv
+
+        loaded = load_dataset_csv(out, space)
+        assert len(loaded) == 10648
+
+    def test_predict(self, capsys):
+        assert main(["predict", "--size", "SM", "--n-icl", "5",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "parsed" in out and "truth" in out
+
+    def test_grid_small(self, capsys):
+        assert main([
+            "grid", "--sizes", "SM", "--icl", "2", "5", "--sets", "1",
+            "--seeds", "1", "--queries", "2", "--workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "best R2" in out
+        assert "error vs ICL count" in out
+
+    def test_tune(self, capsys):
+        assert main([
+            "tune", "--size", "SM", "--budget", "10", "--repetitions", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "gp-bo" in out and "random" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--sizes", "SM", "--train", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "SM" in out
+
+    def test_grid_save_then_report(self, tmp_path, capsys):
+        path = tmp_path / "probes.jsonl"
+        assert main([
+            "grid", "--sizes", "SM", "--icl", "3", "--sets", "1",
+            "--seeds", "1", "--queries", "2", "--workers", "1",
+            "--save", str(path),
+        ]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Prediction quality (IV-A)" in out
+        assert "Needles in a haystack" in out

@@ -1,0 +1,89 @@
+"""Tests for the generative (bucket-classification) surrogate mode."""
+
+import numpy as np
+import pytest
+
+from repro.core.generative import GenerativeSurrogate, bucketize
+from repro.dataset.splits import disjoint_example_sets
+from repro.errors import AnalysisError
+
+
+class TestBucketize:
+    def test_labels_in_range(self, rng):
+        values = rng.random(100) + 0.1
+        labels, edges = bucketize(values, 5)
+        assert labels.min() >= 0 and labels.max() <= 4
+        assert edges.shape == (4,)
+
+    def test_quantiles_balanced(self, rng):
+        values = rng.random(1000)
+        labels, _ = bucketize(values, 4)
+        counts = np.bincount(labels, minlength=4)
+        assert counts.min() > 180  # roughly balanced quartiles
+
+    def test_monotone_in_value(self, rng):
+        values = np.sort(rng.random(50))
+        labels, _ = bucketize(values, 5)
+        assert (np.diff(labels) >= 0).all()
+
+    def test_reuse_edges(self):
+        labels, edges = bucketize([1.0, 2.0, 3.0, 4.0], 2)
+        new_labels, _ = bucketize([1.5, 3.5], 2, edges=edges)
+        assert new_labels.tolist() == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            bucketize([], 3)
+        with pytest.raises(AnalysisError):
+            bucketize([1.0], 1)
+
+
+class TestGenerativeSurrogate:
+    @pytest.fixture(scope="class")
+    def setup(self, sm_dataset, sm_task):
+        sets, queries = disjoint_example_sets(
+            sm_dataset, 1, 20, seed=4, n_queries=8
+        )
+        return GenerativeSurrogate(sm_task, n_buckets=5), sets[0], queries
+
+    def test_predict_returns_bucket(self, setup, sm_dataset):
+        surrogate, rows, queries = setup
+        labels, _ = bucketize(sm_dataset.runtimes[rows], 5)
+        examples = [
+            (sm_dataset.config(int(r)), int(l))
+            for r, l in zip(rows, labels)
+        ]
+        pred = surrogate.predict(
+            examples, sm_dataset.config(int(queries[0])), seed=1
+        )
+        assert pred.parsed
+        assert 0 <= pred.bucket < 5
+        assert pred.icl_labels and all(l.isdigit() for l in pred.icl_labels)
+
+    def test_deterministic(self, setup, sm_dataset):
+        surrogate, rows, queries = setup
+        labels, _ = bucketize(sm_dataset.runtimes[rows], 5)
+        examples = [
+            (sm_dataset.config(int(r)), int(l))
+            for r, l in zip(rows, labels)
+        ]
+        a = surrogate.predict(examples, sm_dataset.config(int(queries[0])), 3)
+        b = surrogate.predict(examples, sm_dataset.config(int(queries[0])), 3)
+        assert a.generated_text == b.generated_text
+
+    def test_evaluate_report(self, setup, sm_dataset):
+        surrogate, rows, queries = setup
+        out = surrogate.evaluate(sm_dataset, rows, queries, seed=1)
+        assert out["n_queries"] == len(queries)
+        assert 0.0 <= out["accuracy"] <= 1.0
+        assert out["parse_rate"] > 0.8
+        assert out["chance"] == pytest.approx(0.2)
+
+    def test_evaluate_validates(self, setup, sm_dataset):
+        surrogate, rows, _ = setup
+        with pytest.raises(AnalysisError):
+            surrogate.evaluate(sm_dataset, rows, [])
+
+    def test_bucket_count_validated(self, sm_task):
+        with pytest.raises(AnalysisError):
+            GenerativeSurrogate(sm_task, n_buckets=1)

@@ -1,0 +1,62 @@
+"""Tests for the experiment grid specification."""
+
+import pytest
+
+from repro.core.grid import PAPER_ICL_COUNTS, ExperimentSpec, paper_grid, quick_grid
+from repro.errors import ExperimentError
+
+
+class TestExperimentSpec:
+    def test_valid(self):
+        spec = ExperimentSpec("SM", "random", 10, 0, 1)
+        assert spec.cell_key == ("SM", "random", 10, 0, 1)
+        assert spec.experiment_key == ("SM", "random", 10, 1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec("XXL", "random", 10, 0, 1)
+
+    def test_invalid_selection(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec("SM", "greedy", 10, 0, 1)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec("SM", "random", 0, 0, 1)
+        with pytest.raises(ExperimentError):
+            ExperimentSpec("SM", "random", 1, -1, 1)
+        with pytest.raises(ExperimentError):
+            ExperimentSpec("SM", "random", 1, 0, 1, n_queries=0)
+
+    def test_hashable(self):
+        a = ExperimentSpec("SM", "random", 10, 0, 1)
+        b = ExperimentSpec("SM", "random", 10, 0, 1)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestPaperGrid:
+    def test_icl_counts_one_to_hundred(self):
+        """Section III-B: one to one hundred examples."""
+        assert min(PAPER_ICL_COUNTS) == 1
+        assert max(PAPER_ICL_COUNTS) == 100
+
+    def test_full_cardinality(self):
+        specs = paper_grid()
+        # 2 sizes x 2 selections x 7 ICL counts x 5 sets x 3 seeds
+        assert len(specs) == 2 * 2 * 7 * 5 * 3
+
+    def test_five_disjoint_sets_three_seeds(self):
+        specs = paper_grid()
+        assert {s.set_id for s in specs} == set(range(5))
+        assert {s.seed for s in specs} == {1, 2, 3}
+
+    def test_unique_cells(self):
+        specs = paper_grid()
+        assert len({s.cell_key for s in specs}) == len(specs)
+
+    def test_quick_grid_smaller(self):
+        assert len(quick_grid()) < len(paper_grid())
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ExperimentError):
+            paper_grid(sizes=())

@@ -1,0 +1,126 @@
+"""Tests for result aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import ExperimentSpec
+from repro.core.records import build_report, cell_metrics, group_probes
+from repro.core.runner import ProbeResult
+from repro.errors import AnalysisError
+
+
+def _probe(
+    size="SM",
+    selection="random",
+    n_icl=5,
+    set_id=0,
+    seed=1,
+    truth=1.0,
+    predicted=1.1,
+    copy=False,
+):
+    spec = ExperimentSpec(size, selection, n_icl, set_id, seed, n_queries=1)
+    return ProbeResult(
+        spec=spec,
+        query_index=0,
+        truth=truth,
+        predicted=predicted,
+        predicted_text="" if predicted is None else str(predicted),
+        generated_text="",
+        exact_copy=copy,
+        icl_value_strings=[],
+        value_steps=[],
+        n_prompt_tokens=100,
+    )
+
+
+class TestGrouping:
+    def test_experiment_grouping_pools_sets(self):
+        probes = [_probe(set_id=0), _probe(set_id=1)]
+        groups = group_probes(probes, by="experiment")
+        assert len(groups) == 1
+
+    def test_cell_grouping_separates_sets(self):
+        probes = [_probe(set_id=0), _probe(set_id=1)]
+        groups = group_probes(probes, by="cell")
+        assert len(groups) == 2
+
+    def test_unknown_grouping(self):
+        with pytest.raises(AnalysisError):
+            group_probes([_probe()], by="nope")
+
+
+class TestCellMetrics:
+    def test_scores_parsed_probes(self):
+        probes = [
+            _probe(truth=1.0, predicted=1.0),
+            _probe(truth=2.0, predicted=2.2),
+        ]
+        cm = cell_metrics(("k",), probes)
+        assert cm.metrics is not None
+        assert cm.n_parsed == 2
+
+    def test_unparsed_excluded(self):
+        probes = [
+            _probe(truth=1.0, predicted=None),
+            _probe(truth=2.0, predicted=2.0),
+        ]
+        cm = cell_metrics(("k",), probes)
+        assert cm.metrics is None  # only one parsed -> cannot score
+        assert cm.parse_rate == 0.5
+
+    def test_copies_counted(self):
+        probes = [_probe(copy=True), _probe(copy=False)]
+        cm = cell_metrics(("k",), probes)
+        assert cm.n_copies == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            cell_metrics(("k",), [])
+
+
+class TestBuildReport:
+    def _probes(self):
+        out = []
+        for n_icl in (1, 5):
+            for seed in (1, 2):
+                for q, (t, p) in enumerate(
+                    [(1.0, 1.2), (2.0, 1.8), (3.0, 3.3), (4.0, 4.4)]
+                ):
+                    out.append(
+                        _probe(
+                            n_icl=n_icl,
+                            seed=seed,
+                            truth=t,
+                            predicted=p,
+                            copy=(q == 0),
+                        )
+                    )
+        return out
+
+    def test_report_statistics(self):
+        report = build_report(self._probes())
+        assert len(report.cells) == 4  # 2 icl x 2 seeds
+        assert report.copy_rate == pytest.approx(0.25)
+        assert report.parse_rate == 1.0
+        assert report.best_r2 <= 1.0
+        assert -1 <= report.frac_nonnegative_r2 <= 1
+
+    def test_per_icl_mare(self):
+        report = build_report(self._probes())
+        assert set(report.per_icl_mare) == {1, 5}
+
+    def test_summary_lines(self):
+        report = build_report(self._probes())
+        lines = report.summary_lines()
+        assert any("best R2" in ln for ln in lines)
+        assert any("copy rate" in ln for ln in lines)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            build_report([])
+
+    def test_all_unparsed_rejected(self):
+        probes = [_probe(predicted=None), _probe(predicted=None)]
+        with pytest.raises(AnalysisError):
+            build_report(probes)

@@ -1,0 +1,84 @@
+"""Tests for probe persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import quick_grid, run_grid
+from repro.core.storage import load_probes_jsonl, save_probes_jsonl
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def probes():
+    return run_grid(
+        quick_grid(
+            sizes=("SM",), icl_counts=(3,), n_sets=1, seeds=(1,), n_queries=3
+        ),
+        workers=1,
+    )
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self, probes, tmp_path):
+        path = tmp_path / "probes.jsonl"
+        save_probes_jsonl(probes, path)
+        loaded = load_probes_jsonl(path)
+        assert len(loaded) == len(probes)
+        for a, b in zip(probes, loaded):
+            assert a.spec == b.spec
+            assert a.generated_text == b.generated_text
+            assert a.truth == pytest.approx(b.truth)
+            assert a.exact_copy == b.exact_copy
+            assert len(a.value_steps) == len(b.value_steps)
+            for sa, sb in zip(a.value_steps, b.value_steps):
+                assert sa.tokens == sb.tokens
+                assert sa.chosen == sb.chosen
+                np.testing.assert_allclose(sa.logits, sb.logits, atol=1e-5)
+
+    def test_analyses_survive_roundtrip(self, probes, tmp_path):
+        """The reloaded probes feed the report pipeline unchanged."""
+        from repro.core import build_report
+
+        path = tmp_path / "probes.jsonl"
+        save_probes_jsonl(probes, path)
+        loaded = load_probes_jsonl(path)
+        a = build_report(probes)
+        b = build_report(loaded)
+        assert a.copy_rate == b.copy_rate
+        assert a.parse_rate == b.parse_rate
+
+    def test_unparsed_prediction_roundtrip(self, probes, tmp_path):
+        import dataclasses
+
+        broken = [dataclasses.replace(probes[0], predicted=None)]
+        path = tmp_path / "one.jsonl"
+        save_probes_jsonl(broken, path)
+        assert load_probes_jsonl(path)[0].predicted is None
+
+
+class TestErrors:
+    def test_not_jsonl(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ExperimentError):
+            load_probes_jsonl(path)
+
+    def test_wrong_format_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "other"}\n')
+        with pytest.raises(ExperimentError):
+            load_probes_jsonl(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "repro-probes", "version": 99}\n')
+        with pytest.raises(ExperimentError):
+            load_probes_jsonl(path)
+
+    def test_corrupt_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"format": "repro-probes", "version": 1}\n{"nope": 1}\n'
+        )
+        with pytest.raises(ExperimentError, match="corrupt"):
+            load_probes_jsonl(path)

@@ -1,0 +1,62 @@
+"""Tests for the discriminative surrogate."""
+
+import pytest
+
+from repro.core.surrogate import DiscriminativeSurrogate
+
+
+@pytest.fixture(scope="module")
+def surrogate(sm_task):
+    return DiscriminativeSurrogate(sm_task)
+
+
+@pytest.fixture(scope="module")
+def examples(sm_dataset):
+    return [
+        (sm_dataset.config(i), float(sm_dataset.runtimes[i]))
+        for i in range(0, 100, 10)
+    ]
+
+
+class TestPredict:
+    def test_basic_prediction(self, surrogate, examples, sm_dataset):
+        pred = surrogate.predict(examples, sm_dataset.config(500), seed=1)
+        assert pred.parsed
+        assert pred.value > 0
+        assert pred.value_text in pred.generated_text
+
+    def test_prediction_in_plausible_range(self, surrogate, examples, sm_dataset):
+        """Predictions should be SM-scale (sub-second), showing the model
+        at least absorbed magnitude from context."""
+        pred = surrogate.predict(examples, sm_dataset.config(500), seed=2)
+        assert pred.value is not None and pred.value < 1.0
+
+    def test_deterministic(self, surrogate, examples, sm_dataset):
+        a = surrogate.predict(examples, sm_dataset.config(500), seed=9)
+        b = surrogate.predict(examples, sm_dataset.config(500), seed=9)
+        assert a.generated_text == b.generated_text
+
+    def test_seed_sensitivity(self, surrogate, examples, sm_dataset):
+        texts = {
+            surrogate.predict(examples, sm_dataset.config(500), seed=s).generated_text
+            for s in range(6)
+        }
+        assert len(texts) > 1
+
+    def test_icl_values_recorded(self, surrogate, examples, sm_dataset):
+        pred = surrogate.predict(examples, sm_dataset.config(500), seed=1)
+        assert len(pred.icl_value_strings) == len(examples)
+
+    def test_value_steps_available(self, surrogate, examples, sm_dataset):
+        pred = surrogate.predict(examples, sm_dataset.config(500), seed=1)
+        assert pred.value_steps
+        assert pred.value_steps[0].chosen_token.isdigit()
+
+    def test_exact_copy_flag(self, surrogate, examples, sm_dataset):
+        pred = surrogate.predict(examples, sm_dataset.config(500), seed=1)
+        expected = pred.value_text in pred.icl_value_strings
+        assert pred.exact_copy == expected
+
+    def test_prompt_token_count(self, surrogate, examples, sm_dataset):
+        pred = surrogate.predict(examples, sm_dataset.config(500), seed=1)
+        assert pred.n_prompt_tokens > 500

@@ -1,0 +1,92 @@
+"""Tests for dataset generation and the PerformanceDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.generate import PerformanceDataset, generate_dataset
+from repro.errors import DatasetError
+
+
+class TestGenerate:
+    def test_full_table(self, sm_dataset):
+        assert len(sm_dataset) == 10648
+        assert sm_dataset.size == "SM"
+
+    def test_accepts_task_or_string(self, sm_task):
+        a = generate_dataset("SM", indices=[0, 1])
+        b = generate_dataset(sm_task, indices=[0, 1])
+        np.testing.assert_array_equal(a.runtimes, b.runtimes)
+
+    def test_subset_generation(self):
+        ds = generate_dataset("SM", indices=[5, 10, 20])
+        assert len(ds) == 3
+        assert ds.indices.tolist() == [5, 10, 20]
+
+    def test_deterministic(self):
+        a = generate_dataset("XL", indices=range(50))
+        b = generate_dataset("XL", indices=range(50))
+        np.testing.assert_array_equal(a.runtimes, b.runtimes)
+
+
+class TestContainer:
+    def test_config_accessor(self, sm_dataset):
+        cfg = sm_dataset.config(0)
+        assert set(cfg) == set(sm_dataset.space.parameter_names)
+
+    def test_iteration(self):
+        ds = generate_dataset("SM", indices=[1, 2])
+        rows = list(ds)
+        assert len(rows) == 2
+        cfg, rt = rows[0]
+        assert isinstance(cfg, dict) and rt > 0
+
+    def test_subset_rows(self, sm_dataset):
+        sub = sm_dataset.subset([10, 20])
+        assert len(sub) == 2
+        assert sub.indices[0] == sm_dataset.indices[10]
+
+    def test_row_of_index(self, sm_dataset):
+        idx = int(sm_dataset.indices[42])
+        assert sm_dataset.row_of_index(idx) == 42
+
+    def test_row_of_missing_index(self):
+        ds = generate_dataset("SM", indices=[1, 2])
+        with pytest.raises(DatasetError):
+            ds.row_of_index(9999)
+
+    def test_best_row(self, sm_dataset):
+        best = sm_dataset.best_row
+        assert sm_dataset.runtimes[best] == sm_dataset.runtimes.min()
+        assert sm_dataset.best_runtime == sm_dataset.runtimes.min()
+
+    def test_ordinal_features_shape(self, sm_dataset):
+        feats = sm_dataset.ordinal_features([0, 1, 2])
+        assert feats.shape == (3, 6)
+
+    def test_summary(self, sm_dataset):
+        s = sm_dataset.summary()
+        assert s["rows"] == 10648
+        assert s["runtime_min"] <= s["runtime_median"] <= s["runtime_max"]
+
+
+class TestValidation:
+    def test_duplicate_rows_rejected(self, space):
+        with pytest.raises(DatasetError, match="unique"):
+            PerformanceDataset(space, "SM", [1, 1], [0.1, 0.2])
+
+    def test_length_mismatch_rejected(self, space):
+        with pytest.raises(DatasetError):
+            PerformanceDataset(space, "SM", [1, 2], [0.1])
+
+    def test_nonpositive_runtime_rejected(self, space):
+        with pytest.raises(DatasetError, match="positive"):
+            PerformanceDataset(space, "SM", [1], [0.0])
+
+    def test_out_of_range_index_rejected(self, space):
+        with pytest.raises(DatasetError):
+            PerformanceDataset(space, "SM", [space.size], [0.1])
+
+    def test_empty_best_row_raises(self, space):
+        ds = PerformanceDataset(space, "SM", [], [])
+        with pytest.raises(DatasetError):
+            _ = ds.best_row

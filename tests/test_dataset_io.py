@@ -1,0 +1,80 @@
+"""Tests for CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.generate import generate_dataset
+from repro.dataset.io import load_dataset_csv, save_dataset_csv
+from repro.errors import DatasetError
+
+
+@pytest.fixture()
+def small_ds():
+    return generate_dataset("SM", indices=range(25))
+
+
+class TestRoundtrip:
+    def test_exact_roundtrip(self, small_ds, tmp_path, space):
+        path = tmp_path / "ds.csv"
+        save_dataset_csv(small_ds, path)
+        loaded = load_dataset_csv(path, space)
+        assert loaded.size == small_ds.size
+        np.testing.assert_array_equal(loaded.indices, small_ds.indices)
+        np.testing.assert_array_equal(loaded.runtimes, small_ds.runtimes)
+
+    def test_header_layout(self, small_ds, tmp_path):
+        path = tmp_path / "ds.csv"
+        save_dataset_csv(small_ds, path)
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("size,")
+        assert header.endswith(",objective")
+
+
+class TestLoadErrors:
+    def test_missing_column(self, tmp_path, space):
+        path = tmp_path / "bad.csv"
+        path.write_text("size,objective\nSM,0.5\n")
+        with pytest.raises(DatasetError, match="missing columns"):
+            load_dataset_csv(path, space)
+
+    def test_empty_file(self, tmp_path, space, small_ds):
+        path = tmp_path / "empty.csv"
+        save_dataset_csv(small_ds.subset([]), path) if False else None
+        # write header only
+        header = (
+            "size," + ",".join(space.parameter_names) + ",objective\n"
+        )
+        path.write_text(header)
+        with pytest.raises(DatasetError, match="no data rows"):
+            load_dataset_csv(path, space)
+
+    def test_mixed_sizes(self, tmp_path, space, small_ds):
+        path = tmp_path / "mixed.csv"
+        save_dataset_csv(small_ds, path)
+        lines = path.read_text().splitlines()
+        lines.append(lines[1].replace("SM", "XL", 1))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DatasetError, match="mixes sizes"):
+            load_dataset_csv(path, space)
+
+    def test_bad_objective(self, tmp_path, space, small_ds):
+        path = tmp_path / "bad_obj.csv"
+        save_dataset_csv(small_ds, path)
+        text = path.read_text().splitlines()
+        parts = text[1].split(",")
+        parts[-1] = "not-a-number"
+        text[1] = ",".join(parts)
+        path.write_text("\n".join(text) + "\n")
+        with pytest.raises(DatasetError, match="unparsable objective"):
+            load_dataset_csv(path, space)
+
+    def test_out_of_domain_value(self, tmp_path, space, small_ds):
+        path = tmp_path / "bad_val.csv"
+        save_dataset_csv(small_ds, path)
+        text = path.read_text().splitlines()
+        parts = text[1].split(",")
+        parts[4] = "999"  # outer tile not in domain
+        text[1] = ",".join(parts)
+        path.write_text("\n".join(text) + "\n")
+        with pytest.raises(DatasetError, match="not in the domain"):
+            load_dataset_csv(path, space)

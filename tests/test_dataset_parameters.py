@@ -1,0 +1,102 @@
+"""Tests for parameter domain types."""
+
+import pytest
+
+from repro.dataset.parameters import (
+    BooleanParameter,
+    CategoricalParameter,
+    OrdinalParameter,
+    Parameter,
+)
+from repro.errors import InvalidConfigurationError
+
+
+class TestParameterBase:
+    def test_index_roundtrip(self):
+        p = CategoricalParameter("c", ("x", "y", "z"))
+        for i, v in enumerate(p.values):
+            assert p.index_of(v) == i
+            assert p.value_at(i) == v
+
+    def test_out_of_domain(self):
+        p = CategoricalParameter("c", ("x",))
+        with pytest.raises(InvalidConfigurationError):
+            p.index_of("nope")
+
+    def test_unhashable_value_query(self):
+        p = CategoricalParameter("c", ("x",))
+        assert not p.contains([1, 2])
+        with pytest.raises(InvalidConfigurationError):
+            p.index_of([1, 2])
+
+    def test_value_at_range(self):
+        p = CategoricalParameter("c", ("x", "y"))
+        with pytest.raises(InvalidConfigurationError):
+            p.value_at(2)
+        with pytest.raises(InvalidConfigurationError):
+            p.value_at(-1)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CategoricalParameter("c", ("x", "x"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter("c", ())
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter("", ("x",))
+
+    def test_iteration_and_len(self):
+        p = CategoricalParameter("c", ("x", "y"))
+        assert list(p) == ["x", "y"]
+        assert len(p) == 2
+
+    def test_equality_and_hash(self):
+        a = CategoricalParameter("c", ("x", "y"))
+        b = CategoricalParameter("c", ("x", "y"))
+        assert a == b and hash(a) == hash(b)
+        assert a != CategoricalParameter("c", ("x", "z"))
+
+    def test_distance_categorical(self):
+        p = CategoricalParameter("c", ("x", "y", "z"))
+        assert p.distance("x", "x") == 0.0
+        assert p.distance("x", "z") == 1.0
+
+
+class TestBooleanParameter:
+    def test_domain(self):
+        p = BooleanParameter("flag")
+        assert p.values == (False, True)
+        assert p.index_of(True) == 1
+
+    def test_is_not_numeric(self):
+        assert not BooleanParameter("flag").is_numeric
+
+
+class TestOrdinalParameter:
+    def test_requires_ascending(self):
+        with pytest.raises(ValueError, match="ascending"):
+            OrdinalParameter("t", (4, 2, 8))
+
+    def test_requires_numeric(self):
+        with pytest.raises(ValueError, match="numeric"):
+            OrdinalParameter("t", ("a", "b"))
+
+    def test_bool_values_rejected(self):
+        with pytest.raises(ValueError, match="numeric"):
+            OrdinalParameter("t", (False, True))
+
+    def test_rank_distance(self):
+        p = OrdinalParameter("t", (4, 8, 16, 32, 64))
+        assert p.distance(4, 8) == pytest.approx(0.25)
+        assert p.distance(4, 64) == 1.0
+        assert p.distance(16, 16) == 0.0
+
+    def test_singleton_distance(self):
+        p = OrdinalParameter("t", (4,))
+        assert p.distance(4, 4) == 0.0
+
+    def test_is_numeric(self):
+        assert OrdinalParameter("t", (1, 2)).is_numeric

@@ -1,0 +1,70 @@
+"""Tests for the syr2k task and space definition."""
+
+import pytest
+
+from repro.dataset.syr2k import (
+    SIZE_DIMENSIONS,
+    SIZE_NAMES,
+    TILE_SIZES,
+    Syr2kTask,
+    syr2k_space,
+)
+from repro.errors import DatasetError
+
+
+class TestSpace:
+    def test_cardinality_matches_paper(self):
+        """The paper evaluates all 10,648 unique configurations."""
+        assert syr2k_space().size == 10648
+
+    def test_parameter_names_match_figure1(self):
+        names = syr2k_space().parameter_names
+        assert names == (
+            "first_array_packed",
+            "second_array_packed",
+            "interchange_first_two_loops",
+            "outer_loop_tiling_factor",
+            "middle_loop_tiling_factor",
+            "inner_loop_tiling_factor",
+        )
+
+    def test_eleven_tile_choices(self):
+        assert len(TILE_SIZES) == 11
+        # Figure 1's example prompt shows these concrete sizes.
+        for v in (64, 80, 100, 128):
+            assert v in TILE_SIZES
+
+    def test_tiles_ascending(self):
+        assert list(TILE_SIZES) == sorted(TILE_SIZES)
+
+
+class TestTask:
+    def test_sm_dimensions_match_paper(self):
+        """Figure 1: For size 'SM', M=130 and N=160."""
+        task = Syr2kTask("SM")
+        assert task.m == 130 and task.n == 160
+
+    def test_all_sizes_defined(self):
+        for size in SIZE_NAMES:
+            assert size in SIZE_DIMENSIONS
+            Syr2kTask(size)  # constructs without error
+
+    def test_sizes_sorted_smallest_to_largest(self):
+        areas = [
+            SIZE_DIMENSIONS[s][0] * SIZE_DIMENSIONS[s][1] for s in SIZE_NAMES
+        ]
+        assert areas == sorted(areas)
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(DatasetError):
+            Syr2kTask("XXL")
+
+    def test_flops_monotone_in_size(self):
+        flops = [Syr2kTask(s).flops for s in SIZE_NAMES]
+        assert flops == sorted(flops)
+
+    def test_str(self):
+        assert "syr2k[SM]" in str(Syr2kTask("SM"))
+
+    def test_space_shared(self):
+        assert Syr2kTask("SM").space().size == Syr2kTask("XL").space().size

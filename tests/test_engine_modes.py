@@ -1,0 +1,71 @@
+"""End-to-end engine behaviour across all three prompt modes."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import GemmTask, generate_dataset
+from repro.llm import GenerationEngine
+from repro.prompts import PromptBuilder, extract_prediction
+from repro.errors import ParseError
+
+
+@pytest.fixture(scope="module")
+def sm_examples(sm_dataset):
+    return [
+        (sm_dataset.config(i), float(sm_dataset.runtimes[i]))
+        for i in range(0, 60, 6)
+    ]
+
+
+class TestDiscriminativeMode(object):
+    def test_gemm_prompt_generates_value(self, sm_examples, tokenizer, lm):
+        """The pipeline is kernel-agnostic: GEMM prompts also yield values."""
+        task = GemmTask("SM")
+        ds = generate_dataset(task, indices=range(200))
+        builder = PromptBuilder(task, tokenizer)
+        examples = [
+            (ds.config(i), float(ds.runtimes[i])) for i in range(0, 40, 4)
+        ]
+        parts = builder.discriminative(examples, ds.config(100))
+        trace = GenerationEngine(lm).generate(parts.ids, seed=1)
+        text = trace.generated_text(tokenizer.vocab)
+        value, _ = extract_prediction(text)
+        assert 0 <= value < 1.0
+
+
+class TestGenerativeMode:
+    def test_bucket_output_is_bare_integer(
+        self, sm_task, sm_dataset, tokenizer, lm
+    ):
+        builder = PromptBuilder(sm_task, tokenizer)
+        examples = [(sm_dataset.config(i), i % 4) for i in range(12)]
+        parts = builder.generative(examples, sm_dataset.config(99), n_buckets=4)
+        trace = GenerationEngine(lm).generate(parts.ids, seed=2)
+        text = trace.generated_text(tokenizer.vocab)
+        # The integer-valued format analysis should stop after digits: the
+        # value region is short and dot-free.
+        region = trace.value_region(tokenizer.vocab)
+        assert region
+        assert all(s.chosen_token != "." for s in region)
+
+
+class TestCandidateMode:
+    def test_generation_runs_and_is_recorded(
+        self, sm_task, sm_dataset, sm_examples, tokenizer, lm
+    ):
+        builder = PromptBuilder(sm_task, tokenizer)
+        parts = builder.candidate_sampling(sm_examples, 0.0015)
+        engine = GenerationEngine(lm, max_new_tokens=48)
+        trace = engine.generate(parts.ids, seed=3)
+        assert len(trace.steps) >= 1
+        # Candidate-mode outputs rarely parse into full configurations
+        # (the measured failure mode); either outcome is a valid state.
+        text = trace.generated_text(tokenizer.vocab)
+        from repro.prompts import extract_configuration
+
+        try:
+            config = extract_configuration(text, sm_dataset.space)
+        except ParseError:
+            config = None
+        if config is not None:
+            sm_dataset.space.validate(config)

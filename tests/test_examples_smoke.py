@@ -1,0 +1,45 @@
+"""Smoke tests: every example script imports cleanly and exposes main().
+
+Full example execution is exercised manually / in CI-nightly; here we
+guarantee the scripts stay importable against the public API (no stale
+imports after refactors) without paying their runtime.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)  # imports only; main() not called
+    finally:
+        sys.modules.pop(spec.name, None)
+    assert hasattr(module, "main"), f"{path.name} must define main()"
+    assert callable(module.main)
+    assert module.__doc__, f"{path.name} must document what it shows"
+
+
+def test_expected_example_set_present():
+    names = {p.stem for p in EXAMPLE_FILES}
+    required = {
+        "quickstart",
+        "llm_vs_xgboost",
+        "logit_anatomy",
+        "autotune_syr2k",
+        "icl_scaling",
+        "fixing_the_failure",
+        "cross_kernel_transfer",
+    }
+    assert required <= names

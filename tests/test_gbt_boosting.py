@@ -1,0 +1,139 @@
+"""Tests for the gradient-boosting ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelNotFittedError
+from repro.gbt.boosting import BoostingParams, GradientBoostingRegressor
+
+
+@pytest.fixture()
+def toy_regression(rng):
+    x = rng.random((400, 5))
+    y = 3 * x[:, 0] + np.sin(4 * x[:, 1]) + 0.1 * rng.normal(size=400)
+    return x[:300], y[:300], x[300:], y[300:]
+
+
+class TestParams:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            BoostingParams(n_estimators=0)
+        with pytest.raises(ValueError):
+            BoostingParams(learning_rate=0)
+        with pytest.raises(ValueError):
+            BoostingParams(subsample=0)
+        with pytest.raises(ValueError):
+            BoostingParams(colsample=1.5)
+
+    def test_tree_params_derived(self):
+        p = BoostingParams(max_depth=4, min_samples_leaf=7)
+        tp = p.tree_params()
+        assert tp.max_depth == 4 and tp.min_samples_leaf == 7
+
+
+class TestFitting:
+    def test_improves_over_mean(self, toy_regression):
+        xtr, ytr, xte, yte = toy_regression
+        model = GradientBoostingRegressor(
+            BoostingParams(n_estimators=80, learning_rate=0.2, max_depth=3)
+        ).fit(xtr, ytr)
+        pred = model.predict(xte)
+        mse_model = np.mean((pred - yte) ** 2)
+        mse_mean = np.mean((ytr.mean() - yte) ** 2)
+        assert mse_model < 0.2 * mse_mean
+
+    def test_more_trees_fit_train_better(self, toy_regression):
+        xtr, ytr, _, _ = toy_regression
+        small = GradientBoostingRegressor(
+            BoostingParams(n_estimators=5, learning_rate=0.1)
+        ).fit(xtr, ytr)
+        big = GradientBoostingRegressor(
+            BoostingParams(n_estimators=100, learning_rate=0.1)
+        ).fit(xtr, ytr)
+        assert np.mean((big.predict(xtr) - ytr) ** 2) < np.mean(
+            (small.predict(xtr) - ytr) ** 2
+        )
+
+    def test_base_score_is_mean(self, toy_regression):
+        xtr, ytr, _, _ = toy_regression
+        model = GradientBoostingRegressor(BoostingParams(n_estimators=1)).fit(
+            xtr, ytr
+        )
+        assert model.base_score == pytest.approx(ytr.mean())
+
+    def test_deterministic_given_seed(self, toy_regression):
+        xtr, ytr, xte, _ = toy_regression
+        p = BoostingParams(n_estimators=20, subsample=0.7, seed=3)
+        a = GradientBoostingRegressor(p).fit(xtr, ytr).predict(xte)
+        b = GradientBoostingRegressor(p).fit(xtr, ytr).predict(xte)
+        np.testing.assert_array_equal(a, b)
+
+    def test_subsample_and_colsample_run(self, toy_regression):
+        xtr, ytr, xte, yte = toy_regression
+        model = GradientBoostingRegressor(
+            BoostingParams(
+                n_estimators=30, subsample=0.5, colsample=0.6, seed=1
+            )
+        ).fit(xtr, ytr)
+        assert np.isfinite(model.predict(xte)).all()
+
+    def test_single_row(self):
+        model = GradientBoostingRegressor(
+            BoostingParams(n_estimators=2)
+        ).fit(np.array([[1.0]]), np.array([5.0]))
+        assert model.predict(np.array([[1.0]]))[0] == pytest.approx(5.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestEarlyStopping:
+    def test_stops_early(self, toy_regression):
+        xtr, ytr, xte, yte = toy_regression
+        model = GradientBoostingRegressor(
+            BoostingParams(
+                n_estimators=500,
+                learning_rate=0.5,
+                early_stopping_rounds=5,
+            )
+        ).fit(xtr, ytr, eval_set=(xte, yte))
+        assert model.n_trees < 500
+        assert len(model.validation_curve) == model.n_trees
+
+    def test_best_iteration_used_in_predict(self, toy_regression):
+        xtr, ytr, xte, yte = toy_regression
+        model = GradientBoostingRegressor(
+            BoostingParams(
+                n_estimators=300, learning_rate=0.6, early_stopping_rounds=20
+            )
+        ).fit(xtr, ytr, eval_set=(xte, yte))
+        best = model.predict(xte, use_best_iteration=True)
+        full = model.predict(xte, use_best_iteration=False)
+        mse_best = np.mean((best - yte) ** 2)
+        mse_full = np.mean((full - yte) ** 2)
+        assert mse_best <= mse_full + 1e-12
+
+
+class TestIntrospection:
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            GradientBoostingRegressor().predict(np.zeros((1, 1)))
+
+    def test_feature_importance_sums_to_one(self, toy_regression):
+        xtr, ytr, _, _ = toy_regression
+        model = GradientBoostingRegressor(
+            BoostingParams(n_estimators=20)
+        ).fit(xtr, ytr)
+        imp = model.feature_importance()
+        assert imp.shape == (5,)
+        assert imp.sum() == pytest.approx(1.0)
+
+    def test_informative_feature_ranks_high(self, rng):
+        x = rng.random((500, 4))
+        y = 10 * x[:, 2] + 0.01 * rng.normal(size=500)
+        model = GradientBoostingRegressor(
+            BoostingParams(n_estimators=30, max_depth=3)
+        ).fit(x, y)
+        imp = model.feature_importance()
+        assert imp[2] == imp.max()

@@ -1,0 +1,77 @@
+"""Tests for feature/target encoding."""
+
+import numpy as np
+import pytest
+
+from repro.gbt.encoding import FeatureEncoder, TargetTransform
+from repro.errors import DatasetError
+
+
+class TestFeatureEncoder:
+    def test_width(self, space):
+        enc = FeatureEncoder(space)
+        # 3 booleans + 3 numeric (value + log2 each) = 3 + 6
+        assert enc.n_features == 9
+        assert len(enc.feature_names) == 9
+
+    def test_log_columns_present(self, space):
+        enc = FeatureEncoder(space)
+        assert "log2(outer_loop_tiling_factor)" in enc.feature_names
+
+    def test_values_decoded(self, space):
+        enc = FeatureEncoder(space)
+        cfg = {
+            "first_array_packed": True,
+            "second_array_packed": False,
+            "interchange_first_two_loops": False,
+            "outer_loop_tiling_factor": 32,
+            "middle_loop_tiling_factor": 8,
+            "inner_loop_tiling_factor": 128,
+        }
+        idx = space.to_index(cfg)
+        row = enc.encode_indices([idx])[0]
+        by_name = dict(zip(enc.feature_names, row))
+        assert by_name["first_array_packed"] == 1.0
+        assert by_name["outer_loop_tiling_factor"] == 32.0
+        assert by_name["log2(outer_loop_tiling_factor)"] == 5.0
+
+    def test_encode_dataset(self, sm_dataset):
+        enc = FeatureEncoder(sm_dataset.space)
+        x = enc.encode_dataset(sm_dataset)
+        assert x.shape == (len(sm_dataset), enc.n_features)
+
+    def test_space_mismatch(self, sm_dataset):
+        from repro.dataset.parameters import BooleanParameter
+        from repro.dataset.space import ConfigSpace
+
+        other = ConfigSpace((BooleanParameter("z"),))
+        enc = FeatureEncoder(other)
+        with pytest.raises(DatasetError):
+            enc.encode_dataset(sm_dataset)
+
+
+class TestTargetTransform:
+    def test_identity_roundtrip(self, rng):
+        tt = TargetTransform("identity")
+        y = rng.random(10)
+        np.testing.assert_allclose(tt.inverse(tt.forward(y)), y)
+
+    def test_log_roundtrip(self, rng):
+        tt = TargetTransform("log")
+        y = rng.random(10) + 0.1
+        np.testing.assert_allclose(tt.inverse(tt.forward(y)), y)
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            TargetTransform("log").forward([0.0, 1.0])
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            TargetTransform("sqrt")
+
+    def test_inverse_clips_overflow(self):
+        out = TargetTransform("log").inverse([1e6])
+        assert np.isfinite(out).all()
+
+    def test_str(self):
+        assert str(TargetTransform("log")) == "log"

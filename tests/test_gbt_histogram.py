@@ -1,0 +1,65 @@
+"""Tests for histogram pre-binning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gbt.histogram import bin_matrix
+
+
+class TestBinMatrix:
+    def test_few_uniques_lossless(self):
+        x = np.array([[1.0], [2.0], [1.0], [3.0]])
+        binned = bin_matrix(x, max_bins=8)
+        # Distinct values map to distinct bins, equal values share bins.
+        codes = binned.codes[:, 0]
+        assert codes[0] == codes[2]
+        assert len({codes[0], codes[1], codes[3]}) == 3
+
+    def test_codes_ordered_with_values(self):
+        x = np.array([[5.0], [1.0], [3.0]])
+        codes = bin_matrix(x).codes[:, 0]
+        assert codes[1] < codes[2] < codes[0]
+
+    def test_max_bins_respected(self, rng):
+        x = rng.random((500, 2))
+        binned = bin_matrix(x, max_bins=16)
+        assert (binned.n_bins <= 16).all()
+        assert binned.codes.max() < 16
+
+    def test_bin_new_consistent(self, rng):
+        x = rng.random((200, 3))
+        binned = bin_matrix(x, max_bins=32)
+        again = binned.bin_new(x)
+        np.testing.assert_array_equal(again, binned.codes)
+
+    def test_bin_new_shape_check(self, rng):
+        binned = bin_matrix(rng.random((10, 3)))
+        with pytest.raises(ValueError):
+            binned.bin_new(rng.random((5, 2)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            bin_matrix(np.zeros(5))
+
+    def test_bad_max_bins(self):
+        with pytest.raises(ValueError):
+            bin_matrix(np.zeros((3, 1)), max_bins=1)
+
+    def test_constant_column(self):
+        binned = bin_matrix(np.ones((10, 1)))
+        assert binned.n_bins[0] == 1
+        assert (binned.codes == 0).all()
+
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_split_semantics(self, n):
+        """Splitting at bin b must equal the raw test x <= thresholds[b]."""
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=(n, 1))
+        binned = bin_matrix(x, max_bins=8)
+        thr = binned.thresholds[0]
+        for b in range(len(thr)):
+            left_by_code = binned.codes[:, 0] <= b
+            left_by_value = x[:, 0] <= thr[b]
+            np.testing.assert_array_equal(left_by_code, left_by_value)

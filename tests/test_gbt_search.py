@@ -1,0 +1,99 @@
+"""Tests for the randomized hyperparameter search."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelNotFittedError
+from repro.gbt.search import (
+    Choice,
+    IntUniform,
+    LogUniform,
+    RandomizedSearch,
+    Uniform,
+    default_search_space,
+)
+
+
+class TestDistributions:
+    def test_choice(self, rng):
+        c = Choice([1, 2, 3])
+        assert all(c.sample(rng) in (1, 2, 3) for _ in range(20))
+
+    def test_choice_empty(self):
+        with pytest.raises(ValueError):
+            Choice([])
+
+    def test_uniform_bounds(self, rng):
+        u = Uniform(2.0, 3.0)
+        samples = [u.sample(rng) for _ in range(50)]
+        assert all(2.0 <= s <= 3.0 for s in samples)
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            Uniform(3.0, 2.0)
+
+    def test_loguniform_bounds(self, rng):
+        lu = LogUniform(0.01, 1.0)
+        samples = [lu.sample(rng) for _ in range(100)]
+        assert all(0.01 <= s <= 1.0 for s in samples)
+        # log-uniform: about half the samples below the geometric mean 0.1
+        below = sum(s < 0.1 for s in samples)
+        assert 25 <= below <= 75
+
+    def test_loguniform_invalid(self):
+        with pytest.raises(ValueError):
+            LogUniform(0.0, 1.0)
+
+    def test_intuniform_inclusive(self, rng):
+        iu = IntUniform(1, 3)
+        seen = {iu.sample(rng) for _ in range(100)}
+        assert seen == {1, 2, 3}
+
+    def test_default_space_keys(self):
+        space = default_search_space()
+        # The paper's tuned hyperparameters are all present.
+        for key in ("n_estimators", "learning_rate", "max_depth",
+                    "min_samples_leaf"):
+            assert key in space
+
+
+class TestRandomizedSearch:
+    @pytest.fixture()
+    def data(self, rng):
+        x = rng.random((250, 4))
+        y = 2 * x[:, 0] - x[:, 3] + 0.05 * rng.normal(size=250)
+        return x, y
+
+    def test_finds_reasonable_model(self, data):
+        x, y = data
+        search = RandomizedSearch(n_iterations=5, seed=0)
+        result = search.fit(x, y)
+        pred = result.model.predict(x)
+        assert np.corrcoef(pred, y)[0, 1] > 0.9
+
+    def test_history_recorded(self, data):
+        x, y = data
+        search = RandomizedSearch(n_iterations=4, seed=0)
+        result = search.fit(x, y)
+        assert len(result.history) == 4
+        assert result.best_score <= min(s for _, s in result.history) + 1e-12
+
+    def test_deterministic(self, data):
+        x, y = data
+        a = RandomizedSearch(n_iterations=3, seed=5).fit(x, y)
+        b = RandomizedSearch(n_iterations=3, seed=5).fit(x, y)
+        assert a.best_params == b.best_params
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            RandomizedSearch().predict(np.zeros((1, 4)))
+
+    def test_too_few_rows(self):
+        with pytest.raises(ValueError):
+            RandomizedSearch().fit(np.zeros((3, 2)), np.zeros(3))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RandomizedSearch(n_iterations=0)
+        with pytest.raises(ValueError):
+            RandomizedSearch(validation_fraction=0.0)

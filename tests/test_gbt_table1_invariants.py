@@ -1,0 +1,59 @@
+"""Statistical invariants of the GBT baseline on the paper's task.
+
+These pin the Table-I *shape* at unit-test scale (the full sweep lives in
+the benchmark): learning curves rise, XL dominates SM, log-space targets
+beat raw-space ones on relative metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import score_predictions
+from repro.dataset.splits import train_test_split
+from repro.gbt import (
+    BoostingParams,
+    FeatureEncoder,
+    GradientBoostingRegressor,
+    TargetTransform,
+)
+
+
+def _fit_score(dataset, n_train, transform="log", seed=1):
+    train, test = train_test_split(dataset, 0.8, seed=seed)
+    sub = train.subset(np.arange(n_train))
+    enc = FeatureEncoder(dataset.space)
+    tt = TargetTransform(transform)
+    model = GradientBoostingRegressor(
+        BoostingParams(n_estimators=120, learning_rate=0.1, max_depth=5,
+                       min_samples_leaf=2)
+    ).fit(enc.encode_dataset(sub), tt.forward(sub.runtimes))
+    pred = tt.inverse(model.predict(enc.encode_dataset(test)))
+    pred = np.maximum(pred, 1e-9)
+    return score_predictions(test.runtimes, pred)
+
+
+class TestLearningCurve:
+    def test_more_data_helps_sm(self, sm_dataset):
+        small = _fit_score(sm_dataset, 150)
+        large = _fit_score(sm_dataset, 1500)
+        assert large.r2 > small.r2
+        assert large.mare < small.mare
+
+    def test_xl_easier_than_sm(self, sm_dataset, xl_dataset):
+        sm = _fit_score(sm_dataset, 500)
+        xl = _fit_score(xl_dataset, 500)
+        assert xl.r2 > sm.r2
+        assert xl.mare < sm.mare
+
+    def test_log_target_improves_relative_error(self, sm_dataset):
+        """Runtimes are multiplicative; log-space fitting is how the
+        baseline reaches Table-I-class MARE."""
+        raw = _fit_score(sm_dataset, 800, transform="identity")
+        log = _fit_score(sm_dataset, 800, transform="log")
+        assert log.mare <= raw.mare * 1.1
+
+    def test_split_seed_stability(self, sm_dataset):
+        """Scores are stable (same ballpark) across split seeds."""
+        a = _fit_score(sm_dataset, 800, seed=1)
+        b = _fit_score(sm_dataset, 800, seed=2)
+        assert abs(a.r2 - b.r2) < 0.15

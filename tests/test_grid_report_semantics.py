@@ -1,0 +1,84 @@
+"""Semantics of the grid report against hand-constructed probe sets."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import ExperimentSpec
+from repro.core.records import build_report
+from repro.core.runner import ProbeResult
+
+
+def _probe(n_icl, seed, truth, predicted, selection="random", size="SM",
+           copy=False, set_id=0):
+    spec = ExperimentSpec(size, selection, n_icl, set_id, seed, n_queries=1)
+    return ProbeResult(
+        spec=spec,
+        query_index=0,
+        truth=truth,
+        predicted=predicted,
+        predicted_text="" if predicted is None else str(predicted),
+        generated_text="",
+        exact_copy=copy,
+        icl_value_strings=[],
+        value_steps=[],
+        n_prompt_tokens=100,
+    )
+
+
+class TestReportSemantics:
+    def test_perfect_predictor_r2_one(self):
+        probes = [
+            _probe(5, 1, t, t) for t in (1.0, 2.0, 3.0, 4.0)
+        ] + [
+            _probe(5, 2, t, t) for t in (1.0, 2.0, 3.0, 4.0)
+        ]
+        report = build_report(probes)
+        assert report.best_r2 == pytest.approx(1.0)
+        assert report.mean_r2 == pytest.approx(1.0)
+        assert report.frac_nonnegative_r2 == 1.0
+        assert report.mare.mean == 0.0
+
+    def test_constant_predictor_negative_r2(self):
+        """Predicting the ICL mean regardless of query: near-zero R2."""
+        truths = [1.0, 2.0, 3.0, 4.0]
+        const = float(np.mean(truths))
+        probes = [_probe(5, 1, t, const) for t in truths]
+        report = build_report(probes)
+        assert report.best_r2 == pytest.approx(0.0, abs=1e-9)
+
+    def test_anti_predictor_strongly_negative(self):
+        probes = [_probe(5, 1, t, 5.0 - t) for t in (1.0, 2.0, 3.0, 4.0)]
+        report = build_report(probes)
+        assert report.best_r2 < -1.0
+
+    def test_copy_rate_counts_all_probes(self):
+        probes = [
+            _probe(5, 1, 1.0, 1.0, copy=True),
+            _probe(5, 1, 2.0, 2.0, copy=False),
+            _probe(5, 1, 3.0, None, copy=False),
+            _probe(5, 1, 4.0, 4.0, copy=False),
+        ]
+        report = build_report(probes)
+        assert report.copy_rate == pytest.approx(0.25)
+        assert report.parse_rate == pytest.approx(0.75)
+
+    def test_selection_kept_separate(self):
+        probes = [
+            _probe(5, 1, t, t, selection="random")
+            for t in (1.0, 2.0, 3.0)
+        ] + [
+            _probe(5, 1, t, 4.0 - t, selection="curated")
+            for t in (1.0, 2.0, 3.0)
+        ]
+        report = build_report(probes)
+        r2s = sorted(float(v) for v in report.r2_values)
+        assert r2s[0] < 0 < r2s[1] == 1.0
+
+    def test_per_icl_mare_ordering(self):
+        probes = [
+            _probe(1, 1, 1.0, 2.0), _probe(1, 1, 2.0, 4.0),   # MARE 1.0
+            _probe(50, 1, 1.0, 1.1), _probe(50, 1, 2.0, 2.2), # MARE 0.1
+        ]
+        report = build_report(probes)
+        assert report.per_icl_mare[1] == pytest.approx(1.0)
+        assert report.per_icl_mare[50] == pytest.approx(0.1)

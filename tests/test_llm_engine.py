@@ -1,0 +1,71 @@
+"""Tests for the generation engine (end-to-end LM behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GenerationError
+from repro.llm.engine import GenerationEngine
+
+
+@pytest.fixture(scope="module")
+def icl_prompt(tokenizer):
+    text = (
+        "Here are the examples:\n"
+        "Hyperparameter configuration: size is SM, outer_loop_tiling_factor is 80\n"
+        "Performance: 0.0022155\n\n"
+        "Hyperparameter configuration: size is SM, outer_loop_tiling_factor is 64\n"
+        "Performance: 0.0031921\n\n"
+        "Please complete the following:\n"
+        "Hyperparameter configuration: size is SM, outer_loop_tiling_factor is 128\n"
+        "Performance:"
+    )
+    return np.asarray(tokenizer.encode(text), dtype=np.int64)
+
+
+class TestGenerate:
+    def test_produces_decimal(self, engine, tokenizer, icl_prompt):
+        trace = engine.generate(icl_prompt, seed=3)
+        text = trace.generated_text(tokenizer.vocab)
+        assert any(c.isdigit() for c in text)
+
+    def test_records_all_steps(self, engine, icl_prompt):
+        trace = engine.generate(icl_prompt, seed=3)
+        assert len(trace.steps) >= 3
+        for step in trace.steps:
+            assert step.candidate_ids.size == step.logits.size >= 1
+
+    def test_deterministic_per_seed(self, engine, tokenizer, icl_prompt):
+        a = engine.generate(icl_prompt, seed=11)
+        b = engine.generate(icl_prompt, seed=11)
+        assert a.generated_ids == b.generated_ids
+
+    def test_seeds_vary_sampling(self, engine, icl_prompt):
+        texts = {
+            tuple(engine.generate(icl_prompt, seed=s).generated_ids)
+            for s in range(8)
+        }
+        assert len(texts) > 1
+
+    def test_respects_max_new_tokens(self, lm, icl_prompt):
+        short = GenerationEngine(lm, max_new_tokens=2)
+        trace = short.generate(icl_prompt, seed=0)
+        assert len(trace.steps) <= 2
+
+    def test_stops_after_value(self, engine, tokenizer, icl_prompt):
+        """Generation terminates on its own well before the token cap."""
+        trace = engine.generate(icl_prompt, seed=3)
+        assert len(trace.steps) < engine.max_new_tokens
+
+    def test_empty_prompt_raises(self, engine):
+        with pytest.raises(GenerationError):
+            engine.generate(np.array([], dtype=np.int64))
+
+    def test_invalid_cap(self, lm):
+        with pytest.raises(GenerationError):
+            GenerationEngine(lm, max_new_tokens=0)
+
+    def test_value_region_nonempty(self, engine, tokenizer, icl_prompt):
+        trace = engine.generate(icl_prompt, seed=3)
+        region = trace.value_region(tokenizer.vocab)
+        assert region, "generation should contain a numeric value"
+        assert region[0].chosen_token.isdigit()

@@ -1,0 +1,80 @@
+"""Tests for sampling over sparse logits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GenerationError
+from repro.llm.sampling import SamplingParams, sample_token
+
+
+class TestParams:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SamplingParams(temperature=-1)
+        with pytest.raises(ValueError):
+            SamplingParams(top_p=0.0)
+        with pytest.raises(ValueError):
+            SamplingParams(top_k=-1)
+
+
+class TestSampleToken:
+    def test_greedy_argmax(self, rng):
+        ids = np.array([10, 20, 30])
+        logits = np.array([0.0, 5.0, 1.0])
+        pos = sample_token(ids, logits, SamplingParams(greedy=True), rng)
+        assert pos == 1
+
+    def test_zero_temperature_greedy(self, rng):
+        ids = np.array([10, 20])
+        logits = np.array([1.0, 3.0])
+        pos = sample_token(ids, logits, SamplingParams(temperature=0.0), rng)
+        assert pos == 1
+
+    def test_returns_position_not_id(self, rng):
+        ids = np.array([99])
+        pos = sample_token(ids, np.array([0.0]), SamplingParams(), rng)
+        assert pos == 0
+
+    def test_top_p_excludes_tail(self, rng):
+        """A token with negligible mass below the nucleus is never drawn."""
+        ids = np.array([1, 2, 3])
+        logits = np.array([10.0, 9.5, -20.0])
+        params = SamplingParams(top_p=0.9)
+        draws = {sample_token(ids, logits, params, rng) for _ in range(200)}
+        assert 2 not in draws
+
+    def test_top_k_limits(self, rng):
+        ids = np.arange(5)
+        logits = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        params = SamplingParams(top_k=2, top_p=1.0, temperature=2.0)
+        draws = {sample_token(ids, logits, params, rng) for _ in range(300)}
+        assert draws <= {0, 1}
+
+    def test_distribution_roughly_matches(self, rng):
+        """Sampling frequencies track softmax probabilities."""
+        ids = np.array([0, 1])
+        logits = np.array([np.log(3.0), 0.0])  # p = 0.75 / 0.25
+        params = SamplingParams(temperature=1.0, top_p=1.0)
+        n = 4000
+        ones = sum(
+            sample_token(ids, logits, params, rng) for _ in range(n)
+        )
+        assert abs(ones / n - 0.25) < 0.03
+
+    def test_temperature_sharpens(self, rng):
+        ids = np.array([0, 1])
+        logits = np.array([1.0, 0.0])
+        cold = SamplingParams(temperature=0.2, top_p=1.0)
+        hot = SamplingParams(temperature=5.0, top_p=1.0)
+        n = 2000
+        cold_ones = sum(sample_token(ids, logits, cold, rng) for _ in range(n))
+        hot_ones = sum(sample_token(ids, logits, hot, rng) for _ in range(n))
+        assert cold_ones < hot_ones
+
+    def test_empty_raises(self, rng):
+        with pytest.raises(GenerationError):
+            sample_token(np.array([]), np.array([]), SamplingParams(), rng)
+
+    def test_mismatched_raises(self, rng):
+        with pytest.raises(GenerationError):
+            sample_token(np.array([1]), np.array([1.0, 2.0]), SamplingParams(), rng)

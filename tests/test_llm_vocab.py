@@ -1,0 +1,82 @@
+"""Tests for the vocabulary."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.llm.vocab import Vocabulary, build_default_vocabulary
+
+
+@pytest.fixture(scope="module")
+def vocab():
+    return build_default_vocabulary()
+
+
+class TestConstruction:
+    def test_specials_present(self, vocab):
+        sp = vocab.specials
+        assert vocab.string_of(sp.begin_of_text) == "<|begin_of_text|>"
+        assert vocab.string_of(sp.eot) == "<|eot_id|>"
+
+    def test_digit_tokens_complete(self, vocab):
+        """All 1-, 2- and 3-digit strings exist (1110 total)."""
+        assert len(vocab.digit_token_ids) == 10 + 100 + 1000
+        for s in ("0", "07", "002", "999"):
+            assert s in vocab
+
+    def test_byte_fallback_complete(self, vocab):
+        for b in (0, 127, 255):
+            tid = vocab.byte_id(b)
+            assert vocab.is_byte(tid)
+            assert vocab.decode_bytes(tid) == bytes([b])
+
+    def test_duplicate_rejected(self):
+        tokens = ["<|begin_of_text|>"] * 2
+        with pytest.raises(VocabularyError, match="duplicate"):
+            Vocabulary(tokens)
+
+    def test_missing_special_rejected(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary(["a", "b"])
+
+    def test_deterministic_order(self):
+        a = build_default_vocabulary()
+        b = build_default_vocabulary()
+        assert len(a) == len(b)
+        assert a.id_of("Performance") == b.id_of("Performance")
+
+
+class TestLookup:
+    def test_roundtrip(self, vocab):
+        tid = vocab.id_of("configuration")
+        assert vocab.string_of(tid) == "configuration"
+
+    def test_unknown_token(self, vocab):
+        with pytest.raises(VocabularyError):
+            vocab.id_of("zzzzzz_not_here")
+
+    def test_out_of_range_id(self, vocab):
+        with pytest.raises(VocabularyError):
+            vocab.string_of(len(vocab))
+
+    def test_bad_byte(self, vocab):
+        with pytest.raises(VocabularyError):
+            vocab.byte_id(256)
+
+    def test_is_special(self, vocab):
+        assert vocab.is_special(vocab.specials.eot)
+        assert not vocab.is_special(vocab.id_of("0"))
+
+    def test_decode_bytes_on_regular_token(self, vocab):
+        with pytest.raises(VocabularyError):
+            vocab.decode_bytes(vocab.id_of("0"))
+
+    def test_dot_and_newline(self, vocab):
+        assert vocab.string_of(vocab.dot_id) == "."
+        assert vocab.string_of(vocab.newline_id) == "\n"
+
+    def test_domain_words_present(self, vocab):
+        """Every word the Figure-1 prompt uses tokenizes as one piece."""
+        for w in ("Hyperparameter", "Performance", "configuration",
+                  "interchange", "tiling", "packed", "SM", "XL"):
+            assert w in vocab
+            assert " " + w in vocab

@@ -1,0 +1,80 @@
+"""Tests for output parsing."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.prompts.parser import (
+    extract_class_label,
+    extract_configuration,
+    extract_prediction,
+)
+from repro.prompts.serialize import serialize_config
+
+
+class TestExtractPrediction:
+    def test_plain_value(self):
+        value, text = extract_prediction("0.0022155")
+        assert value == pytest.approx(0.0022155)
+        assert text == "0.0022155"
+
+    def test_label_echo_tolerated(self):
+        value, _ = extract_prediction("Performance: 2.2767\n")
+        assert value == pytest.approx(2.2767)
+
+    def test_first_value_wins(self):
+        value, _ = extract_prediction("0.5 then 0.9")
+        assert value == 0.5
+
+    def test_trailing_prose(self):
+        value, _ = extract_prediction("0.003 is my best guess")
+        assert value == pytest.approx(0.003)
+
+    def test_integer_fallback(self):
+        value, _ = extract_prediction("about 3 seconds")
+        assert value == 3.0
+
+    def test_truncated_decimal(self):
+        """'0.' parses via the integer fallback ('0')."""
+        value, _ = extract_prediction("0. ")
+        assert value == 0.0
+
+    def test_no_value_raises(self):
+        with pytest.raises(ParseError):
+            extract_prediction("no numbers here")
+
+    def test_matched_text_is_copyable(self):
+        """The matched substring is what copy analysis compares, so it
+        must equal the serialized ICL form when the model copies."""
+        _, text = extract_prediction("0.0031921\n")
+        assert text == "0.0031921"
+
+
+class TestExtractClassLabel:
+    def test_plain(self):
+        assert extract_class_label("3", 5) == 3
+
+    def test_echo(self):
+        assert extract_class_label("Performance bucket: 4", 10) == 4
+
+    def test_out_of_range_skipped(self):
+        assert extract_class_label("bucket 17 or maybe 2", 5) == 2
+
+    def test_missing_raises(self):
+        with pytest.raises(ParseError):
+            extract_class_label("none", 5)
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ParseError):
+            extract_class_label("1", 1)
+
+
+class TestExtractConfiguration:
+    def test_roundtrip(self, space):
+        cfg = space.from_index(4321)
+        text = serialize_config(cfg, "SM")
+        parsed = extract_configuration(text, space)
+        assert space.to_index(parsed) == 4321
+
+    def test_incomplete_raises(self, space):
+        with pytest.raises(ParseError):
+            extract_configuration("first_array_packed is True", space)

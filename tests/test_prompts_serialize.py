@@ -1,0 +1,98 @@
+"""Tests for configuration/runtime serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParseError
+from repro.prompts.serialize import (
+    deserialize_config,
+    example_block,
+    format_runtime,
+    query_block,
+    serialize_config,
+)
+
+
+class TestFormatRuntime:
+    def test_subsecond_seven_decimals(self):
+        """The paper's SM example: Performance: 0.0022155."""
+        assert format_runtime(0.0022155) == "0.0022155"
+
+    def test_seconds_four_decimals(self):
+        assert format_runtime(2.2767) == "2.2767"
+
+    def test_boundary(self):
+        assert format_runtime(0.9999999) == "0.9999999"
+        assert format_runtime(1.0) == "1.0000"
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            format_runtime(0.0)
+        with pytest.raises(ValueError):
+            format_runtime(-1.0)
+
+    @given(
+        st.floats(min_value=1e-6, max_value=9.99, allow_nan=False)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_plain_decimal(self, v):
+        s = format_runtime(v)
+        assert "e" not in s and "E" not in s
+        assert float(s) == pytest.approx(v, rel=1e-2, abs=1e-6)
+
+
+class TestSerializeConfig:
+    def test_figure1_layout(self, space):
+        cfg = space.from_index(0)
+        text = serialize_config(cfg, "SM")
+        assert text.startswith("size is SM, ")
+        assert "first_array_packed is False" in text
+        assert "outer_loop_tiling_factor is 4" in text
+
+    def test_roundtrip(self, space):
+        cfg = space.from_index(1234)
+        text = serialize_config(cfg, "SM")
+        parsed, size = deserialize_config(text, space)
+        assert parsed == cfg and size == "SM"
+
+    def test_roundtrip_all_corners(self, space):
+        for idx in (0, space.size - 1, 5000):
+            cfg = space.from_index(idx)
+            parsed, _ = deserialize_config(
+                serialize_config(cfg, "XL"), space
+            )
+            assert space.to_index(parsed) == idx
+
+
+class TestDeserialize:
+    def test_missing_param(self, space):
+        with pytest.raises(ParseError, match="missing parameter"):
+            deserialize_config("size is SM, first_array_packed is True", space)
+
+    def test_out_of_domain(self, space):
+        cfg = space.from_index(0)
+        text = serialize_config(cfg, "SM").replace(
+            "outer_loop_tiling_factor is 4", "outer_loop_tiling_factor is 5"
+        )
+        with pytest.raises(ParseError, match="not in domain"):
+            deserialize_config(text, space)
+
+    def test_tolerates_surrounding_text(self, space):
+        cfg = space.from_index(77)
+        text = "Sure! " + serialize_config(cfg, "SM") + "\nDone."
+        parsed, _ = deserialize_config(text, space)
+        assert space.to_index(parsed) == 77
+
+
+class TestBlocks:
+    def test_example_block(self, space):
+        cfg = space.from_index(3)
+        block = example_block(cfg, "SM", 0.0022155)
+        assert block.startswith("Hyperparameter configuration: size is SM")
+        assert block.endswith("Performance: 0.0022155\n")
+
+    def test_query_block_ends_open(self, space):
+        cfg = space.from_index(3)
+        block = query_block(cfg, "SM")
+        assert block.endswith("Performance:")
+        assert "0.00" not in block

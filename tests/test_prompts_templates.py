@@ -1,0 +1,55 @@
+"""Tests for the fixed prompt templates."""
+
+from repro.dataset.syr2k import SIZE_NAMES, Syr2kTask
+from repro.prompts.templates import (
+    SYSTEM_INSTRUCTIONS,
+    SYSTEM_INSTRUCTIONS_CANDIDATE,
+    SYSTEM_INSTRUCTIONS_GENERATIVE,
+    problem_description,
+)
+
+
+class TestSystemInstructions:
+    def test_figure1_phrases(self):
+        assert "Do NOT explain your thought process" in SYSTEM_INSTRUCTIONS
+        assert "feature-rich text-based CSV format" in SYSTEM_INSTRUCTIONS
+        assert "Do not alter the user's proposed configurations" in (
+            SYSTEM_INSTRUCTIONS
+        )
+
+    def test_generative_mentions_buckets(self):
+        assert "bucket" in SYSTEM_INSTRUCTIONS_GENERATIVE
+
+    def test_candidate_asks_for_configuration(self):
+        assert "propose one hyperparameter configuration" in (
+            SYSTEM_INSTRUCTIONS_CANDIDATE
+        )
+
+
+class TestProblemDescription:
+    def test_sm_dimensions(self):
+        desc = problem_description(Syr2kTask("SM"))
+        assert "For size 'SM', M=130 and N=160" in desc
+
+    def test_size_scale_enumerated(self):
+        desc = problem_description(Syr2kTask("SM"))
+        assert ", ".join(SIZE_NAMES) in desc
+
+    def test_tunables_listed(self):
+        desc = problem_description(Syr2kTask("XL"))
+        for phrase in (
+            "independently packed",
+            "interchanged",
+            "tiled",
+            "lower is better",
+        ):
+            assert phrase in desc
+
+    def test_pseudocode_present(self):
+        desc = problem_description(Syr2kTask("SM"))
+        assert "for i=0 to N in tiles of size outer_loop_tiling_factor" in desc
+        assert "C[i,k] = A[k,j]*alpha*B[i,j] + B[k,j]*alpha*A[i,j]" in desc
+
+    def test_size_invariance_stated(self):
+        desc = problem_description(Syr2kTask("SM"))
+        assert "Size is NOT a tunable component" in desc

@@ -1,0 +1,69 @@
+"""Tests for value-serialization styles (Section V-B output formats)."""
+
+import pytest
+
+from repro.core.surrogate import DiscriminativeSurrogate
+from repro.dataset.splits import disjoint_example_sets
+from repro.prompts.builder import PromptBuilder
+from repro.prompts.serialize import VALUE_STYLES, format_runtime
+
+
+class TestScientificStyle:
+    def test_format(self):
+        assert format_runtime(0.0022155, "scientific") == "2.2155e-03"
+        assert format_runtime(2.2767, "scientific") == "2.2767e+00"
+
+    def test_roundtrips_numerically(self):
+        for v in (0.0022155, 2.2767, 0.98):
+            assert float(format_runtime(v, "scientific")) == pytest.approx(
+                v, rel=1e-3
+            )
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError, match="unknown value style"):
+            format_runtime(1.0, "roman")
+        assert set(VALUE_STYLES) == {"decimal", "scientific"}
+
+
+class TestBuilderStyles:
+    def test_style_flows_into_prompt(self, sm_task, tokenizer, sm_dataset):
+        builder = PromptBuilder(sm_task, tokenizer, value_style="scientific")
+        examples = [
+            (sm_dataset.config(i), float(sm_dataset.runtimes[i]))
+            for i in range(3)
+        ]
+        parts = builder.discriminative(examples, sm_dataset.config(99))
+        assert all("e-0" in v or "e+0" in v for v in parts.icl_value_strings)
+        assert parts.icl_value_strings[0] in parts.text
+
+    def test_invalid_style_fails_at_construction(self, sm_task, tokenizer):
+        with pytest.raises(ValueError):
+            PromptBuilder(sm_task, tokenizer, value_style="binary")
+
+
+class TestSurrogateWithScientific:
+    def test_generates_and_often_misses_exponent(self, sm_task, sm_dataset):
+        """Section V-B's predicted failure: scientific notation destroys
+        prefix similarity and the model emits a mantissa without the
+        exponent, inflating error by orders of magnitude."""
+        surrogate = DiscriminativeSurrogate(
+            sm_task, value_style="scientific"
+        )
+        sets, queries = disjoint_example_sets(
+            sm_dataset, 1, 10, seed=8, n_queries=6
+        )
+        examples = [
+            (sm_dataset.config(int(r)), float(sm_dataset.runtimes[int(r)]))
+            for r in sets[0]
+        ]
+        errors = []
+        for i, q in enumerate(queries):
+            pred = surrogate.predict(
+                examples, sm_dataset.config(int(q)), seed=i
+            )
+            if pred.parsed and pred.value and pred.value > 0:
+                truth = float(sm_dataset.runtimes[int(q)])
+                errors.append(abs(pred.value - truth) / truth)
+        assert errors, "scientific prompts still produce parsable numbers"
+        # Mantissa-only outputs are ~1e3 off for SM runtimes.
+        assert max(errors) > 10.0

@@ -1,0 +1,98 @@
+"""Second property-test round: learner, space, and sampler invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataset import syr2k_space
+from repro.gbt.boosting import BoostingParams, GradientBoostingRegressor
+from repro.llm.sampling import SamplingParams, sample_token
+from repro.utils.rng import rng_from
+
+_SPACE = syr2k_space()
+
+
+class TestGBTProperties:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_predictions_within_target_range(self, seed):
+        """Tree ensembles interpolate: with a modest learning rate the
+        predictions stay inside (min(y), max(y)) padded by the residual
+        overshoot bound."""
+        rng = np.random.default_rng(seed)
+        x = rng.random((120, 3))
+        y = rng.random(120) * 4.0 + 1.0
+        model = GradientBoostingRegressor(
+            BoostingParams(n_estimators=40, learning_rate=0.2, max_depth=3)
+        ).fit(x, y)
+        pred = model.predict(rng.random((60, 3)))
+        span = y.max() - y.min()
+        assert pred.min() > y.min() - 0.5 * span
+        assert pred.max() < y.max() + 0.5 * span
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_constant_target_learned_exactly(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.random((50, 2))
+        y = np.full(50, 3.25)
+        model = GradientBoostingRegressor(
+            BoostingParams(n_estimators=5)
+        ).fit(x, y)
+        np.testing.assert_allclose(model.predict(x), 3.25, atol=1e-9)
+
+
+class TestSpaceProperties:
+    @given(
+        st.integers(min_value=0, max_value=_SPACE.size - 1),
+        st.integers(min_value=0, max_value=_SPACE.size - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distance_symmetry_and_identity(self, i, j):
+        a, b = _SPACE.from_index(i), _SPACE.from_index(j)
+        dij = _SPACE.weighted_distance(a, b)
+        dji = _SPACE.weighted_distance(b, a)
+        assert dij == pytest.approx(dji)
+        assert (dij == 0) == (i == j)
+        assert _SPACE.hamming_distance(a, b) == _SPACE.hamming_distance(b, a)
+
+    @given(st.integers(min_value=0, max_value=_SPACE.size - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_hamming_bounds_weighted(self, i):
+        """Weighted distance never exceeds Hamming distance (each term is
+        normalized to [0, 1])."""
+        center = _SPACE.from_index(i)
+        for j in (0, _SPACE.size // 2, _SPACE.size - 1):
+            other = _SPACE.from_index(j)
+            assert _SPACE.weighted_distance(center, other) <= (
+                _SPACE.hamming_distance(center, other) + 1e-12
+            )
+
+
+class TestSamplingProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sample_always_valid_position(self, logits, seed):
+        ids = np.arange(len(logits))
+        rng = rng_from(seed, "prop")
+        pos = sample_token(
+            ids, np.asarray(logits), SamplingParams(), rng
+        )
+        assert 0 <= pos < len(logits)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_never_random(self, seed):
+        logits = np.asarray([0.0, 2.0, 1.0])
+        rng = rng_from(seed, "greedy")
+        pos = sample_token(
+            np.arange(3), logits, SamplingParams(greedy=True), rng
+        )
+        assert pos == 1

@@ -1,0 +1,67 @@
+"""Structural tests on probe construction (ICL/query disjointness etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import ExperimentSpec
+from repro.core.runner import _dataset, _probes_for
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return _dataset("SM", 20250705)
+
+
+class TestRandomProbes:
+    def test_icl_and_queries_disjoint(self, dataset):
+        spec = ExperimentSpec("SM", "random", 10, 0, 1, n_queries=5)
+        probes = _probes_for(spec, dataset)
+        for icl_rows, query_row in probes:
+            assert query_row not in set(icl_rows.tolist())
+
+    def test_all_five_sets_disjoint(self, dataset):
+        rows_per_set = []
+        for set_id in range(5):
+            spec = ExperimentSpec("SM", "random", 10, set_id, 1)
+            probes = _probes_for(spec, dataset)
+            rows_per_set.append(frozenset(probes[0][0].tolist()))
+        for i in range(5):
+            for j in range(i + 1, 5):
+                assert not (rows_per_set[i] & rows_per_set[j])
+
+    def test_same_sets_across_seeds(self, dataset):
+        """The example material depends on (size, n_icl) only, so seeds
+        and selection runs compare like-for-like."""
+        a = _probes_for(ExperimentSpec("SM", "random", 10, 1, 1), dataset)
+        b = _probes_for(ExperimentSpec("SM", "random", 10, 1, 2), dataset)
+        np.testing.assert_array_equal(a[0][0], b[0][0])
+        assert a[0][1] == b[0][1]
+
+    def test_queries_shared_across_sets(self, dataset):
+        """All five sets predict the same queries (paired comparison)."""
+        a = _probes_for(ExperimentSpec("SM", "random", 10, 0, 1), dataset)
+        b = _probes_for(ExperimentSpec("SM", "random", 10, 3, 1), dataset)
+        assert [q for _, q in a] == [q for _, q in b]
+
+
+class TestCuratedProbes:
+    def test_each_query_has_own_neighborhood(self, dataset):
+        spec = ExperimentSpec("SM", "curated", 10, 0, 1, n_queries=3)
+        probes = _probes_for(spec, dataset)
+        queries = [q for _, q in probes]
+        assert len(set(queries)) == len(queries) or len(queries) <= 3
+
+    def test_examples_near_query(self, dataset):
+        spec = ExperimentSpec("SM", "curated", 15, 0, 1, n_queries=2)
+        for icl_rows, query_row in _probes_for(spec, dataset):
+            qidx = int(dataset.indices[query_row])
+            dist = dataset.space.pairwise_weighted_distances(
+                qidx, dataset.indices[icl_rows]
+            )
+            # Minimal-edit-distance curation: all within ~2 weighted units.
+            assert dist.max() < 2.5
+
+    def test_curated_independent_of_seed_field(self, dataset):
+        a = _probes_for(ExperimentSpec("SM", "curated", 10, 0, 1), dataset)
+        b = _probes_for(ExperimentSpec("SM", "curated", 10, 0, 3), dataset)
+        np.testing.assert_array_equal(a[0][0], b[0][0])

@@ -1,0 +1,56 @@
+"""Tests for tuner abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TuningError
+from repro.tuning.base import EvaluationBudget, Tuner, TuningHistory
+
+
+class TestTuningHistory:
+    def test_record_and_best(self):
+        h = TuningHistory()
+        h.record(5, 1.0)
+        h.record(9, 0.5)
+        h.record(2, 0.8)
+        assert h.best_runtime == 0.5
+        assert h.best_index == 9
+        assert len(h) == 3
+        assert h.evaluated == {5, 9, 2}
+
+    def test_best_so_far_curve_monotone(self):
+        h = TuningHistory()
+        for i, rt in enumerate([3.0, 2.0, 2.5, 1.0]):
+            h.record(i, rt)
+        curve = h.best_so_far_curve()
+        np.testing.assert_array_equal(curve, [3.0, 2.0, 2.0, 1.0])
+        assert (np.diff(curve) <= 0).all()
+
+    def test_invalid_runtime(self):
+        h = TuningHistory()
+        with pytest.raises(TuningError):
+            h.record(0, 0.0)
+        with pytest.raises(TuningError):
+            h.record(0, float("nan"))
+
+    def test_empty_best_raises(self):
+        with pytest.raises(TuningError):
+            _ = TuningHistory().best_runtime
+
+    def test_empty_curve(self):
+        assert TuningHistory().best_so_far_curve().size == 0
+
+
+class TestBudget:
+    def test_valid(self):
+        assert EvaluationBudget(10).n_evaluations == 10
+
+    def test_invalid(self):
+        with pytest.raises(TuningError):
+            EvaluationBudget(0)
+
+
+class TestTunerBase:
+    def test_propose_abstract(self, space):
+        with pytest.raises(NotImplementedError):
+            Tuner(space).propose(TuningHistory())

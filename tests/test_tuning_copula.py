@@ -1,0 +1,101 @@
+"""Tests for the Gaussian-copula transfer substrate (ICS'23 method)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import Syr2kPerformanceModel, generate_dataset
+from repro.errors import TuningError
+from repro.tuning.base import TuningHistory
+from repro.tuning.copula import CopulaTransferTuner, GaussianCopula
+from repro.tuning.harness import compare_tuners
+from repro.tuning.random_search import RandomSearchTuner
+from repro.utils.rng import rng_from
+
+
+@pytest.fixture(scope="module")
+def copula(sm_dataset):
+    return GaussianCopula(sm_dataset)
+
+
+class TestGaussianCopula:
+    def test_requires_enough_data(self):
+        tiny = generate_dataset("SM", indices=range(5))
+        with pytest.raises(TuningError):
+            GaussianCopula(tiny)
+
+    def test_objective_correlations_shape(self, copula, space):
+        corr = copula.objective_correlations
+        assert corr.shape == (len(space.parameters),)
+        assert (np.abs(corr) <= 1.0 + 1e-9).all()
+
+    def test_samples_in_range(self, copula, space, rng):
+        idx = copula.sample_conditioned(rng, quantile=0.1, n=200)
+        assert idx.shape == (200,)
+        assert idx.min() >= 0 and idx.max() < space.size
+
+    def test_conditioning_matters(self, sm_dataset, copula):
+        """Conditioning on a fast quantile yields faster configurations
+        than conditioning on a slow one (in true runtime)."""
+        rng_fast = rng_from(1, "fast")
+        rng_slow = rng_from(1, "slow")
+        fast_idx = copula.sample_conditioned(rng_fast, quantile=0.02, n=300)
+        slow_idx = copula.sample_conditioned(rng_slow, quantile=0.98, n=300)
+        fast_rt = sm_dataset.runtimes[fast_idx].mean()
+        slow_rt = sm_dataset.runtimes[slow_idx].mean()
+        assert fast_rt < slow_rt
+
+    def test_fast_conditioning_beats_random(self, sm_dataset, copula, rng):
+        idx = copula.sample_conditioned(rng, quantile=0.02, n=300)
+        sampled_mean = sm_dataset.runtimes[idx].mean()
+        assert sampled_mean < sm_dataset.runtimes.mean()
+
+    def test_invalid_quantile(self, copula, rng):
+        with pytest.raises(TuningError):
+            copula.sample_conditioned(rng, quantile=0.0)
+        with pytest.raises(TuningError):
+            copula.sample_conditioned(rng, quantile=1.0)
+        with pytest.raises(TuningError):
+            copula.sample_conditioned(rng, quantile=0.5, n=0)
+
+
+class TestCopulaTransferTuner:
+    def test_space_mismatch_rejected(self, sm_dataset):
+        from repro.dataset.parameters import BooleanParameter
+        from repro.dataset.space import ConfigSpace
+
+        other = ConfigSpace((BooleanParameter("z"),))
+        with pytest.raises(TuningError):
+            CopulaTransferTuner(other, sm_dataset)
+
+    def test_invalid_fraction(self, space, sm_dataset):
+        with pytest.raises(TuningError):
+            CopulaTransferTuner(space, sm_dataset, source_fraction=0.0)
+
+    def test_never_reproposes(self, space, sm_dataset):
+        tuner = CopulaTransferTuner(space, sm_dataset, seed=2)
+        history = TuningHistory()
+        for _ in range(30):
+            idx = tuner.propose(history)
+            assert idx not in history.evaluated
+            history.record(idx, 1.0)
+
+    def test_transfer_beats_random(self, space, sm_dataset, xl_task):
+        """SM -> XL transfer: the copula's proposals reach a better best
+        runtime than random search under a small budget."""
+        xl_model = Syr2kPerformanceModel(xl_task)
+        cmp = compare_tuners(
+            [
+                RandomSearchTuner(space, seed=3),
+                CopulaTransferTuner(space, sm_dataset, seed=3),
+            ],
+            xl_model,
+            budget=20,
+            repetitions=3,
+        )
+        assert cmp.mean_best("copula-transfer") < cmp.mean_best("random")
+
+    def test_deterministic(self, space, sm_dataset):
+        a = CopulaTransferTuner(space, sm_dataset, seed=9)
+        b = CopulaTransferTuner(space, sm_dataset, seed=9)
+        h = TuningHistory()
+        assert a.propose(h) == b.propose(h)

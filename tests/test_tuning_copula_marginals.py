@@ -1,0 +1,50 @@
+"""Property tests for the copula's ordinal marginals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tuning.copula import _OrdinalMarginal
+
+
+class TestOrdinalMarginal:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=60)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_z_mapping_monotone(self, values):
+        m = _OrdinalMarginal(np.asarray(values), cardinality=8)
+        z = m.z_of_level
+        assert (np.diff(z) > 0).all(), "normal scores respect level order"
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=7), min_size=5, max_size=60)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_at_level_scores(self, values):
+        """Mapping a level's own normal score back recovers the level."""
+        m = _OrdinalMarginal(np.asarray(values), cardinality=8)
+        levels = np.arange(8)
+        back = m.from_z(m.z_of_level[levels])
+        np.testing.assert_array_equal(back, levels)
+
+    def test_from_z_extremes_clip(self):
+        m = _OrdinalMarginal(np.asarray([0, 1, 2]), cardinality=3)
+        assert m.from_z(np.asarray([-50.0]))[0] == 0
+        assert m.from_z(np.asarray([50.0]))[0] == 2
+
+    def test_probabilities_sum_to_one(self):
+        m = _OrdinalMarginal(np.asarray([0, 0, 1]), cardinality=4)
+        assert m.probs.sum() == pytest.approx(1.0)
+        # Smoothing keeps unseen levels reachable.
+        assert (m.probs > 0).all()
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_sampling_frequencies_track_counts(self, seed):
+        rng = np.random.default_rng(seed)
+        data = np.asarray([0] * 90 + [1] * 10)
+        m = _OrdinalMarginal(data, cardinality=2)
+        draws = m.from_z(rng.standard_normal(400))
+        share_one = float((draws == 1).mean())
+        assert share_one < 0.5  # dominated by level 0

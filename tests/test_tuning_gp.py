@@ -1,0 +1,82 @@
+"""Tests for the from-scratch Gaussian process."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelNotFittedError, TuningError
+from repro.tuning.gp import GaussianProcess, GPParams
+
+
+class TestParams:
+    def test_invalid(self):
+        with pytest.raises(TuningError):
+            GPParams(lengthscale=0)
+        with pytest.raises(TuningError):
+            GPParams(signal_variance=0)
+        with pytest.raises(TuningError):
+            GPParams(noise_variance=-1)
+
+
+class TestFitPredict:
+    def test_interpolates_training_points(self, rng):
+        x = rng.random((20, 2))
+        y = np.sin(3 * x[:, 0]) + x[:, 1]
+        gp = GaussianProcess(GPParams(noise_variance=1e-8)).fit(x, y)
+        pred = gp.predict(x)
+        np.testing.assert_allclose(pred, y, atol=1e-4)
+
+    def test_std_zero_at_training_points(self, rng):
+        x = rng.random((10, 1))
+        y = rng.random(10)
+        gp = GaussianProcess(GPParams(noise_variance=1e-10)).fit(x, y)
+        _, std = gp.predict(x, return_std=True)
+        assert (std < 1e-3).all()
+
+    def test_std_grows_away_from_data(self, rng):
+        x = rng.random((10, 1))
+        y = rng.random(10)
+        gp = GaussianProcess(GPParams(lengthscale=0.2)).fit(x, y)
+        _, near = gp.predict(x[:1] + 0.01, return_std=True)
+        _, far = gp.predict(np.array([[10.0]]), return_std=True)
+        assert far[0] > near[0]
+
+    def test_reverts_to_mean_far_away(self, rng):
+        x = rng.random((15, 1))
+        y = 5.0 + rng.random(15)
+        gp = GaussianProcess(GPParams(lengthscale=0.1)).fit(x, y)
+        pred = gp.predict(np.array([[100.0]]))
+        assert pred[0] == pytest.approx(y.mean(), abs=1e-6)
+
+    def test_smooth_interpolation(self):
+        """GP prediction between two close points lies between them."""
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 1.0])
+        gp = GaussianProcess(GPParams(lengthscale=1.0, noise_variance=1e-8)).fit(x, y)
+        mid = gp.predict(np.array([[0.5]]))[0]
+        assert 0.2 < mid < 0.8
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            GaussianProcess().predict(np.zeros((1, 1)))
+        with pytest.raises(ModelNotFittedError):
+            GaussianProcess().log_marginal_likelihood()
+
+    def test_shape_validation(self):
+        with pytest.raises(TuningError):
+            GaussianProcess().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_log_marginal_likelihood_finite(self, rng):
+        x = rng.random((12, 2))
+        y = rng.random(12)
+        gp = GaussianProcess(GPParams(noise_variance=0.01)).fit(x, y)
+        assert np.isfinite(gp.log_marginal_likelihood())
+
+    def test_good_lengthscale_higher_evidence(self, rng):
+        """A wildly mis-specified lengthscale yields lower evidence."""
+        x = np.linspace(0, 1, 25)[:, None]
+        y = np.sin(6 * x[:, 0])
+        good = GaussianProcess(GPParams(lengthscale=0.3, noise_variance=0.01)).fit(x, y)
+        bad = GaussianProcess(
+            GPParams(lengthscale=1e-4, noise_variance=0.01)
+        ).fit(x, y)
+        assert good.log_marginal_likelihood() > bad.log_marginal_likelihood()

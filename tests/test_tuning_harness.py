@@ -1,0 +1,108 @@
+"""Tests for the tuner comparison harness."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.perfmodel import Syr2kPerformanceModel
+from repro.errors import TuningError
+from repro.tuning.base import EvaluationBudget, Tuner, TuningHistory
+from repro.tuning.harness import compare_tuners, run_tuner
+from repro.tuning.random_search import RandomSearchTuner
+
+
+@pytest.fixture(scope="module")
+def sm_model(sm_task):
+    return Syr2kPerformanceModel(sm_task)
+
+
+class _FixedTuner(Tuner):
+    """Always proposes index 0 (for harness-contract tests)."""
+
+    name = "fixed"
+
+    def propose(self, history):
+        return 0
+
+
+class _BrokenTuner(Tuner):
+    name = "broken"
+
+    def propose(self, history):
+        return -1
+
+
+class TestRunTuner:
+    def test_budget_respected(self, space, sm_model):
+        result = run_tuner(RandomSearchTuner(space, 0), sm_model, 12)
+        assert result.n_evaluations == 12
+        assert len(result.history) == 12
+
+    def test_accepts_budget_object(self, space, sm_model):
+        result = run_tuner(
+            RandomSearchTuner(space, 0), sm_model, EvaluationBudget(5)
+        )
+        assert result.n_evaluations == 5
+
+    def test_best_consistent(self, space, sm_model):
+        result = run_tuner(RandomSearchTuner(space, 0), sm_model, 20)
+        assert result.best_runtime == min(result.history.runtimes)
+        assert result.best_index in result.history.indices
+
+    def test_measurement_noise_on_repeats(self, space, sm_model):
+        """Repeated proposals of the same config see run-to-run variance."""
+        result = run_tuner(_FixedTuner(space), sm_model, 5)
+        assert len(set(result.history.runtimes)) > 1
+
+    def test_out_of_range_proposal_rejected(self, space, sm_model):
+        with pytest.raises(TuningError):
+            run_tuner(_BrokenTuner(space), sm_model, 2)
+
+    def test_deterministic(self, space, sm_model):
+        a = run_tuner(RandomSearchTuner(space, 5), sm_model, 10)
+        b = run_tuner(RandomSearchTuner(space, 5), sm_model, 10)
+        assert a.history.indices == b.history.indices
+        assert a.history.runtimes == b.history.runtimes
+
+
+class TestCompare:
+    def test_structure(self, space, sm_model):
+        cmp = compare_tuners(
+            [RandomSearchTuner(space, 0)], sm_model, budget=10, repetitions=2
+        )
+        assert len(cmp.results["random"]) == 2
+        assert cmp.global_optimum > 0
+        assert cmp.mean_best("random") >= cmp.global_optimum * 0.9
+
+    def test_mean_curve_monotone(self, space, sm_model):
+        cmp = compare_tuners(
+            [RandomSearchTuner(space, 0)], sm_model, budget=15, repetitions=2
+        )
+        curve = cmp.mean_curve("random")
+        assert curve.shape == (15,)
+        assert (np.diff(curve) <= 1e-12).all()
+
+    def test_ranking_sorted(self, space, sm_model):
+        cmp = compare_tuners(
+            [RandomSearchTuner(space, 0), _FixedTuner(space)],
+            sm_model,
+            budget=10,
+            repetitions=1,
+        )
+        ranks = cmp.ranking()
+        assert ranks[0][1] <= ranks[1][1]
+
+    def test_regret_nonnegative_in_expectation(self, space, sm_model):
+        cmp = compare_tuners(
+            [RandomSearchTuner(space, 0)], sm_model, budget=10, repetitions=2
+        )
+        # regret can be slightly negative only through measurement noise
+        assert cmp.mean_regret("random") > -0.1
+
+    def test_invalid_repetitions(self, space, sm_model):
+        with pytest.raises(TuningError):
+            compare_tuners([RandomSearchTuner(space, 0)], sm_model, 5, 0)
+
+    def test_seed_restored_after_comparison(self, space, sm_model):
+        tuner = RandomSearchTuner(space, 123)
+        compare_tuners([tuner], sm_model, budget=5, repetitions=2)
+        assert tuner.seed == 123

@@ -1,0 +1,131 @@
+"""Tests for random search, hill climbing, GP-BO, and the LLM sampler."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.perfmodel import Syr2kPerformanceModel
+from repro.tuning.base import TuningHistory
+from repro.tuning.bo import BayesianOptTuner
+from repro.tuning.hill_climb import HillClimbTuner
+from repro.tuning.llm_sampler import LLMCandidateTuner
+from repro.tuning.random_search import RandomSearchTuner
+from repro.errors import TuningError
+
+
+@pytest.fixture(scope="module")
+def sm_model(sm_task):
+    return Syr2kPerformanceModel(sm_task)
+
+
+class TestRandomSearch:
+    def test_no_repeats(self, space):
+        tuner = RandomSearchTuner(space, seed=0)
+        history = TuningHistory()
+        for _ in range(50):
+            idx = tuner.propose(history)
+            assert idx not in history.evaluated
+            history.record(idx, 1.0)
+
+    def test_deterministic_after_reset(self, space):
+        tuner = RandomSearchTuner(space, seed=0)
+        h = TuningHistory()
+        first = tuner.propose(h)
+        tuner.reset()
+        assert tuner.propose(TuningHistory()) == first
+
+
+class TestHillClimb:
+    def test_moves_toward_improvement(self, space):
+        """Fed a deterministic objective, the climber's proposals stay in
+        the Hamming-1 neighbourhood of the best seen."""
+        tuner = HillClimbTuner(space, seed=1)
+        history = TuningHistory()
+        idx = tuner.propose(history)
+        history.record(idx, 1.0)
+        nxt = tuner.propose(history)
+        assert nxt in space.neighbors(idx)
+
+    def test_restarts_after_exhaustion(self, space):
+        tuner = HillClimbTuner(space, seed=1)
+        history = TuningHistory()
+        incumbent = tuner.propose(history)
+        history.record(incumbent, 1.0)
+        neighbors = set(space.neighbors(incumbent))
+        # Feed worse values for every neighbour -> must eventually restart.
+        proposals = set()
+        for _ in range(len(neighbors) + 1):
+            idx = tuner.propose(history)
+            proposals.add(idx)
+            history.record(idx, 2.0)
+        assert proposals - neighbors  # at least one non-neighbour (restart)
+
+    def test_never_reproposes(self, space):
+        tuner = HillClimbTuner(space, seed=2)
+        history = TuningHistory()
+        for step in range(60):
+            idx = tuner.propose(history)
+            assert idx not in history.evaluated
+            history.record(idx, 1.0 / (step + 1))
+
+
+class TestBayesianOpt:
+    def test_initial_phase_random(self, space):
+        tuner = BayesianOptTuner(space, seed=0, n_init=5)
+        history = TuningHistory()
+        for _ in range(5):
+            idx = tuner.propose(history)
+            history.record(idx, 1.0)
+        assert len(history.evaluated) == 5
+
+    def test_validates_params(self, space):
+        with pytest.raises(TuningError):
+            BayesianOptTuner(space, n_init=1)
+        with pytest.raises(TuningError):
+            BayesianOptTuner(space, pool_size=0)
+
+    def test_outperforms_random(self, space, sm_model):
+        """Under equal budget, GP-BO finds a configuration at least as
+        good as random search on average (3 repetitions)."""
+        from repro.tuning.harness import compare_tuners
+
+        cmp = compare_tuners(
+            [RandomSearchTuner(space, 7), BayesianOptTuner(space, 7)],
+            sm_model,
+            budget=35,
+            repetitions=3,
+        )
+        assert cmp.mean_best("gp-bo") <= cmp.mean_best("random") * 1.05
+
+    def test_ei_proposals_unseen(self, space, sm_model):
+        tuner = BayesianOptTuner(space, seed=3, n_init=4)
+        history = TuningHistory()
+        for step in range(12):
+            idx = tuner.propose(history)
+            assert idx not in history.evaluated
+            history.record(idx, float(sm_model.measure([idx], rep=step + 1)[0]))
+
+
+class TestLLMCandidateTuner:
+    def test_initial_random(self, space, sm_task):
+        tuner = LLMCandidateTuner(space, sm_task, seed=0, n_init=3)
+        history = TuningHistory()
+        for _ in range(3):
+            idx = tuner.propose(history)
+            history.record(idx, 0.002)
+        assert tuner.n_proposals == 0  # LM not consulted yet
+
+    def test_llm_consulted_after_init(self, space, sm_task):
+        tuner = LLMCandidateTuner(space, sm_task, seed=0, n_init=2)
+        history = TuningHistory()
+        for step in range(4):
+            idx = tuner.propose(history)
+            assert 0 <= idx < space.size
+            history.record(idx, 0.002 + step * 1e-4)
+        assert tuner.n_proposals >= 1
+        assert 0.0 <= tuner.fallback_rate <= 1.0
+
+    def test_validates_params(self, space, sm_task):
+        with pytest.raises(TuningError):
+            LLMCandidateTuner(space, sm_task, target_ratio=0.0)
+        with pytest.raises(TuningError):
+            LLMCandidateTuner(space, sm_task, n_init=0)

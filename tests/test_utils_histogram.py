@@ -1,0 +1,58 @@
+"""Tests for the ASCII histogram renderer."""
+
+import numpy as np
+import pytest
+
+from repro.utils.histogram import render_histogram
+
+
+class TestRenderHistogram:
+    def test_basic_structure(self):
+        out = render_histogram([1.0, 2.0, 2.1, 3.0], bins=4, title="demo")
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert len(lines) == 5
+        assert all("|" in ln for ln in lines[1:])
+
+    def test_peak_bin_longest_bar(self):
+        out = render_histogram([1.0] * 10 + [2.0], bins=2, width=20)
+        lines = out.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_weights_change_shape(self):
+        values = [1.0, 2.0]
+        heavy_right = render_histogram(values, weights=[0.1, 0.9], bins=2)
+        heavy_left = render_histogram(values, weights=[0.9, 0.1], bins=2)
+        assert heavy_right != heavy_left
+
+    def test_markers_annotated(self):
+        out = render_histogram(
+            [1.0, 2.0, 3.0], bins=3, markers={"truth": 2.1}
+        )
+        assert "<- truth" in out
+
+    def test_marker_at_max_edge(self):
+        out = render_histogram([1.0, 2.0], bins=2, markers={"top": 2.0})
+        assert "<- top" in out
+
+    def test_fractions_sum_to_one(self):
+        out = render_histogram(np.linspace(0, 1, 50), bins=5)
+        fracs = [
+            float(ln.split("|")[0].split()[-1].rstrip("%")) / 100
+            for ln in out.splitlines()
+        ]
+        assert sum(fracs) == pytest.approx(1.0, abs=0.02)
+
+    def test_constant_values(self):
+        out = render_histogram([5.0, 5.0, 5.0], bins=3)
+        assert "#" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_histogram([])
+        with pytest.raises(ValueError):
+            render_histogram([1.0], bins=0)
+        with pytest.raises(ValueError):
+            render_histogram([1.0, 2.0], weights=[1.0])
+        with pytest.raises(ValueError):
+            render_histogram([1.0], weights=[-1.0])

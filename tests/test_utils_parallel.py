@@ -1,0 +1,47 @@
+"""Tests for the process-pool helpers."""
+
+import os
+
+import pytest
+
+from repro.utils.parallel import effective_workers, parallel_map
+
+
+def _square(x):
+    return x * x
+
+
+class TestEffectiveWorkers:
+    def test_default_capped(self):
+        w = effective_workers(None)
+        assert 1 <= w <= 16
+
+    def test_explicit_respected(self):
+        assert effective_workers(1) == 1
+
+    def test_capped_by_cores(self):
+        cores = os.cpu_count() or 1
+        assert effective_workers(10_000) <= cores
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            effective_workers(0)
+
+
+class TestParallelMap:
+    def test_empty(self):
+        assert parallel_map(_square, []) == []
+
+    def test_serial_small(self):
+        assert parallel_map(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(40))
+        out = parallel_map(_square, items, workers=2)
+        assert out == [x * x for x in items]
+
+    def test_results_match_serial(self):
+        items = list(range(25))
+        assert parallel_map(_square, items, workers=2) == parallel_map(
+            _square, items, workers=1
+        )

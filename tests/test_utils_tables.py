@@ -1,0 +1,79 @@
+"""Tests for ASCII table rendering and float formatting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.tables import Table, format_float, render_table
+
+
+class TestFormatFloat:
+    def test_none_and_nan(self):
+        assert format_float(None) == "-"
+        assert format_float(float("nan")) == "-"
+
+    def test_inf(self):
+        assert format_float(float("inf")) == "inf"
+        assert format_float(float("-inf")) == "-inf"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_plain(self):
+        assert format_float(0.44) == "0.44"
+        assert format_float(1.0) == "1"
+
+    def test_small_uses_scientific(self):
+        assert "e" in format_float(1e-7)
+
+    def test_large_uses_scientific(self):
+        assert "e" in format_float(4.4e9)
+
+    def test_trailing_zeros_trimmed(self):
+        assert format_float(0.5000) == "0.5"
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_never_raises(self, x):
+        out = format_float(x)
+        assert isinstance(out, str) and out
+
+
+class TestTable:
+    def test_render_contains_cells(self):
+        t = Table(["n", "R2"], title="demo")
+        t.add_row([100, 0.44])
+        t.add_row([500, 0.67])
+        out = t.render()
+        assert "demo" in out
+        assert "0.44" in out and "500" in out
+
+    def test_row_width_mismatch_raises(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_alignment(self):
+        t = Table(["col"], title="")
+        t.add_row([1])
+        t.add_row([1000])
+        lines = t.render().splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines padded equal
+
+    def test_none_cell(self):
+        t = Table(["x"])
+        t.add_row([None])
+        assert "-" in t.render()
+
+
+class TestRenderTable:
+    def test_header_separator(self):
+        out = render_table(["a"], [["1"]])
+        lines = out.splitlines()
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_title_underline(self):
+        out = render_table(["a"], [["1"]], title="T")
+        assert out.splitlines()[0] == "T"
+        assert out.splitlines()[1].startswith("=")

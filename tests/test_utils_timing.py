@@ -1,0 +1,48 @@
+"""Tests for timing helpers."""
+
+import pytest
+
+from repro.utils.timing import Timer, format_duration
+
+
+class TestFormatDuration:
+    def test_microseconds(self):
+        assert format_duration(5e-5).endswith("us")
+
+    def test_milliseconds(self):
+        assert format_duration(0.25) == "250ms"
+
+    def test_seconds(self):
+        assert format_duration(3.2) == "3.2s"
+
+    def test_minutes(self):
+        out = format_duration(125)
+        assert out.startswith("2m")
+
+    def test_hours(self):
+        assert format_duration(7200) == "2h 00m"
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_duration(-1)
+
+
+class TestTimer:
+    def test_measures_positive(self):
+        with Timer() as t:
+            sum(range(10_000))
+        assert t.elapsed > 0
+
+    def test_str_after_exit(self):
+        with Timer() as t:
+            pass
+        assert isinstance(str(t), str)
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            sum(range(100_000))
+        assert t.elapsed != first or t.elapsed >= 0

@@ -1,0 +1,93 @@
+"""Tests for input-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_1d,
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+    check_same_length,
+)
+
+
+class TestCheck1d:
+    def test_list_coerced(self):
+        out = check_1d([1, 2, 3])
+        assert out.dtype == float and out.shape == (3,)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_1d([[1, 2]])
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="myarr"):
+            check_1d([[1]], "myarr")
+
+
+class TestCheckSameLength:
+    def test_ok(self):
+        a, b = check_same_length([1, 2], [3, 4])
+        assert a.shape == b.shape
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            check_same_length([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_same_length([], [])
+
+
+class TestCheckPositive:
+    def test_strict(self):
+        assert check_positive(2.5) == 2.5
+        with pytest.raises(ValueError):
+            check_positive(0.0)
+
+    def test_non_strict_allows_zero(self):
+        assert check_positive(0.0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive(-1, strict=False)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive(float("nan"))
+
+
+class TestCheckFraction:
+    def test_open_interval(self):
+        assert check_fraction(0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_fraction(0.0)
+        with pytest.raises(ValueError):
+            check_fraction(1.0)
+
+    def test_closed_interval(self):
+        assert check_fraction(0.0, closed=True) == 0.0
+        assert check_fraction(1.0, closed=True) == 1.0
+        with pytest.raises(ValueError):
+            check_fraction(1.1, closed=True)
+
+
+class TestCheckProbabilityVector:
+    def test_valid(self):
+        p = check_probability_vector([0.25, 0.75])
+        np.testing.assert_allclose(p.sum(), 1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_probability_vector([-0.1, 1.1])
+
+    def test_sum_enforced(self):
+        with pytest.raises(ValueError, match="sum"):
+            check_probability_vector([0.2, 0.2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([])
+
+    def test_tiny_negatives_clipped(self):
+        p = check_probability_vector([1.0 + 1e-12, -1e-12])
+        assert (p >= 0).all()
