@@ -1,0 +1,103 @@
+"""Serving-layer throughput: requests/sec with caches on vs. off.
+
+The acceptance bar for the serving layer: on a repeated-prompt workload
+(the shape paper grids and autotuner loops actually produce), the
+two-level cache must at least double requests/sec.  In practice result
+hits skip generation entirely, so the observed speedup is far above 2x;
+the assertion leaves headroom for noisy CI wall clocks.
+
+Run explicitly (deselected from tier-1 by the ``slow`` marker):
+
+    PYTHONPATH=src python -m pytest benchmarks/test_serve_throughput.py -m slow -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset import generate_dataset
+from repro.dataset.splits import disjoint_example_sets
+from repro.serve import PredictionService, Request
+from repro.utils.tables import Table
+from repro.utils.timing import Timer
+
+pytestmark = pytest.mark.slow
+
+#: Workload shape: each unique probe is replayed this many times.
+N_UNIQUE = 10
+N_REPEATS = 8
+N_ICL = 5
+
+
+def _workload() -> list[Request]:
+    dataset = generate_dataset("SM")
+    sets, queries = disjoint_example_sets(
+        dataset, 1, N_ICL, seed=1, n_queries=N_UNIQUE
+    )
+    examples = [
+        (dataset.config(int(r)), float(dataset.runtimes[int(r)]))
+        for r in sets[0]
+    ]
+    unique = [
+        Request(
+            examples=examples,
+            query_config=dataset.config(int(q)),
+            seed=100 + i,
+            size="SM",
+        )
+        for i, q in enumerate(queries)
+    ]
+    # Interleaved replay: revisits are spread out, not back-to-back.
+    return unique * N_REPEATS
+
+
+def _run(workload: list[Request], caches: bool):
+    with PredictionService(
+        max_batch_size=8,
+        max_wait_s=0.002,
+        enable_prepare_cache=caches,
+        enable_result_cache=caches,
+    ) as service:
+        with Timer() as timer:
+            responses = service.submit_many(workload)
+        stats = service.stats()
+    rps = len(workload) / max(timer.elapsed, 1e-9)
+    return responses, stats, rps
+
+
+def test_caching_doubles_throughput(emit):
+    workload = _workload()
+    warm_resps, warm_stats, warm_rps = _run(workload, caches=True)
+    cold_resps, cold_stats, cold_rps = _run(workload, caches=False)
+
+    # Caching must not change results (the determinism contract).
+    assert [r.value for r in warm_resps] == [r.value for r in cold_resps]
+    assert warm_stats.n_completed == cold_stats.n_completed == len(workload)
+
+    # The repeated fraction of the workload hits the result cache.
+    expected_hit_rate = 1.0 - 1.0 / N_REPEATS
+    assert warm_stats.result_hit_rate == pytest.approx(expected_hit_rate)
+    assert cold_stats.result_hit_rate == 0.0
+
+    speedup = warm_rps / cold_rps
+    t = Table(
+        ["config", "req/s", "p95 latency (ms)", "result hit rate"],
+        title=f"serve throughput ({len(workload)} requests, "
+        f"{N_UNIQUE} unique x {N_REPEATS})",
+    )
+    t.add_row([
+        "caches on", round(warm_rps, 1),
+        round(warm_stats.p95_latency_s * 1e3, 1),
+        f"{warm_stats.result_hit_rate:.0%}",
+    ])
+    t.add_row([
+        "caches off", round(cold_rps, 1),
+        round(cold_stats.p95_latency_s * 1e3, 1),
+        f"{cold_stats.result_hit_rate:.0%}",
+    ])
+    emit("serve_throughput", t.render() + f"\nspeedup: {speedup:.1f}x")
+
+    assert speedup >= 2.0, (
+        f"caching speedup {speedup:.2f}x below the 2x acceptance bar "
+        f"({warm_rps:.0f} vs {cold_rps:.0f} req/s)"
+    )

@@ -9,6 +9,7 @@ The package is organized by subsystem (see DESIGN.md for the full map):
   generation engine;
 * :mod:`repro.prompts` — LLAMBO-style prompt construction and parsing;
 * :mod:`repro.core` — the discriminative-surrogate experiment pipeline;
+* :mod:`repro.serve` — batched, cached surrogate-inference serving;
 * :mod:`repro.analysis` — metrics, decoding-tree enumeration, haystack
   search, copy/prefix analyses;
 * :mod:`repro.tuning` — classic autotuners plus the LLM candidate sampler.
@@ -66,6 +67,7 @@ from repro.llm import (
     Tokenizer,
 )
 from repro.prompts import PromptBuilder, extract_prediction
+from repro.serve import PredictionService, Request, Response, ServiceStats
 from repro.tuning import (
     BayesianOptTuner,
     HillClimbTuner,
@@ -107,6 +109,11 @@ __all__ = [
     "quick_grid",
     "run_grid",
     "build_report",
+    # serve
+    "PredictionService",
+    "Request",
+    "Response",
+    "ServiceStats",
     # analysis
     "score_predictions",
     "r2_score",

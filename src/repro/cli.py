@@ -7,7 +7,10 @@ Subcommands:
 ``grid``      run a (reduced or full) experiment grid and print the
               Section IV-A summary report;
 ``tune``      compare autotuners on a syr2k task;
-``table1``    print the GBT baseline metrics for a list of training sizes.
+``table1``    print the GBT baseline metrics for a list of training sizes;
+``serve-bench``  drive a repeated-prompt workload through the
+              :mod:`repro.serve` inference service and print its
+              :class:`~repro.serve.ServiceStats` with and without caching.
 
 Every command is deterministic given ``--seed``.
 """
@@ -35,6 +38,14 @@ from repro.gbt import (
 from repro.utils.tables import Table
 
 __all__ = ["build_parser", "main"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for arguments that must be >= 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", type=int, default=3)
     p.add_argument("--workers", type=int, default=None)
     p.add_argument(
+        "--serve", action="store_true",
+        help="execute through the repro.serve PredictionService "
+        "(microbatching + caches) instead of the process pool",
+    )
+    p.add_argument(
         "--save", default=None, metavar="PATH",
         help="also save the probes as JSONL for later `repro report`",
     )
@@ -83,6 +99,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=int, default=50)
     p.add_argument("--repetitions", type=int, default=3)
     p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser(
+        "serve-bench", help="benchmark the surrogate serving layer"
+    )
+    p.add_argument("--size", choices=SIZE_NAMES, default="SM")
+    p.add_argument("--n-icl", type=_positive_int, default=5)
+    p.add_argument(
+        "--unique", type=_positive_int, default=8,
+        help="distinct probes in the workload",
+    )
+    p.add_argument(
+        "--repeats", type=_positive_int, default=6,
+        help="times each distinct probe recurs",
+    )
+    p.add_argument("--batch-size", type=_positive_int, default=8)
+    p.add_argument(
+        "--max-wait", type=float, default=0.005,
+        help="microbatch flush deadline in seconds",
+    )
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the caches-disabled comparison run",
+    )
 
     p = sub.add_parser("table1", help="GBT baseline metrics (Table I)")
     p.add_argument("--sizes", nargs="+", choices=SIZE_NAMES, default=["SM", "XL"])
@@ -137,7 +178,20 @@ def _cmd_grid(args) -> int:
         n_queries=args.queries,
     )
     print(f"running {len(specs)} experiment cells...", file=sys.stderr)
-    probes = run_grid(specs, workers=args.workers)
+    if args.serve:
+        from repro.serve import PredictionService
+
+        with PredictionService(workers=args.workers) as service:
+            probes = run_grid(specs, service=service)
+            stats = service.stats()
+        print(
+            f"served {stats.n_completed} probes at "
+            f"{stats.throughput_rps:.1f} req/s "
+            f"(result-cache hit rate {stats.result_hit_rate:.0%})",
+            file=sys.stderr,
+        )
+    else:
+        probes = run_grid(specs, workers=args.workers)
     if args.save:
         from repro.core.storage import save_probes_jsonl
 
@@ -198,6 +252,73 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _serve_bench_workload(args):
+    """Build the repeated-prompt request list the bench replays."""
+    from repro.serve import Request
+
+    dataset = generate_dataset(args.size)
+    sets, queries = disjoint_example_sets(
+        dataset, 1, args.n_icl, seed=args.seed, n_queries=args.unique
+    )
+    examples = [
+        (dataset.config(int(r)), float(dataset.runtimes[int(r)]))
+        for r in sets[0]
+    ]
+    # Whole-list repetition interleaves revisits (cache-friendly but not
+    # cache-adjacent, like real grid traffic).  Odd repeat waves switch
+    # the sampling seed: those requests miss the result cache but still
+    # hit the prepare cache, exercising both levels.
+    return [
+        Request(
+            examples=examples,
+            query_config=dataset.config(int(q)),
+            seed=args.seed + i + (1000 if wave % 2 else 0),
+            size=args.size,
+        )
+        for wave in range(args.repeats)
+        for i, q in enumerate(queries)
+    ]
+
+
+def _cmd_serve_bench(args) -> int:
+    from repro.serve import PredictionService
+    from repro.utils.timing import Timer
+
+    workload = _serve_bench_workload(args)
+
+    def run(caches_enabled: bool):
+        with PredictionService(
+            max_batch_size=args.batch_size,
+            max_wait_s=args.max_wait,
+            workers=args.workers,
+            enable_prepare_cache=caches_enabled,
+            enable_result_cache=caches_enabled,
+        ) as service:
+            with Timer() as timer:
+                service.submit_many(workload)
+            return service.stats(), timer.elapsed
+
+    n = len(workload)
+    print(
+        f"replaying {n} requests ({args.unique} unique x {args.repeats} "
+        f"repeats, size {args.size}, {args.n_icl} ICL examples)",
+        file=sys.stderr,
+    )
+    cached, cached_t = run(True)
+    print(cached.render(title="serve-bench (caches on)"))
+    if not args.no_baseline:
+        uncached, uncached_t = run(False)
+        print()
+        print(uncached.render(title="serve-bench (caches off)"))
+        speedup = (n / cached_t) / (n / uncached_t)
+        print()
+        print(
+            f"caching speedup: {speedup:.1f}x "
+            f"({n / cached_t:.1f} vs {n / uncached_t:.1f} req/s)"
+        )
+    return 0
+
+
 def _cmd_table1(args) -> int:
     t = Table(
         ["size", "train n", "R2", "MARE", "MSRE"],
@@ -232,6 +353,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "tune": _cmd_tune,
     "table1": _cmd_table1,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

@@ -100,11 +100,9 @@ def _probes_for(
     return probes
 
 
-def run_spec(spec: ExperimentSpec) -> list[ProbeResult]:
-    """Execute all probes of one experiment cell (serially)."""
-    dataset = _dataset(spec.size, spec.root_seed)
-    surrogate = _surrogate(spec.size)
-    results: list[ProbeResult] = []
+def _probe_inputs(spec: ExperimentSpec, dataset: PerformanceDataset):
+    """Materialize per-probe inputs: (examples, query_row, gen_seed)."""
+    inputs = []
     for probe_id, (icl_rows, query_row) in enumerate(
         _probes_for(spec, dataset)
     ):
@@ -112,39 +110,85 @@ def run_spec(spec: ExperimentSpec) -> list[ProbeResult]:
             (dataset.config(int(r)), float(dataset.runtimes[int(r)]))
             for r in icl_rows
         ]
-        query_config = dataset.config(query_row)
         # cell_key already includes spec.seed, so sampling streams differ
         # across seeds while everything else about the probe is shared.
         gen_seed = derive_seed(
             spec.root_seed, "generation", *spec.cell_key, probe_id
         )
-        pred = surrogate.predict(examples, query_config, seed=gen_seed)
-        results.append(
-            ProbeResult(
-                spec=spec,
-                query_index=int(dataset.indices[query_row]),
-                truth=float(dataset.runtimes[query_row]),
-                predicted=pred.value,
-                predicted_text=pred.value_text,
-                generated_text=pred.generated_text,
-                exact_copy=pred.exact_copy,
-                icl_value_strings=pred.icl_value_strings,
-                value_steps=pred.value_steps,
-                n_prompt_tokens=pred.n_prompt_tokens,
+        inputs.append((examples, query_row, gen_seed))
+    return inputs
+
+
+def _probe_result(spec, dataset, query_row, pred) -> ProbeResult:
+    return ProbeResult(
+        spec=spec,
+        query_index=int(dataset.indices[query_row]),
+        truth=float(dataset.runtimes[query_row]),
+        predicted=pred.value,
+        predicted_text=pred.value_text,
+        generated_text=pred.generated_text,
+        exact_copy=pred.exact_copy,
+        icl_value_strings=pred.icl_value_strings,
+        value_steps=pred.value_steps,
+        n_prompt_tokens=pred.n_prompt_tokens,
+    )
+
+
+def run_spec(spec: ExperimentSpec, service=None) -> list[ProbeResult]:
+    """Execute all probes of one experiment cell.
+
+    With ``service=None`` probes run serially against the per-process
+    surrogate cache.  Given a :class:`repro.serve.PredictionService`, the
+    probes are submitted as a bulk request batch instead — the service's
+    microbatcher and caches then handle scheduling and reuse.  Both paths
+    are bit-identical for the default stack (the engine's determinism
+    contract), so analyses cannot tell them apart.
+    """
+    dataset = _dataset(spec.size, spec.root_seed)
+    inputs = _probe_inputs(spec, dataset)
+    if service is not None:
+        from repro.serve.request import Request
+
+        responses = service.submit_many(
+            Request(
+                examples=examples,
+                query_config=dataset.config(query_row),
+                seed=gen_seed,
+                size=spec.size,
             )
+            for examples, query_row, gen_seed in inputs
         )
+        return [
+            _probe_result(spec, dataset, query_row, resp.prediction)
+            for (_, query_row, _), resp in zip(inputs, responses)
+        ]
+    surrogate = _surrogate(spec.size)
+    results: list[ProbeResult] = []
+    for examples, query_row, gen_seed in inputs:
+        pred = surrogate.predict(
+            examples, dataset.config(query_row), seed=gen_seed
+        )
+        results.append(_probe_result(spec, dataset, query_row, pred))
     return results
 
 
 def run_grid(
-    specs: list[ExperimentSpec], workers: int | None = None
+    specs: list[ExperimentSpec],
+    workers: int | None = None,
+    service=None,
 ) -> list[ProbeResult]:
     """Execute a grid of experiments, optionally across processes.
 
     Results are returned flattened, in spec order (deterministic
-    regardless of parallelism).
+    regardless of parallelism).  When ``service`` is given, specs are
+    streamed through that :class:`repro.serve.PredictionService` instead
+    of the process pool (the service owns concurrency, batching, and
+    caching; ``workers`` is then ignored).
     """
     if not specs:
         raise ExperimentError("no experiments to run")
-    nested = parallel_map(run_spec, specs, workers=workers)
+    if service is not None:
+        nested = [run_spec(spec, service=service) for spec in specs]
+    else:
+        nested = parallel_map(run_spec, specs, workers=workers)
     return [probe for cell in nested for probe in cell]

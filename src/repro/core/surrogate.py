@@ -12,7 +12,7 @@ from repro.llm.engine import GenerationEngine
 from repro.llm.model import SurrogateLM
 from repro.llm.sampling import SamplingParams
 from repro.llm.tokenizer import Tokenizer
-from repro.prompts.builder import PromptBuilder
+from repro.prompts.builder import PromptBuilder, PromptParts
 from repro.prompts.parser import extract_prediction
 
 __all__ = ["SurrogatePrediction", "DiscriminativeSurrogate"]
@@ -90,15 +90,38 @@ class DiscriminativeSurrogate:
             task, self.tokenizer, value_style=value_style
         )
 
-    def predict(
+    def build_parts(
         self,
         examples: Sequence[tuple[Mapping[str, object], float]],
         query_config: Mapping[str, object],
+    ) -> PromptParts:
+        """Build the discriminative prompt without generating.
+
+        Exposed separately from :meth:`predict` so the serving layer
+        (:mod:`repro.serve`) can fingerprint the prompt for its caches
+        before deciding whether to run generation at all.
+        """
+        return self.builder.discriminative(examples, query_config)
+
+    def predict_parts(
+        self,
+        parts: PromptParts,
         seed: int = 0,
+        analysis=None,
     ) -> SurrogatePrediction:
-        """Predict the runtime of ``query_config`` from ``examples``."""
-        parts = self.builder.discriminative(examples, query_config)
-        trace = self.engine.generate(parts.ids, seed=seed)
+        """Generate + parse a prediction from an already-built prompt.
+
+        Parameters
+        ----------
+        parts:
+            Prompt from :meth:`build_parts`.
+        seed:
+            Sampling seed.
+        analysis:
+            Optional memoized :meth:`SurrogateLM.prepare` result for this
+            prompt (must match ``parts.ids``); forwarded to the engine.
+        """
+        trace = self.engine.generate(parts.ids, seed=seed, analysis=analysis)
         text = trace.generated_text(self.tokenizer.vocab)
         try:
             value, value_text = extract_prediction(text)
@@ -112,4 +135,15 @@ class DiscriminativeSurrogate:
             value_steps=trace.value_region(self.tokenizer.vocab),
             n_prompt_tokens=int(parts.ids.size),
             seed=int(seed),
+        )
+
+    def predict(
+        self,
+        examples: Sequence[tuple[Mapping[str, object], float]],
+        query_config: Mapping[str, object],
+        seed: int = 0,
+    ) -> SurrogatePrediction:
+        """Predict the runtime of ``query_config`` from ``examples``."""
+        return self.predict_parts(
+            self.build_parts(examples, query_config), seed=seed
         )

@@ -23,6 +23,10 @@ __all__ = [
     "ExperimentError",
     "AnalysisError",
     "TuningError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
+    "RequestTimeoutError",
 ]
 
 
@@ -88,3 +92,37 @@ class AnalysisError(ReproError, ValueError):
 
 class TuningError(ReproError, RuntimeError):
     """An autotuning search was configured or driven inconsistently."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for failures of the :mod:`repro.serve` inference service."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's bounded request queue is full (backpressure).
+
+    Callers should retry with backoff or shed load; the queue capacity is
+    reported so admission-control policies can size themselves.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        super().__init__(
+            f"request queue full (capacity {capacity}); retry later"
+        )
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to a service that is draining or shut down."""
+
+
+class RequestTimeoutError(ServiceError, TimeoutError):
+    """A request did not complete within its per-request timeout.
+
+    The underlying work may still finish in the background; the response
+    is discarded once the caller has given up.
+    """
+
+    def __init__(self, timeout_s: float):
+        self.timeout_s = timeout_s
+        super().__init__(f"request timed out after {timeout_s:.3f}s")

@@ -41,11 +41,35 @@ class GenerationEngine:
         self.sampling = sampling or SamplingParams()
         self.max_new_tokens = max_new_tokens
 
-    def generate(self, prompt_ids, seed: int = 0) -> GenerationTrace:
+    def generate(
+        self, prompt_ids, seed: int = 0, analysis=None
+    ) -> GenerationTrace:
         """Generate a completion for ``prompt_ids`` under ``seed``.
 
         Decoding stops at the first end-of-turn token, at a newline after
         the value has begun, or at ``max_new_tokens``.
+
+        Determinism contract: generation is a pure function of
+        ``(prompt_ids, seed, self.sampling, self.max_new_tokens)`` plus the
+        model's frozen identity (vocabulary, config, ``model_seed``).
+        Identical (prompt, seed, sampling) triples are bit-reproducible —
+        every step's candidate ids, logits, and sampled choice are equal
+        across repeated calls and across processes.  The result cache in
+        :mod:`repro.serve` memoizes full predictions on exactly this key,
+        and ``tests/test_engine_determinism.py`` pins the contract.
+
+        Parameters
+        ----------
+        prompt_ids:
+            Token ids of the prompt.
+        seed:
+            Sampling seed (drives token choice and the per-seed logit
+            jitter; nothing else).
+        analysis:
+            Optional precomputed :meth:`SurrogateLM.prepare` result for
+            this exact prompt.  Passing it skips the per-call prompt
+            analysis (the serving layer's prepare cache); it must have
+            been computed from ``prompt_ids`` or generations may differ.
         """
         prompt = np.asarray(prompt_ids, dtype=np.int64)
         if prompt.size == 0:
@@ -56,7 +80,8 @@ class GenerationEngine:
         context = prompt.copy()
         generated_strings: list[str] = []
         value_started = False
-        analysis = self.model.prepare(prompt)
+        if analysis is None:
+            analysis = self.model.prepare(prompt)
 
         for step in range(self.max_new_tokens):
             ids, logits = self.model.next_token_logits(

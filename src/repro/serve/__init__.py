@@ -1,0 +1,38 @@
+"""repro.serve — batched, cached surrogate-inference serving.
+
+The paper's experiments issue thousands of independent surrogate
+predictions; this package turns those probes into *traffic* against a
+proper inference service (SURGE's "LLM as surrogate executor" framing):
+
+* :class:`Request` / :class:`Response` — the service envelope;
+* :class:`PredictionService` — submit / submit_many façade over a bounded
+  admission queue, a flush-on-size-or-wait microbatching scheduler, and a
+  two-level cache (prompt-analysis memoization + full-result memoization);
+* :class:`ServiceStats` — p50/p95 latency, throughput, batch occupancy,
+  and cache hit rates, rendered by ``repro serve-bench``;
+* typed failure modes in :mod:`repro.errors` —
+  :class:`~repro.errors.ServiceOverloadedError` (backpressure),
+  :class:`~repro.errors.RequestTimeoutError` (per-request deadline),
+  :class:`~repro.errors.ServiceClosedError` (submit after shutdown).
+
+The experiment runner (:func:`repro.core.runner.run_grid`) can execute
+grids through a service, making the paper reproduction itself the first
+traffic generator.
+"""
+
+from repro.serve.cache import LRUCache, prompt_fingerprint
+from repro.serve.request import Request, Response
+from repro.serve.scheduler import MicroBatcher
+from repro.serve.service import PredictionService
+from repro.serve.stats import ServiceStats, StatsRecorder
+
+__all__ = [
+    "Request",
+    "Response",
+    "PredictionService",
+    "MicroBatcher",
+    "LRUCache",
+    "prompt_fingerprint",
+    "ServiceStats",
+    "StatsRecorder",
+]

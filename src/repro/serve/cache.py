@@ -1,0 +1,103 @@
+"""Thread-safe LRU caching for the inference service.
+
+Two cache levels share this implementation (see DESIGN.md §Serving layer):
+
+* the **prepare cache** memoizes :meth:`SurrogateLM.prepare` — the one-time
+  prompt analysis — keyed on the prompt fingerprint alone, so repeated
+  prompts skip the analysis pass even when the seed differs;
+* the **result cache** memoizes the full
+  :class:`~repro.core.surrogate.SurrogatePrediction`, keyed on
+  ``(prompt fingerprint, seed, sampling params, max_new_tokens)`` — valid
+  because generation is bit-reproducible on exactly that key (the engine's
+  determinism contract).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+import numpy as np
+
+__all__ = ["MISS", "LRUCache", "prompt_fingerprint"]
+
+
+class _Miss:
+    """Sentinel distinguishing "not cached" from a cached ``None``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<MISS>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+MISS = _Miss()
+
+
+def prompt_fingerprint(prompt_ids: np.ndarray) -> str:
+    """Collision-resistant digest of a token-id sequence.
+
+    Token ids fully determine the prompt (the tokenizer is injective over
+    its vocabulary), so hashing the raw id bytes keys both cache levels
+    without retaining the prompt itself.
+    """
+    ids = np.ascontiguousarray(np.asarray(prompt_ids, dtype=np.int64))
+    return hashlib.blake2b(ids.tobytes(), digest_size=16).hexdigest()
+
+
+class LRUCache:
+    """A bounded least-recently-used map with hit/miss counters.
+
+    All operations are O(1) and thread-safe; the service's batch workers
+    share one instance per cache level.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> object:
+        """Return the cached value or :data:`MISS`, updating recency."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return MISS
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert/refresh ``key``, evicting the least recent on overflow."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data

@@ -1,0 +1,81 @@
+"""Request/response envelopes for the surrogate inference service.
+
+A :class:`Request` is one surrogate prediction to serve: the ICL examples,
+the query configuration, and the sampling seed — exactly the inputs of
+:meth:`repro.core.surrogate.DiscriminativeSurrogate.predict` — plus
+service-level knobs (task size routing, per-request timeout).  A
+:class:`Response` wraps the resulting
+:class:`~repro.core.surrogate.SurrogatePrediction` with serving metadata:
+end-to-end latency, which caches hit, and the batch the request rode in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.surrogate import SurrogatePrediction
+from repro.errors import ServiceError
+
+__all__ = ["Request", "Response"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One surrogate-prediction request.
+
+    Attributes
+    ----------
+    examples:
+        ``(configuration, runtime)`` ICL pairs, in presentation order.
+    query_config:
+        The configuration whose runtime the surrogate must predict.
+    seed:
+        Sampling seed.  Together with the built prompt and the engine's
+        sampling parameters it forms the full-result cache key, so
+        identical requests are served from cache.
+    size:
+        Task size used to route the request to a per-size surrogate
+        (ignored when the service was constructed with an explicit
+        surrogate).
+    timeout_s:
+        Per-request completion deadline for the blocking submit path;
+        ``None`` falls back to the service default (which may also be
+        ``None``: wait forever).
+    """
+
+    examples: Sequence[tuple[Mapping[str, object], float]]
+    query_config: Mapping[str, object]
+    seed: int = 0
+    size: str = "SM"
+    timeout_s: float | None = None
+
+    def __post_init__(self):
+        if not self.examples:
+            raise ServiceError("a request needs >= 1 ICL example")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ServiceError(
+                f"timeout_s must be positive, got {self.timeout_s}"
+            )
+
+
+@dataclass(frozen=True)
+class Response:
+    """A served prediction plus its serving metadata.
+
+    Cached responses share the underlying
+    :class:`~repro.core.surrogate.SurrogatePrediction` object; treat it as
+    read-only.
+    """
+
+    request_id: int
+    prediction: SurrogatePrediction
+    latency_s: float
+    result_cache_hit: bool = False
+    prepare_cache_hit: bool = False
+    batch_size: int = 1
+
+    @property
+    def value(self) -> float | None:
+        """Shortcut to the parsed predicted runtime."""
+        return self.prediction.value

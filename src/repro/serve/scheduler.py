@@ -1,0 +1,204 @@
+"""Microbatching scheduler: bounded admission queue + flush-on-size-or-wait.
+
+The scheduler owns one collector thread and a pool of batch workers.  The
+collector pulls tickets off a bounded queue and groups them into batches,
+flushing as soon as either the batch is full (``max_batch_size``) or the
+oldest queued ticket has waited ``max_wait_s`` — the classic
+latency/throughput microbatching trade-off.  Full batches are handed to
+the worker pool, so multiple batches execute concurrently while the
+collector keeps admitting traffic.
+
+The worker pool is sized through :func:`repro.utils.parallel.effective_workers`
+with oversubscription allowed: batch execution here is in-process Python
+with no IO, and the service intentionally runs more batch workers than
+cores to keep batches flowing while others sit on cache locks.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ServiceClosedError, ServiceOverloadedError
+from repro.serve.request import Request
+from repro.utils.parallel import effective_workers
+
+__all__ = ["Ticket", "MicroBatcher"]
+
+#: Collector poll granularity while waiting out a batch deadline.
+_POLL_S = 0.5
+
+
+@dataclass
+class Ticket:
+    """One admitted request travelling through the scheduler."""
+
+    request_id: int
+    request: Request
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+class _Sentinel:
+    """Queue marker that tells the collector to flush and exit."""
+
+
+_STOP = _Sentinel()
+
+
+class MicroBatcher:
+    """Batch requests by size/deadline and dispatch them to a worker pool.
+
+    Parameters
+    ----------
+    execute_batch:
+        Callback receiving a non-empty ``list[Ticket]``; it must resolve
+        every ticket's future (result or exception) and never raise.
+    max_batch_size:
+        Flush threshold; also the denominator of batch occupancy.
+    max_wait_s:
+        Maximum time the oldest ticket may wait before a partial batch is
+        flushed anyway.
+    queue_capacity:
+        Bound on admitted-but-unbatched tickets; beyond it
+        :meth:`submit` raises :class:`ServiceOverloadedError`.
+    workers:
+        Batch-worker count (resolved with oversubscription allowed;
+        ``None`` uses the clamped default).
+    max_inflight_batches:
+        Bound on dispatched-but-unfinished batches (default ``2 *
+        workers``: one running, one ready per worker).  Without this the
+        collector would drain the bounded queue into the executor's
+        unbounded backlog and the queue bound would never exert
+        backpressure.
+    """
+
+    def __init__(
+        self,
+        execute_batch: Callable[[list[Ticket]], None],
+        *,
+        max_batch_size: int = 8,
+        max_wait_s: float = 0.005,
+        queue_capacity: int = 1024,
+        workers: int | None = None,
+        max_inflight_batches: int | None = None,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        if queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self.queue_capacity = int(queue_capacity)
+        self._execute_batch = execute_batch
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_capacity)
+        nworkers = effective_workers(workers, allow_oversubscription=True)
+        if max_inflight_batches is None:
+            max_inflight_batches = 2 * nworkers
+        if max_inflight_batches < 1:
+            raise ValueError(
+                f"max_inflight_batches must be >= 1, got {max_inflight_batches}"
+            )
+        self._inflight = threading.Semaphore(max_inflight_batches)
+        self._pool = ThreadPoolExecutor(
+            max_workers=nworkers,
+            thread_name_prefix="repro-serve-batch",
+        )
+        self._closed = threading.Event()
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-serve-collector", daemon=True
+        )
+        self._collector.start()
+
+    # ------------------------------------------------------------------ #
+    def submit(self, ticket: Ticket, *, block: bool = False) -> None:
+        """Admit a ticket, raising on shutdown or backpressure.
+
+        With ``block=True`` a full queue waits for space instead of
+        raising (cooperative backpressure for bulk submitters); the
+        collector keeps draining, so the wait always progresses.
+        """
+        if self._closed.is_set():
+            raise ServiceClosedError("service is shut down")
+        if block:
+            self._queue.put(ticket)
+            return
+        try:
+            self._queue.put_nowait(ticket)
+        except queue.Full:
+            raise ServiceOverloadedError(self.queue_capacity) from None
+
+    def close(self, drain: bool = True) -> None:
+        """Stop admissions and shut the scheduler down.
+
+        With ``drain=True`` (graceful), every already-admitted ticket is
+        batched and executed before the worker pool stops.  With
+        ``drain=False``, unbatched tickets fail with
+        :class:`ServiceClosedError`; batches already handed to the pool
+        still run to completion.
+
+        Idempotent; safe to call from ``with``-exit and explicitly.
+        """
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        if not drain:
+            # Reject everything still queued before the sentinel lands.
+            while True:
+                try:
+                    ticket = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if isinstance(ticket, Ticket):
+                    ticket.future.set_exception(
+                        ServiceClosedError("service shut down before execution")
+                    )
+        self._queue.put(_STOP)
+        self._collector.join()
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    def _collect(self) -> None:
+        """Collector loop: group tickets into batches, dispatch on flush."""
+        batch: list[Ticket] = []
+        deadline: float | None = None
+        while True:
+            if batch:
+                timeout = max(deadline - time.monotonic(), 0.0)
+            else:
+                timeout = _POLL_S
+            try:
+                item = self._queue.get(timeout=timeout)
+            except queue.Empty:
+                if batch:
+                    self._flush(batch)
+                    batch, deadline = [], None
+                continue
+            if isinstance(item, _Sentinel):
+                if batch:
+                    self._flush(batch)
+                break
+            if not batch:
+                deadline = time.monotonic() + self.max_wait_s
+            batch.append(item)
+            if len(batch) >= self.max_batch_size:
+                self._flush(batch)
+                batch, deadline = [], None
+
+    def _flush(self, batch: list[Ticket]) -> None:
+        # Block until a dispatch slot frees: this is what propagates
+        # worker saturation back to the bounded queue (and from there to
+        # submitters) instead of hiding it in the executor's backlog.
+        self._inflight.acquire()
+        future = self._pool.submit(self._execute_batch, list(batch))
+        future.add_done_callback(lambda _f: self._inflight.release())

@@ -1,0 +1,238 @@
+"""The :class:`PredictionService` façade: submit → batch → cache → generate.
+
+The service accepts :class:`~repro.serve.request.Request` envelopes,
+admits them through the bounded microbatching scheduler, and executes each
+batch against per-size :class:`~repro.core.surrogate.DiscriminativeSurrogate`
+stacks with two cache levels in front of generation:
+
+1. the **prepare cache** (prompt fingerprint → ``FormatAnalysis``) skips
+   the one-time prompt analysis when the same prompt recurs under a new
+   seed;
+2. the **result cache** (prompt fingerprint, seed, sampling params,
+   token cap → ``SurrogatePrediction``) skips generation entirely for
+   identical requests, relying on the engine's determinism contract.
+
+Robustness: bounded-queue backpressure (:class:`ServiceOverloadedError`),
+per-request timeouts (:class:`RequestTimeoutError`), and graceful drain on
+:meth:`PredictionService.close` / ``with``-exit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Iterable
+
+from repro.core.surrogate import DiscriminativeSurrogate
+from repro.dataset.syr2k import Syr2kTask
+from repro.errors import RequestTimeoutError, ServiceClosedError
+from repro.serve.cache import MISS, LRUCache, prompt_fingerprint
+from repro.serve.request import Request, Response
+from repro.serve.scheduler import MicroBatcher, Ticket
+from repro.serve.stats import ServiceStats, StatsRecorder
+
+__all__ = ["PredictionService"]
+
+
+class PredictionService:
+    """Batched, cached serving front-end for surrogate predictions.
+
+    Parameters
+    ----------
+    surrogate:
+        Optional explicit surrogate used for *every* request (its task
+        fixes the prompt; ``Request.size`` routing is then ignored).  By
+        default surrogates are built lazily per requested size with the
+        calibrated default stack, matching what the experiment runner
+        uses directly.
+    max_batch_size, max_wait_s, queue_capacity, workers:
+        Microbatching scheduler knobs (see
+        :class:`~repro.serve.scheduler.MicroBatcher`).
+    prepare_cache_size, result_cache_size:
+        LRU capacities of the two cache levels.
+    enable_prepare_cache, enable_result_cache:
+        Cache kill-switches (the throughput benchmark measures both
+        settings; disabled caches record no counters).
+    default_timeout_s:
+        Fallback per-request deadline for blocking submits when the
+        request does not carry its own (``None``: wait indefinitely).
+    """
+
+    def __init__(
+        self,
+        surrogate: DiscriminativeSurrogate | None = None,
+        *,
+        max_batch_size: int = 8,
+        max_wait_s: float = 0.005,
+        queue_capacity: int = 1024,
+        workers: int | None = None,
+        max_inflight_batches: int | None = None,
+        prepare_cache_size: int = 256,
+        result_cache_size: int = 4096,
+        enable_prepare_cache: bool = True,
+        enable_result_cache: bool = True,
+        default_timeout_s: float | None = None,
+    ):
+        self._fixed_surrogate = surrogate
+        self._surrogates: dict[str, DiscriminativeSurrogate] = {}
+        self._surrogate_lock = threading.Lock()
+        self.default_timeout_s = default_timeout_s
+        self.prepare_cache = (
+            LRUCache(prepare_cache_size) if enable_prepare_cache else None
+        )
+        self.result_cache = (
+            LRUCache(result_cache_size) if enable_result_cache else None
+        )
+        self._stats = StatsRecorder(max_batch_size=max_batch_size)
+        self._ids = itertools.count()
+        self._batcher = MicroBatcher(
+            self._execute_batch,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            queue_capacity=queue_capacity,
+            workers=workers,
+            max_inflight_batches=max_inflight_batches,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Submission API
+    # ------------------------------------------------------------------ #
+    def submit_async(self, request: Request, *, block: bool = False) -> Future:
+        """Admit a request; the returned future resolves to a `Response`.
+
+        Raises :class:`ServiceOverloadedError` when the admission queue is
+        full, unless ``block=True`` (then admission waits for space —
+        the cooperative-backpressure mode bulk callers use).
+        """
+        ticket = Ticket(request_id=next(self._ids), request=request)
+        try:
+            self._batcher.submit(ticket, block=block)
+        except Exception:
+            self._stats.record_reject()
+            raise
+        self._stats.record_submit()
+        return ticket.future
+
+    def submit(self, request: Request) -> Response:
+        """Serve one request synchronously.
+
+        Waits up to ``request.timeout_s`` (or the service default); on
+        expiry the request is cancelled if still queued and
+        :class:`RequestTimeoutError` is raised.
+        """
+        future = self.submit_async(request)
+        timeout = (
+            request.timeout_s
+            if request.timeout_s is not None
+            else self.default_timeout_s
+        )
+        try:
+            return future.result(timeout=timeout)
+        except FuturesTimeoutError:
+            future.cancel()
+            self._stats.record_timeout()
+            raise RequestTimeoutError(float(timeout)) from None
+
+    def submit_many(self, requests: Iterable[Request]) -> list[Response]:
+        """Serve a bulk workload, preserving input order.
+
+        Admission blocks on queue space rather than raising, so bulk
+        submitters cooperate with backpressure instead of tripping it.
+        """
+        futures = [self.submit_async(r, block=True) for r in requests]
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle & introspection
+    # ------------------------------------------------------------------ #
+    def close(self, drain: bool = True) -> None:
+        """Shut down (gracefully draining admitted requests by default)."""
+        self._batcher.close(drain=drain)
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        # Drain on clean exit; abandon queued work when unwinding an error.
+        self.close(drain=exc_type is None)
+
+    def stats(self) -> ServiceStats:
+        """Snapshot current service metrics (including cache counters)."""
+        pc, rc = self.prepare_cache, self.result_cache
+        return self._stats.snapshot(
+            prepare_hits=pc.hits if pc else 0,
+            prepare_misses=pc.misses if pc else 0,
+            result_hits=rc.hits if rc else 0,
+            result_misses=rc.misses if rc else 0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution path (batch workers)
+    # ------------------------------------------------------------------ #
+    def _surrogate_for(self, size: str) -> DiscriminativeSurrogate:
+        if self._fixed_surrogate is not None:
+            return self._fixed_surrogate
+        with self._surrogate_lock:
+            surrogate = self._surrogates.get(size)
+            if surrogate is None:
+                surrogate = DiscriminativeSurrogate(Syr2kTask(size))
+                self._surrogates[size] = surrogate
+            return surrogate
+
+    def _execute_batch(self, batch: list[Ticket]) -> None:
+        """Resolve every ticket of one batch (the scheduler's callback)."""
+        self._stats.record_batch(len(batch))
+        for ticket in batch:
+            if not ticket.future.set_running_or_notify_cancel():
+                continue  # caller gave up (timeout) before we started
+            try:
+                response = self._serve_one(ticket, batch_size=len(batch))
+            except Exception as exc:  # typed errors propagate to the caller
+                self._stats.record_done(0.0, failed=True)
+                ticket.future.set_exception(exc)
+            else:
+                self._stats.record_done(response.latency_s)
+                ticket.future.set_result(response)
+
+    def _serve_one(self, ticket: Ticket, batch_size: int) -> Response:
+        request = ticket.request
+        surrogate = self._surrogate_for(request.size)
+        parts = surrogate.build_parts(request.examples, request.query_config)
+        fingerprint = prompt_fingerprint(parts.ids)
+        result_key = (
+            fingerprint,
+            int(request.seed),
+            surrogate.engine.sampling,
+            surrogate.engine.max_new_tokens,
+        )
+
+        result_hit = prepare_hit = False
+        prediction = MISS
+        if self.result_cache is not None:
+            prediction = self.result_cache.get(result_key)
+            result_hit = prediction is not MISS
+        if prediction is MISS:
+            analysis = None
+            if self.prepare_cache is not None:
+                analysis = self.prepare_cache.get(fingerprint)
+                prepare_hit = analysis is not MISS
+                if not prepare_hit:
+                    analysis = surrogate.model.prepare(parts.ids)
+                    self.prepare_cache.put(fingerprint, analysis)
+            prediction = surrogate.predict_parts(
+                parts, seed=request.seed, analysis=analysis
+            )
+            if self.result_cache is not None:
+                self.result_cache.put(result_key, prediction)
+
+        return Response(
+            request_id=ticket.request_id,
+            prediction=prediction,
+            latency_s=time.monotonic() - ticket.enqueued_at,
+            result_cache_hit=result_hit,
+            prepare_cache_hit=prepare_hit,
+            batch_size=batch_size,
+        )

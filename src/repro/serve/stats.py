@@ -1,0 +1,164 @@
+"""Service metrics: latency percentiles, throughput, batching, cache hits.
+
+A :class:`StatsRecorder` is the live, lock-protected accumulator the
+service updates on every event; :meth:`StatsRecorder.snapshot` freezes it
+into an immutable :class:`ServiceStats` for reporting (the ``repro
+serve-bench`` subcommand renders one per configuration).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.tables import Table
+from repro.utils.timing import format_duration
+
+__all__ = ["ServiceStats", "StatsRecorder"]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A frozen snapshot of service-level metrics.
+
+    Latencies are end-to-end per request: queue wait + batch execution
+    (or cache lookup).  Throughput is completed requests over the busy
+    window (first submit to last completion).
+    """
+
+    n_submitted: int
+    n_completed: int
+    n_failed: int
+    n_rejected: int
+    n_timeouts: int
+    n_batches: int
+    max_batch_size: int
+    mean_batch_size: float
+    p50_latency_s: float
+    p95_latency_s: float
+    throughput_rps: float
+    prepare_hits: int
+    prepare_misses: int
+    result_hits: int
+    result_misses: int
+
+    @property
+    def batch_occupancy(self) -> float:
+        """Mean batch fill as a fraction of the configured maximum."""
+        if self.max_batch_size <= 0:
+            return 0.0
+        return self.mean_batch_size / self.max_batch_size
+
+    @property
+    def prepare_hit_rate(self) -> float:
+        total = self.prepare_hits + self.prepare_misses
+        return self.prepare_hits / total if total else 0.0
+
+    @property
+    def result_hit_rate(self) -> float:
+        total = self.result_hits + self.result_misses
+        return self.result_hits / total if total else 0.0
+
+    def render(self, title: str = "service stats") -> str:
+        """ASCII table of the snapshot (the serve-bench report body)."""
+        t = Table(["metric", "value"], title=title)
+        t.add_row(["requests submitted", self.n_submitted])
+        t.add_row(["requests completed", self.n_completed])
+        t.add_row(["requests failed", self.n_failed])
+        t.add_row(["requests rejected (overload)", self.n_rejected])
+        t.add_row(["requests timed out", self.n_timeouts])
+        t.add_row(["throughput (req/s)", round(self.throughput_rps, 1)])
+        t.add_row(["p50 latency", format_duration(self.p50_latency_s)])
+        t.add_row(["p95 latency", format_duration(self.p95_latency_s)])
+        t.add_row(["batches dispatched", self.n_batches])
+        t.add_row(["mean batch size", round(self.mean_batch_size, 2)])
+        t.add_row(["batch occupancy", f"{self.batch_occupancy:.0%}"])
+        t.add_row(["prepare-cache hit rate", f"{self.prepare_hit_rate:.0%}"])
+        t.add_row(["result-cache hit rate", f"{self.result_hit_rate:.0%}"])
+        return t.render()
+
+
+class StatsRecorder:
+    """Lock-protected accumulator behind :class:`ServiceStats`.
+
+    Latency samples are kept in full (service lifetimes here are bench
+    runs, not months), so the percentiles are exact.
+    """
+
+    def __init__(self, max_batch_size: int):
+        self._lock = threading.Lock()
+        self._max_batch_size = int(max_batch_size)
+        self._latencies: list[float] = []
+        self._batch_sizes: list[int] = []
+        self._submitted = 0
+        self._failed = 0
+        self._rejected = 0
+        self._timeouts = 0
+        self._first_submit_t: float | None = None
+        self._last_done_t: float | None = None
+
+    # ------------------------------------------------------------------ #
+    def record_submit(self) -> None:
+        with self._lock:
+            self._submitted += 1
+            if self._first_submit_t is None:
+                self._first_submit_t = time.monotonic()
+
+    def record_reject(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self._timeouts += 1
+
+    def record_batch(self, batch_size: int) -> None:
+        with self._lock:
+            self._batch_sizes.append(int(batch_size))
+
+    def record_done(self, latency_s: float, failed: bool = False) -> None:
+        with self._lock:
+            self._last_done_t = time.monotonic()
+            if failed:
+                self._failed += 1
+            else:
+                self._latencies.append(float(latency_s))
+
+    # ------------------------------------------------------------------ #
+    def snapshot(
+        self,
+        prepare_hits: int = 0,
+        prepare_misses: int = 0,
+        result_hits: int = 0,
+        result_misses: int = 0,
+    ) -> ServiceStats:
+        """Freeze current counters (cache counters supplied by the owner)."""
+        with self._lock:
+            lat = np.asarray(self._latencies, dtype=float)
+            n_done = int(lat.size)
+            p50 = float(np.percentile(lat, 50)) if n_done else 0.0
+            p95 = float(np.percentile(lat, 95)) if n_done else 0.0
+            window = 0.0
+            if self._first_submit_t is not None and self._last_done_t is not None:
+                window = max(self._last_done_t - self._first_submit_t, 1e-9)
+            sizes = self._batch_sizes
+            return ServiceStats(
+                n_submitted=self._submitted,
+                n_completed=n_done,
+                n_failed=self._failed,
+                n_rejected=self._rejected,
+                n_timeouts=self._timeouts,
+                n_batches=len(sizes),
+                max_batch_size=self._max_batch_size,
+                mean_batch_size=(sum(sizes) / len(sizes)) if sizes else 0.0,
+                p50_latency_s=p50,
+                p95_latency_s=p95,
+                throughput_rps=(n_done / window) if window else 0.0,
+                prepare_hits=prepare_hits,
+                prepare_misses=prepare_misses,
+                result_hits=result_hits,
+                result_misses=result_misses,
+            )

@@ -1,19 +1,28 @@
-"""Process-pool helpers for embarrassingly parallel experiment grids.
+"""Worker-pool helpers for embarrassingly parallel experiment grids.
 
 The experiment runner fans hundreds of independent (prompt, seed) cells out
 across processes.  Following the HPC guides, we keep the per-task payload
 picklable and chunky (one full experiment cell, not one token) so IPC cost
 is amortized, and we fall back to serial execution for tiny workloads where
 pool startup would dominate.
+
+The serving layer (:mod:`repro.serve`) reuses the same worker-count policy
+for its thread pool; threads share the in-process model/cache state, so
+``parallel_map`` also supports a thread executor and
+:func:`effective_workers` lets IO-free batch schedulers opt out of the
+core-count clamp (oversubscription).
 """
 
 from __future__ import annotations
 
+import logging
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
 
-__all__ = ["effective_workers", "parallel_map"]
+__all__ = ["effective_workers", "parallel_map", "DEFAULT_WORKER_CAP"]
+
+logger = logging.getLogger(__name__)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -21,15 +30,51 @@ R = TypeVar("R")
 #: Below this many tasks a process pool costs more than it saves.
 _SERIAL_THRESHOLD = 4
 
+#: Default ceiling on auto-selected worker counts: beyond this the grid
+#: workloads stop scaling (memory-bandwidth bound) on every tested host.
+DEFAULT_WORKER_CAP = 16
 
-def effective_workers(requested: int | None = None) -> int:
-    """Resolve a worker count: ``None`` means "all cores, capped at 16"."""
+
+def effective_workers(
+    requested: int | None = None,
+    *,
+    cap: int | None = DEFAULT_WORKER_CAP,
+    allow_oversubscription: bool = False,
+) -> int:
+    """Resolve a worker count against ``min(cpu_count, cap)``.
+
+    The same clamp applies whether the count was requested explicitly or
+    defaulted (``None`` means "all cores"): both are limited to the machine
+    core count and then to ``cap``.  A request that gets clamped is logged,
+    so a silently-shrunk pool is visible in debug output.
+
+    Parameters
+    ----------
+    requested:
+        Desired worker count, or ``None`` for "all cores (clamped)".
+    cap:
+        Upper bound on the resolved count (``None`` disables the cap and
+        leaves only the core-count clamp).
+    allow_oversubscription:
+        When true, an explicit ``requested`` is returned as-is, bypassing
+        both clamps.  This is for schedulers of IO-free or lock-free batch
+        work (e.g. the :mod:`repro.serve` microbatcher) that intentionally
+        run more workers than cores.  ``None`` still resolves to the
+        clamped default.
+    """
     cores = os.cpu_count() or 1
+    limit = cores if cap is None else max(1, min(cores, cap))
     if requested is None:
-        return max(1, min(cores, 16))
+        return limit
     if requested < 1:
         raise ValueError(f"workers must be >= 1, got {requested}")
-    return min(requested, cores)
+    if allow_oversubscription or requested <= limit:
+        return requested
+    logger.debug(
+        "clamping requested workers %d to %d (cores=%d, cap=%s)",
+        requested, limit, cores, cap,
+    )
+    return limit
 
 
 def parallel_map(
@@ -38,20 +83,42 @@ def parallel_map(
     *,
     workers: int | None = None,
     chunksize: int | None = None,
+    executor: str = "process",
+    oversubscribe: bool = False,
 ) -> list[R]:
     """Map ``fn`` over ``items``, preserving order.
 
     Runs serially when the workload is small or only one worker is
-    available; otherwise uses a :class:`ProcessPoolExecutor`.  ``fn`` and
-    every item must be picklable in the parallel path.
+    available; otherwise uses a worker pool.
+
+    Parameters
+    ----------
+    executor:
+        ``"process"`` (default) uses a :class:`ProcessPoolExecutor`; ``fn``
+        and every item must then be picklable.  ``"thread"`` uses a
+        :class:`ThreadPoolExecutor` sharing in-process state — the right
+        choice for work that hits shared caches or releases the GIL.
+    oversubscribe:
+        Forwarded to :func:`effective_workers`: lets an explicit
+        ``workers`` exceed the core-count/cap clamp (thread pools only;
+        oversubscribing processes is never useful here).
     """
+    if executor not in ("process", "thread"):
+        raise ValueError(f"unknown executor {executor!r}")
+    if oversubscribe and executor == "process":
+        raise ValueError("oversubscription is only supported for threads")
     items = list(items)
     n = len(items)
-    nworkers = effective_workers(workers)
+    nworkers = effective_workers(
+        workers, allow_oversubscription=oversubscribe
+    )
     if n == 0:
         return []
     if nworkers == 1 or n < _SERIAL_THRESHOLD:
         return [fn(item) for item in items]
+    if executor == "thread":
+        with ThreadPoolExecutor(max_workers=nworkers) as pool:
+            return list(pool.map(fn, items))
     if chunksize is None:
         chunksize = max(1, n // (nworkers * 4))
     with ProcessPoolExecutor(max_workers=nworkers) as pool:

@@ -74,3 +74,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Prediction quality (IV-A)" in out
         assert "Needles in a haystack" in out
+
+
+class TestServeCommands:
+    def test_grid_through_service(self, capsys):
+        assert main([
+            "grid", "--sizes", "SM", "--icl", "2", "--sets", "1",
+            "--seeds", "1", "--queries", "2", "--serve",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "best R2" in captured.out
+        assert "served" in captured.err and "req/s" in captured.err
+
+    def test_serve_bench(self, capsys):
+        assert main([
+            "serve-bench", "--size", "SM", "--n-icl", "2", "--unique", "2",
+            "--repeats", "2", "--batch-size", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "caches on" in out and "caches off" in out
+        assert "p95 latency" in out
+        assert "result-cache hit rate" in out
+        assert "caching speedup" in out
+
+    def test_serve_bench_no_baseline(self, capsys):
+        assert main([
+            "serve-bench", "--size", "SM", "--n-icl", "2", "--unique", "2",
+            "--repeats", "2", "--no-baseline",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "caches on" in out and "caches off" not in out

@@ -1,0 +1,102 @@
+"""Tests for the serving layer's LRU cache and prompt fingerprinting."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import MISS, LRUCache, prompt_fingerprint
+
+
+class TestPromptFingerprint:
+    def test_deterministic(self):
+        ids = np.arange(50, dtype=np.int64)
+        assert prompt_fingerprint(ids) == prompt_fingerprint(ids.copy())
+
+    def test_distinguishes_content(self):
+        a = np.asarray([1, 2, 3], dtype=np.int64)
+        b = np.asarray([1, 2, 4], dtype=np.int64)
+        assert prompt_fingerprint(a) != prompt_fingerprint(b)
+
+    def test_distinguishes_order(self):
+        a = np.asarray([1, 2, 3], dtype=np.int64)
+        b = np.asarray([3, 2, 1], dtype=np.int64)
+        assert prompt_fingerprint(a) != prompt_fingerprint(b)
+
+    def test_accepts_lists(self):
+        assert prompt_fingerprint([1, 2, 3]) == prompt_fingerprint(
+            np.asarray([1, 2, 3], dtype=np.int64)
+        )
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        c = LRUCache(4)
+        assert c.get("k") is MISS
+        c.put("k", 42)
+        assert c.get("k") == 42
+        assert c.hits == 1 and c.misses == 1
+        assert c.hit_rate == 0.5
+
+    def test_capacity_evicts_least_recent(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")           # refresh "a": "b" is now least recent
+        c.put("c", 3)
+        assert "a" in c and "c" in c and "b" not in c
+
+    def test_put_refreshes_recency(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 10)       # rewrite refreshes
+        c.put("c", 3)
+        assert c.get("a") == 10
+        assert c.get("b") is MISS
+
+    def test_cached_none_is_not_a_miss(self):
+        c = LRUCache(2)
+        c.put("k", None)
+        assert c.get("k") is None
+        assert c.hits == 1
+
+    def test_len_and_clear(self):
+        c = LRUCache(8)
+        for i in range(5):
+            c.put(i, i)
+        assert len(c) == 5
+        c.clear()
+        assert len(c) == 0
+        # Counters survive a clear (they describe lifetime traffic).
+        c.get(0)
+        assert c.misses == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_hit_rate_empty(self):
+        assert LRUCache(1).hit_rate == 0.0
+
+    def test_thread_safety_smoke(self):
+        c = LRUCache(64)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(500):
+                    c.put((base, i % 80), i)
+                    c.get((base, (i * 7) % 80))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(c) <= 64

@@ -1,0 +1,240 @@
+"""End-to-end tests for the :mod:`repro.serve` prediction service.
+
+Covers the façade (submit/submit_many), both cache levels, batching,
+backpressure, timeouts, drain/shutdown, and — critically — bit-parity
+between served predictions and direct surrogate calls, which is what lets
+the experiment runner route paper grids through the service.
+"""
+
+import time
+
+import pytest
+
+from repro.core import quick_grid, run_grid, run_spec
+from repro.core.surrogate import DiscriminativeSurrogate
+from repro.errors import (
+    RequestTimeoutError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.serve import PredictionService, Request
+
+
+@pytest.fixture(scope="module")
+def examples(sm_dataset):
+    return [
+        (sm_dataset.config(i), float(sm_dataset.runtimes[i]))
+        for i in range(4)
+    ]
+
+
+@pytest.fixture(scope="module")
+def surrogate(sm_task):
+    return DiscriminativeSurrogate(sm_task)
+
+
+class SlowSurrogate(DiscriminativeSurrogate):
+    """Surrogate with an artificial per-prediction delay (test control)."""
+
+    delay_s = 0.05
+
+    def predict_parts(self, parts, seed=0, analysis=None):
+        time.sleep(self.delay_s)
+        return super().predict_parts(parts, seed=seed, analysis=analysis)
+
+
+def make_request(sm_dataset, examples, query=42, seed=0, **kw):
+    return Request(
+        examples=examples,
+        query_config=sm_dataset.config(query),
+        seed=seed,
+        size="SM",
+        **kw,
+    )
+
+
+class TestRequestValidation:
+    def test_needs_examples(self, sm_dataset):
+        with pytest.raises(ServiceError):
+            Request(examples=[], query_config=sm_dataset.config(0))
+
+    def test_rejects_bad_timeout(self, sm_dataset, examples):
+        with pytest.raises(ServiceError):
+            make_request(sm_dataset, examples, timeout_s=0.0)
+
+
+class TestServing:
+    def test_matches_direct_prediction(self, sm_dataset, examples, surrogate):
+        """Served output is bit-identical to a direct surrogate call."""
+        direct = surrogate.predict(examples, sm_dataset.config(42), seed=7)
+        with PredictionService() as svc:
+            resp = svc.submit(make_request(sm_dataset, examples, seed=7))
+        assert resp.prediction.generated_text == direct.generated_text
+        assert resp.prediction.value == direct.value
+        assert resp.prediction.value_text == direct.value_text
+        assert resp.value == direct.value
+
+    def test_submit_many_preserves_order(self, sm_dataset, examples, surrogate):
+        queries = [10, 99, 42, 10, 7]
+        with PredictionService() as svc:
+            responses = svc.submit_many(
+                make_request(sm_dataset, examples, query=q, seed=q)
+                for q in queries
+            )
+        for q, resp in zip(queries, responses):
+            want = surrogate.predict(examples, sm_dataset.config(q), seed=q)
+            assert resp.prediction.generated_text == want.generated_text
+
+    def test_result_cache_hit(self, sm_dataset, examples):
+        with PredictionService() as svc:
+            first = svc.submit(make_request(sm_dataset, examples, seed=3))
+            second = svc.submit(make_request(sm_dataset, examples, seed=3))
+            assert not first.result_cache_hit
+            assert second.result_cache_hit
+            # Cached responses share the prediction object.
+            assert second.prediction is first.prediction
+            stats = svc.stats()
+        assert stats.result_hits == 1 and stats.result_misses == 1
+
+    def test_prepare_cache_spans_seeds(self, sm_dataset, examples):
+        """Same prompt, new seed: result misses but prepare hits."""
+        with PredictionService() as svc:
+            svc.submit(make_request(sm_dataset, examples, seed=1))
+            resp = svc.submit(make_request(sm_dataset, examples, seed=2))
+            assert not resp.result_cache_hit
+            assert resp.prepare_cache_hit
+            stats = svc.stats()
+        assert stats.prepare_hits == 1
+
+    def test_caches_disabled(self, sm_dataset, examples):
+        with PredictionService(
+            enable_prepare_cache=False, enable_result_cache=False
+        ) as svc:
+            svc.submit(make_request(sm_dataset, examples, seed=3))
+            resp = svc.submit(make_request(sm_dataset, examples, seed=3))
+            assert not resp.result_cache_hit
+            assert not resp.prepare_cache_hit
+            stats = svc.stats()
+        assert stats.result_hits == 0 and stats.prepare_hits == 0
+
+    def test_explicit_surrogate_is_used(self, sm_dataset, examples, surrogate):
+        with PredictionService(surrogate) as svc:
+            resp = svc.submit(make_request(sm_dataset, examples, seed=5))
+        want = surrogate.predict(examples, sm_dataset.config(42), seed=5)
+        assert resp.prediction.generated_text == want.generated_text
+
+    def test_batching_records_occupancy(self, sm_dataset, examples):
+        with PredictionService(max_batch_size=4, max_wait_s=0.05) as svc:
+            svc.submit_many(
+                make_request(sm_dataset, examples, query=q, seed=q)
+                for q in range(8)
+            )
+            stats = svc.stats()
+        assert stats.n_batches >= 2
+        assert 0.0 < stats.mean_batch_size <= 4.0
+        assert 0.0 < stats.batch_occupancy <= 1.0
+        assert stats.p95_latency_s >= stats.p50_latency_s >= 0.0
+
+
+class TestRobustness:
+    def test_timeout(self, sm_task, sm_dataset, examples):
+        slow = SlowSurrogate(sm_task)
+        slow.delay_s = 0.5
+        with PredictionService(slow, max_wait_s=0.0) as svc:
+            with pytest.raises(RequestTimeoutError):
+                svc.submit(
+                    make_request(sm_dataset, examples, timeout_s=0.05)
+                )
+            assert svc.stats().n_timeouts == 1
+
+    def test_backpressure_overload(self, sm_task, sm_dataset, examples):
+        slow = SlowSurrogate(sm_task)
+        slow.delay_s = 0.1
+        svc = PredictionService(
+            slow,
+            max_batch_size=1,
+            max_wait_s=0.0,
+            queue_capacity=1,
+            workers=1,
+            max_inflight_batches=1,
+        )
+        futures, rejected = [], 0
+        try:
+            for i in range(20):
+                try:
+                    futures.append(
+                        svc.submit_async(
+                            make_request(sm_dataset, examples, seed=i)
+                        )
+                    )
+                except ServiceOverloadedError as exc:
+                    rejected += 1
+                    assert exc.capacity == 1
+        finally:
+            svc.close(drain=True)
+        assert rejected >= 1
+        assert svc.stats().n_rejected == rejected
+        # Everything admitted still completed (graceful drain).
+        assert all(f.result().prediction is not None for f in futures)
+
+    def test_submit_after_close(self, sm_dataset, examples):
+        svc = PredictionService()
+        svc.close()
+        with pytest.raises(ServiceClosedError):
+            svc.submit(make_request(sm_dataset, examples))
+
+    def test_close_idempotent(self):
+        svc = PredictionService()
+        svc.close()
+        svc.close()
+
+    def test_abandon_rejects_queued(self, sm_task, sm_dataset, examples):
+        slow = SlowSurrogate(sm_task)
+        slow.delay_s = 0.2
+        svc = PredictionService(
+            slow, max_batch_size=1, max_wait_s=0.0, workers=1,
+            max_inflight_batches=1, queue_capacity=8,
+        )
+        futures = [
+            svc.submit_async(make_request(sm_dataset, examples, seed=i))
+            for i in range(6)
+        ]
+        svc.close(drain=False)
+        outcomes = []
+        for f in futures:
+            try:
+                f.result(timeout=5)
+                outcomes.append("done")
+            except ServiceClosedError:
+                outcomes.append("rejected")
+        assert "rejected" in outcomes  # queued work was abandoned
+
+
+class TestRunnerIntegration:
+    def test_run_spec_parity(self, sm_dataset):
+        spec = quick_grid(
+            sizes=("SM",), icl_counts=(2,), n_sets=1, seeds=(1,),
+            selections=("random",), n_queries=2,
+        )[0]
+        direct = run_spec(spec)
+        with PredictionService() as svc:
+            served = run_spec(spec, service=svc)
+        assert len(direct) == len(served)
+        for a, b in zip(direct, served):
+            assert a.predicted == b.predicted
+            assert a.generated_text == b.generated_text
+            assert a.truth == b.truth
+            assert a.query_index == b.query_index
+
+    def test_run_grid_through_service(self, sm_dataset):
+        specs = quick_grid(
+            sizes=("SM",), icl_counts=(1, 2), n_sets=1, seeds=(1,),
+            selections=("random",), n_queries=1,
+        )
+        direct = run_grid(specs, workers=1)
+        with PredictionService() as svc:
+            served = run_grid(specs, service=svc)
+            stats = svc.stats()
+        assert [p.predicted for p in served] == [p.predicted for p in direct]
+        assert stats.n_completed == len(served)

@@ -1,0 +1,87 @@
+"""Tests for service metrics: percentiles, throughput, occupancy, render."""
+
+import pytest
+
+from repro.serve.stats import ServiceStats, StatsRecorder
+
+
+def make_stats(**overrides) -> ServiceStats:
+    base = dict(
+        n_submitted=10, n_completed=10, n_failed=0, n_rejected=0,
+        n_timeouts=0, n_batches=2, max_batch_size=8, mean_batch_size=5.0,
+        p50_latency_s=0.010, p95_latency_s=0.050, throughput_rps=100.0,
+        prepare_hits=3, prepare_misses=1, result_hits=6, result_misses=4,
+    )
+    base.update(overrides)
+    return ServiceStats(**base)
+
+
+class TestServiceStats:
+    def test_batch_occupancy(self):
+        assert make_stats().batch_occupancy == pytest.approx(5.0 / 8.0)
+
+    def test_occupancy_guard(self):
+        assert make_stats(max_batch_size=0).batch_occupancy == 0.0
+
+    def test_hit_rates(self):
+        s = make_stats()
+        assert s.prepare_hit_rate == pytest.approx(0.75)
+        assert s.result_hit_rate == pytest.approx(0.6)
+
+    def test_hit_rates_no_traffic(self):
+        s = make_stats(
+            prepare_hits=0, prepare_misses=0, result_hits=0, result_misses=0
+        )
+        assert s.prepare_hit_rate == 0.0 and s.result_hit_rate == 0.0
+
+    def test_render_contains_key_metrics(self):
+        out = make_stats().render(title="svc")
+        assert "svc" in out
+        assert "p95 latency" in out
+        assert "result-cache hit rate" in out
+        assert "60%" in out
+        assert "batch occupancy" in out
+
+
+class TestStatsRecorder:
+    def test_latency_percentiles_exact(self):
+        r = StatsRecorder(max_batch_size=4)
+        for ms in range(1, 101):      # 1..100 ms
+            r.record_submit()
+            r.record_done(ms / 1000.0)
+        s = r.snapshot()
+        assert s.n_completed == 100
+        assert s.p50_latency_s == pytest.approx(0.0505, abs=1e-3)
+        assert s.p95_latency_s == pytest.approx(0.09505, abs=1e-3)
+
+    def test_counters(self):
+        r = StatsRecorder(max_batch_size=8)
+        r.record_submit()
+        r.record_submit()
+        r.record_reject()
+        r.record_timeout()
+        r.record_batch(2)
+        r.record_done(0.01)
+        r.record_done(0.0, failed=True)
+        s = r.snapshot(prepare_hits=1, prepare_misses=2,
+                       result_hits=3, result_misses=4)
+        assert s.n_submitted == 2
+        assert s.n_rejected == 1
+        assert s.n_timeouts == 1
+        assert s.n_completed == 1
+        assert s.n_failed == 1
+        assert s.n_batches == 1 and s.mean_batch_size == 2.0
+        assert (s.prepare_hits, s.result_misses) == (1, 4)
+
+    def test_empty_snapshot(self):
+        s = StatsRecorder(max_batch_size=8).snapshot()
+        assert s.n_completed == 0
+        assert s.p50_latency_s == 0.0 and s.p95_latency_s == 0.0
+        assert s.throughput_rps == 0.0
+        assert s.mean_batch_size == 0.0
+
+    def test_throughput_positive_after_traffic(self):
+        r = StatsRecorder(max_batch_size=1)
+        r.record_submit()
+        r.record_done(0.001)
+        assert r.snapshot().throughput_rps > 0.0

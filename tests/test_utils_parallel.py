@@ -1,10 +1,16 @@
-"""Tests for the process-pool helpers."""
+"""Tests for the worker-pool helpers."""
 
 import os
 
 import pytest
 
-from repro.utils.parallel import effective_workers, parallel_map
+import repro.utils.parallel as parallel_mod
+from repro.utils.parallel import (
+    _SERIAL_THRESHOLD,
+    DEFAULT_WORKER_CAP,
+    effective_workers,
+    parallel_map,
+)
 
 
 def _square(x):
@@ -14,7 +20,7 @@ def _square(x):
 class TestEffectiveWorkers:
     def test_default_capped(self):
         w = effective_workers(None)
-        assert 1 <= w <= 16
+        assert 1 <= w <= DEFAULT_WORKER_CAP
 
     def test_explicit_respected(self):
         assert effective_workers(1) == 1
@@ -26,6 +32,37 @@ class TestEffectiveWorkers:
     def test_invalid_raises(self):
         with pytest.raises(ValueError):
             effective_workers(0)
+
+    def test_clamp_is_symmetric(self):
+        """Explicit requests and the default hit the *same* ceiling."""
+        limit = effective_workers(None)
+        assert effective_workers(10_000) == limit
+
+    def test_custom_cap(self):
+        cores = os.cpu_count() or 1
+        assert effective_workers(None, cap=2) <= 2
+        assert effective_workers(8, cap=2) == min(2, cores)
+
+    def test_cap_none_leaves_core_clamp(self):
+        cores = os.cpu_count() or 1
+        assert effective_workers(None, cap=None) == cores
+        assert effective_workers(10_000, cap=None) == cores
+
+    def test_oversubscription_opt_out(self):
+        """Explicit counts bypass both clamps when oversubscribing."""
+        assert effective_workers(500, allow_oversubscription=True) == 500
+
+    def test_oversubscription_does_not_change_default(self):
+        assert effective_workers(
+            None, allow_oversubscription=True
+        ) == effective_workers(None)
+
+    def test_clamp_logged(self, caplog):
+        import logging
+
+        with caplog.at_level(logging.DEBUG, logger="repro.utils.parallel"):
+            effective_workers(10_000)
+        assert any("clamping" in r.message for r in caplog.records)
 
 
 class TestParallelMap:
@@ -45,3 +82,75 @@ class TestParallelMap:
         assert parallel_map(_square, items, workers=2) == parallel_map(
             _square, items, workers=1
         )
+
+    def test_thread_executor_parity(self):
+        items = list(range(25))
+        assert parallel_map(
+            _square, items, workers=2, executor="thread"
+        ) == [x * x for x in items]
+
+    def test_unknown_executor(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1], executor="fiber")
+
+    def test_oversubscribed_processes_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1], oversubscribe=True)
+
+    def test_oversubscribed_threads(self):
+        items = list(range(10))
+        out = parallel_map(
+            _square, items, workers=8, executor="thread", oversubscribe=True
+        )
+        assert out == [x * x for x in items]
+
+
+class TestSerialFastPaths:
+    """The no-pool paths must never construct an executor."""
+
+    @pytest.fixture()
+    def forbid_pools(self, monkeypatch):
+        def _boom(*a, **kw):  # pragma: no cover - only on regression
+            raise AssertionError("worker pool constructed on a serial path")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", _boom)
+        monkeypatch.setattr(parallel_mod, "ThreadPoolExecutor", _boom)
+
+    def test_workers_one_never_pools(self, forbid_pools):
+        items = list(range(_SERIAL_THRESHOLD * 3))
+        assert parallel_map(_square, items, workers=1) == [
+            x * x for x in items
+        ]
+
+    def test_below_threshold_never_pools(self, forbid_pools):
+        items = list(range(_SERIAL_THRESHOLD - 1))
+        assert parallel_map(_square, items, workers=4) == [
+            x * x for x in items
+        ]
+
+    def test_at_threshold_uses_pool(self, monkeypatch):
+        """Exactly _SERIAL_THRESHOLD items with >1 workers goes parallel."""
+        used = {}
+
+        class Recorder:
+            def __init__(self, max_workers=None, **kw):
+                used["max_workers"] = max_workers
+                self._n = max_workers
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, items, chunksize=1):
+                return map(fn, items)
+
+        monkeypatch.setattr(parallel_mod, "ThreadPoolExecutor", Recorder)
+        items = list(range(_SERIAL_THRESHOLD))
+        # Oversubscribed threads so the pool engages even on 1 core.
+        out = parallel_map(
+            _square, items, workers=2, executor="thread", oversubscribe=True
+        )
+        assert out == [x * x for x in items]
+        assert used["max_workers"] == 2
