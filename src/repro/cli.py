@@ -10,9 +10,13 @@ Subcommands:
 ``table1``    print the GBT baseline metrics for a list of training sizes;
 ``serve-bench``  drive a repeated-prompt workload through the
               :mod:`repro.serve` inference service and print its
-              :class:`~repro.serve.ServiceStats` with and without caching.
+              :class:`~repro.serve.ServiceStats` with and without caching;
+``chaos``     run a seeded fault schedule (:mod:`repro.faults`) against a
+              live resilient service and print the availability /
+              p95-under-faults report.
 
-Every command is deterministic given ``--seed``.
+Every command is deterministic given ``--seed`` — including ``chaos``,
+whose injected faults, retries, and degradations reproduce bit-for-bit.
 """
 
 from __future__ import annotations
@@ -88,6 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", default=None, metavar="PATH",
         help="also save the probes as JSONL for later `repro report`",
     )
+    p.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="append completed cells to this JSONL file as the run "
+        "progresses, so a killed run can be resumed",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint: skip cells already complete "
+        "there and run only the rest",
+    )
 
     p = sub.add_parser(
         "report", help="full analysis report from saved probes"
@@ -123,6 +137,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-baseline", action="store_true",
         help="skip the caches-disabled comparison run",
+    )
+
+    p = sub.add_parser(
+        "chaos", help="fault-injection drill against the serving stack"
+    )
+    p.add_argument("--size", choices=SIZE_NAMES, default="SM")
+    p.add_argument("--n-icl", type=_positive_int, default=5)
+    p.add_argument(
+        "--requests", type=_positive_int, default=60,
+        help="logical requests to drive through the resilient service",
+    )
+    p.add_argument(
+        "--unique", type=_positive_int, default=12,
+        help="distinct probes the workload cycles through",
+    )
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--error-rate", type=float, default=0.08,
+        help="per-request transient worker-error probability",
+    )
+    p.add_argument(
+        "--latency-rate", type=float, default=0.05,
+        help="per-request latency-spike probability",
+    )
+    p.add_argument(
+        "--latency-s", type=float, default=0.01,
+        help="latency-spike duration in seconds",
+    )
+    p.add_argument(
+        "--evict-rate", type=float, default=0.02,
+        help="per-request cache-eviction-storm probability",
+    )
+    p.add_argument(
+        "--stall-rate", type=float, default=0.05,
+        help="per-flush queue-stall probability",
+    )
+    p.add_argument(
+        "--stall-s", type=float, default=0.005,
+        help="queue-stall duration in seconds",
+    )
+    p.add_argument(
+        "--max-attempts", type=_positive_int, default=4,
+        help="retry policy: total attempts per logical request",
+    )
+    p.add_argument(
+        "--no-fallback", action="store_true",
+        help="disable graceful degradation (final failures then raise)",
+    )
+    p.add_argument(
+        "--verify-determinism", action="store_true",
+        help="run the schedule twice and compare resilience counters "
+        "(exit 1 on any divergence)",
     )
 
     p = sub.add_parser("table1", help="GBT baseline metrics (Table I)")
@@ -178,11 +244,15 @@ def _cmd_grid(args) -> int:
         n_queries=args.queries,
     )
     print(f"running {len(specs)} experiment cells...", file=sys.stderr)
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
+    grid_kwargs = dict(checkpoint=args.checkpoint, resume=args.resume)
     if args.serve:
         from repro.serve import PredictionService
 
         with PredictionService(workers=args.workers) as service:
-            probes = run_grid(specs, service=service)
+            probes = run_grid(specs, service=service, **grid_kwargs)
             stats = service.stats()
         print(
             f"served {stats.n_completed} probes at "
@@ -191,7 +261,12 @@ def _cmd_grid(args) -> int:
             file=sys.stderr,
         )
     else:
-        probes = run_grid(specs, workers=args.workers)
+        probes = run_grid(specs, workers=args.workers, **grid_kwargs)
+    if args.checkpoint:
+        print(
+            f"checkpointed {len(probes)} probes in {args.checkpoint}",
+            file=sys.stderr,
+        )
     if args.save:
         from repro.core.storage import save_probes_jsonl
 
@@ -319,6 +394,105 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _chaos_workload(args):
+    """Cycle ``--requests`` requests over ``--unique`` distinct probes."""
+    from repro.serve import Request
+
+    dataset = generate_dataset(args.size)
+    sets, queries = disjoint_example_sets(
+        dataset, 1, args.n_icl, seed=args.seed, n_queries=args.unique
+    )
+    examples = [
+        (dataset.config(int(r)), float(dataset.runtimes[int(r)]))
+        for r in sets[0]
+    ]
+    workload = []
+    wave = 0
+    while len(workload) < args.requests:
+        for i, q in enumerate(queries):
+            if len(workload) >= args.requests:
+                break
+            workload.append(
+                Request(
+                    examples=examples,
+                    query_config=dataset.config(int(q)),
+                    seed=args.seed + i + (1000 if wave % 2 else 0),
+                    size=args.size,
+                )
+            )
+        wave += 1
+    return workload
+
+
+def _run_chaos_once(args, workload):
+    from repro.errors import ServiceError
+    from repro.faults import FaultPlan
+    from repro.serve import PredictionService, ResilientService, RetryPolicy
+
+    plan = FaultPlan(
+        seed=args.seed,
+        transient_error_rate=args.error_rate,
+        latency_spike_rate=args.latency_rate,
+        latency_spike_s=args.latency_s,
+        eviction_storm_rate=args.evict_rate,
+        queue_stall_rate=args.stall_rate,
+        queue_stall_s=args.stall_s,
+    )
+    unhandled = 0
+    with PredictionService(fault_plan=plan) as service:
+        resilient = ResilientService(
+            service,
+            retry_policy=RetryPolicy(
+                max_attempts=args.max_attempts, seed=args.seed
+            ),
+            fallback=False if args.no_fallback else None,
+        )
+        for request in workload:
+            try:
+                resilient.submit(request)
+            except ServiceError:
+                unhandled += 1  # already counted as unavailable
+        stats = service.stats()
+        fault_counts = service.faults.stats.snapshot()
+        fault_report = service.faults.stats.render()
+    return stats, fault_counts, fault_report, unhandled
+
+
+def _cmd_chaos(args) -> int:
+    workload = _chaos_workload(args)
+    print(
+        f"driving {len(workload)} requests through a seeded fault plan "
+        f"(size {args.size}, seed {args.seed})",
+        file=sys.stderr,
+    )
+    stats, faults, fault_report, unhandled = _run_chaos_once(args, workload)
+    print(stats.render(title="chaos report (service under faults)"))
+    print()
+    print(fault_report)
+    print()
+    print(
+        f"availability: {stats.availability:.2%}  "
+        f"(p95 under faults {stats.p95_latency_s * 1000:.1f} ms, "
+        f"{stats.n_degraded} degraded, {unhandled} unanswered)"
+    )
+    if args.verify_determinism:
+        stats2, faults2, _, unhandled2 = _run_chaos_once(args, workload)
+        counters = ("n_retries", "n_breaker_trips", "n_degraded",
+                    "n_unavailable", "n_logical")
+        same = (
+            all(getattr(stats, c) == getattr(stats2, c) for c in counters)
+            and faults == faults2
+            and unhandled == unhandled2
+        )
+        print(f"deterministic across two runs: {'yes' if same else 'NO'}")
+        if not same:
+            for c in counters:
+                print(f"  {c}: {getattr(stats, c)} vs {getattr(stats2, c)}")
+            print(f"  faults: {faults} vs {faults2}")
+            return 1
+    return 0
+
+
 def _cmd_table1(args) -> int:
     t = Table(
         ["size", "train n", "R2", "MARE", "MSRE"],
@@ -354,6 +528,7 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "table1": _cmd_table1,
     "serve-bench": _cmd_serve_bench,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -9,7 +9,8 @@ and results (chunky tasks, small payloads, per the HPC guides).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
+from functools import lru_cache, partial
+from pathlib import Path
 
 import numpy as np
 
@@ -134,7 +135,9 @@ def _probe_result(spec, dataset, query_row, pred) -> ProbeResult:
     )
 
 
-def run_spec(spec: ExperimentSpec, service=None) -> list[ProbeResult]:
+def run_spec(
+    spec: ExperimentSpec, service=None, fault_plan=None
+) -> list[ProbeResult]:
     """Execute all probes of one experiment cell.
 
     With ``service=None`` probes run serially against the per-process
@@ -143,7 +146,17 @@ def run_spec(spec: ExperimentSpec, service=None) -> list[ProbeResult]:
     microbatcher and caches then handle scheduling and reuse.  Both paths
     are bit-identical for the default stack (the engine's determinism
     contract), so analyses cannot tell them apart.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) is the grid-level
+    fault hook: a cell it selects (keyed on ``spec.cell_key``) raises
+    :class:`~repro.errors.InjectedFaultError` before running any probes,
+    which is how the checkpoint/resume tests simulate deterministic
+    mid-grid crashes.
     """
+    if fault_plan is not None and fault_plan.cell_fault(spec.cell_key):
+        from repro.errors import InjectedFaultError
+
+        raise InjectedFaultError("run_spec", spec.cell_key)
     dataset = _dataset(spec.size, spec.root_seed)
     inputs = _probe_inputs(spec, dataset)
     if service is not None:
@@ -176,6 +189,10 @@ def run_grid(
     specs: list[ExperimentSpec],
     workers: int | None = None,
     service=None,
+    checkpoint: str | Path | None = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
+    fault_plan=None,
 ) -> list[ProbeResult]:
     """Execute a grid of experiments, optionally across processes.
 
@@ -184,11 +201,91 @@ def run_grid(
     streamed through that :class:`repro.serve.PredictionService` instead
     of the process pool (the service owns concurrency, batching, and
     caching; ``workers`` is then ignored).
+
+    Crash resumability: with ``checkpoint`` set, completed cells are
+    appended to that JSONL file every ``checkpoint_every`` cells, so a
+    killed run loses at most one chunk.  ``resume=True`` loads an
+    existing checkpoint, skips every cell already complete in it (a
+    partially written trailing cell is discarded and re-run), and
+    produces a probe set identical to an uninterrupted run — same
+    probes, same order, no duplicates.  Without ``resume``, an existing
+    checkpoint file is an error rather than silently overwritten.
+
+    ``fault_plan`` forwards to :func:`run_spec` (deterministic grid-level
+    fault injection).
     """
     if not specs:
         raise ExperimentError("no experiments to run")
+    if checkpoint is None:
+        nested = _run_cells(specs, workers=workers, service=service,
+                            fault_plan=fault_plan)
+        return [probe for cell in nested for probe in cell]
+    return _run_grid_checkpointed(
+        specs,
+        workers=workers,
+        service=service,
+        path=Path(checkpoint),
+        every=max(1, int(checkpoint_every)),
+        resume=resume,
+        fault_plan=fault_plan,
+    )
+
+
+def _run_cells(
+    specs: list[ExperimentSpec], workers, service, fault_plan
+) -> list[list[ProbeResult]]:
+    """Run cells through the service or the process pool (spec order)."""
     if service is not None:
-        nested = [run_spec(spec, service=service) for spec in specs]
-    else:
-        nested = parallel_map(run_spec, specs, workers=workers)
-    return [probe for cell in nested for probe in cell]
+        return [
+            run_spec(spec, service=service, fault_plan=fault_plan)
+            for spec in specs
+        ]
+    fn = run_spec if fault_plan is None else partial(
+        run_spec, fault_plan=fault_plan
+    )
+    return parallel_map(fn, specs, workers=workers)
+
+
+def _run_grid_checkpointed(
+    specs, workers, service, path, every, resume, fault_plan
+) -> list[ProbeResult]:
+    from repro.core.storage import (
+        append_probes_jsonl,
+        load_checkpoint,
+        save_probes_jsonl,
+    )
+
+    if len({spec.cell_key for spec in specs}) != len(specs):
+        raise ExperimentError(
+            "grid has duplicate cells; checkpointing needs unique cell keys"
+        )
+    done: dict[tuple, list[ProbeResult]] = {}
+    if path.exists():
+        if not resume:
+            raise ExperimentError(
+                f"checkpoint {path} already exists; pass resume=True "
+                "(CLI: --resume) to continue it"
+            )
+        done = load_checkpoint(path, specs)
+        # Compact the file down to the complete cells: this drops any
+        # partially written tail so the append below cannot duplicate it.
+        save_probes_jsonl(
+            [
+                probe
+                for spec in specs
+                if spec.cell_key in done
+                for probe in done[spec.cell_key]
+            ],
+            path,
+        )
+    remaining = [spec for spec in specs if spec.cell_key not in done]
+    for start in range(0, len(remaining), every):
+        chunk = remaining[start : start + every]
+        nested = _run_cells(chunk, workers=workers, service=service,
+                            fault_plan=fault_plan)
+        append_probes_jsonl(
+            [probe for cell in nested for probe in cell], path
+        )
+        for spec, cell in zip(chunk, nested):
+            done[spec.cell_key] = cell
+    return [probe for spec in specs for probe in done[spec.cell_key]]

@@ -10,6 +10,7 @@ paper's repository does).
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -19,7 +20,12 @@ from repro.core.grid import ExperimentSpec
 from repro.core.runner import ProbeResult
 from repro.errors import ExperimentError
 
-__all__ = ["save_probes_jsonl", "load_probes_jsonl"]
+__all__ = [
+    "save_probes_jsonl",
+    "append_probes_jsonl",
+    "load_probes_jsonl",
+    "load_checkpoint",
+]
 
 _FORMAT_VERSION = 1
 
@@ -86,38 +92,107 @@ def _decode_probe(record: dict) -> ProbeResult:
         raise ExperimentError(f"corrupt probe record: {exc}") from exc
 
 
+def _header_line() -> str:
+    return (
+        json.dumps({"format": "repro-probes", "version": _FORMAT_VERSION})
+        + "\n"
+    )
+
+
 def save_probes_jsonl(probes: list[ProbeResult], path: str | Path) -> None:
     """Write probes to a JSONL file (one header line, one line per probe)."""
     path = Path(path)
     with path.open("w") as fh:
-        fh.write(
-            json.dumps({"format": "repro-probes", "version": _FORMAT_VERSION})
-            + "\n"
-        )
+        fh.write(_header_line())
         for probe in probes:
             fh.write(json.dumps(_encode_probe(probe)) + "\n")
 
 
-def load_probes_jsonl(path: str | Path) -> list[ProbeResult]:
+def append_probes_jsonl(probes: list[ProbeResult], path: str | Path) -> None:
+    """Append probes, creating the file (with header) when needed.
+
+    This is the checkpoint write path of :func:`repro.core.runner.run_grid`:
+    the buffer is flushed and fsynced so a killed process loses at most
+    the line being written (which :func:`load_checkpoint` discards).
+    """
+    path = Path(path)
+    fresh = not path.exists() or path.stat().st_size == 0
+    with path.open("a") as fh:
+        if fresh:
+            fh.write(_header_line())
+        for probe in probes:
+            fh.write(json.dumps(_encode_probe(probe)) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def load_probes_jsonl(
+    path: str | Path, *, tolerate_partial: bool = False
+) -> list[ProbeResult]:
     """Read probes written by :func:`save_probes_jsonl`.
+
+    With ``tolerate_partial=True`` (the crash-recovery mode), a corrupt
+    or truncated line — the signature of a process killed mid-write —
+    ends the read at that point instead of raising; an unreadable header
+    yields an empty list.
 
     Raises
     ------
     ExperimentError
-        On a missing/incompatible header or corrupt records.
+        On a missing/incompatible header or corrupt records (strict mode).
     """
     path = Path(path)
+    probes: list[ProbeResult] = []
     with path.open() as fh:
         header_line = fh.readline()
         try:
             header = json.loads(header_line)
+            if not isinstance(header, dict):
+                raise ExperimentError(f"{path} is not a probe JSONL file")
         except json.JSONDecodeError:
+            if tolerate_partial:
+                return []
             raise ExperimentError(f"{path} is not a probe JSONL file") from None
         if header.get("format") != "repro-probes":
+            if tolerate_partial:
+                return []
             raise ExperimentError(f"{path} is not a probe JSONL file")
         if header.get("version") != _FORMAT_VERSION:
             raise ExperimentError(
                 f"{path} has format version {header.get('version')}, "
                 f"expected {_FORMAT_VERSION}"
             )
-        return [_decode_probe(json.loads(line)) for line in fh if line.strip()]
+        for line in fh:
+            if not line.strip():
+                continue
+            try:
+                probes.append(_decode_probe(json.loads(line)))
+            except (json.JSONDecodeError, ExperimentError):
+                if tolerate_partial:
+                    break
+                raise
+    return probes
+
+
+def load_checkpoint(
+    path: str | Path, specs: list[ExperimentSpec]
+) -> dict[tuple, list[ProbeResult]]:
+    """Load a ``run_grid`` checkpoint: completed cells of ``specs`` only.
+
+    Returns ``{spec.cell_key: probes}`` for every cell whose full
+    ``n_queries`` probes are present.  Partial cells (the run died
+    mid-cell), truncated trailing lines, and probes from foreign specs
+    are dropped — their cells simply re-run on resume.
+    """
+    by_key = {spec.cell_key: spec for spec in specs}
+    groups: dict[tuple, list[ProbeResult]] = {}
+    for probe in load_probes_jsonl(path, tolerate_partial=True):
+        spec = by_key.get(probe.spec.cell_key)
+        if spec is None or probe.spec != spec:
+            continue
+        groups.setdefault(spec.cell_key, []).append(probe)
+    return {
+        key: cell
+        for key, cell in groups.items()
+        if len(cell) == by_key[key].n_queries
+    }

@@ -27,6 +27,8 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceClosedError",
     "RequestTimeoutError",
+    "InjectedFaultError",
+    "CircuitOpenError",
 ]
 
 
@@ -101,14 +103,17 @@ class ServiceError(ReproError, RuntimeError):
 class ServiceOverloadedError(ServiceError):
     """The service's bounded request queue is full (backpressure).
 
-    Callers should retry with backoff or shed load; the queue capacity is
-    reported so admission-control policies can size themselves.
+    Callers should retry with backoff or shed load; both the capacity and
+    the observed queue depth are reported so retry/backoff policies can
+    size their delays (depth ≈ capacity means sustained saturation).
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, depth: int | None = None):
         self.capacity = capacity
+        self.depth = depth
+        queued = capacity if depth is None else depth
         super().__init__(
-            f"request queue full (capacity {capacity}); retry later"
+            f"request queue full ({queued}/{capacity} queued); retry later"
         )
 
 
@@ -126,3 +131,33 @@ class RequestTimeoutError(ServiceError, TimeoutError):
     def __init__(self, timeout_s: float):
         self.timeout_s = timeout_s
         super().__init__(f"request timed out after {timeout_s:.3f}s")
+
+
+class InjectedFaultError(ServiceError):
+    """A transient fault injected deterministically by :mod:`repro.faults`.
+
+    Represents the recoverable failure class (a worker dying mid-request,
+    a flaky backend): retry policies treat it as retryable, and chaos
+    drills count how many of them the resilience layer absorbed.
+    """
+
+    def __init__(self, site: str, key: object):
+        self.site = site
+        self.key = key
+        super().__init__(
+            f"injected transient fault at {site!r} (key {key!r})"
+        )
+
+
+class CircuitOpenError(ServiceError):
+    """A route's circuit breaker is open: the service is failing fast.
+
+    Raised only when graceful degradation is disabled (or yields
+    nothing); otherwise an open breaker produces a degraded response.
+    """
+
+    def __init__(self, route: str):
+        self.route = route
+        super().__init__(
+            f"circuit breaker open for route {route!r}; failing fast"
+        )

@@ -1,0 +1,23 @@
+"""repro.faults — deterministic fault injection for chaos testing.
+
+Every failure mode the serving stack must survive (transient worker
+errors, latency spikes, cache-eviction storms, queue stalls, grid-cell
+crashes) is injectable through a seeded :class:`FaultPlan`, so resilience
+behaviour is bit-reproducible instead of flaky.  See
+:mod:`repro.serve.resilience` for the policies that absorb these faults
+and ``repro chaos`` for the CLI drill.
+"""
+
+from repro.faults.plan import (
+    DEFAULT_FAULT_PLAN,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "DEFAULT_FAULT_PLAN",
+]

@@ -1,0 +1,230 @@
+"""Deterministic, seedable fault injection for the serving stack.
+
+A :class:`FaultPlan` is a frozen schedule of failure modes — transient
+worker exceptions, latency spikes, cache-eviction storms, queue stalls,
+and grid-cell faults — whose decisions are *pure functions* of
+``(plan seed, site, key)`` via :func:`repro.utils.rng.derive_seed`.  Hook
+points in the stack (``MicroBatcher._flush``,
+``PredictionService._serve_one``, :func:`repro.core.runner.run_spec`)
+pass their natural keys (flush index, request id, cell key), so a given
+plan + seed reproduces the exact same fault sequence run after run: the
+chaos drills in ``repro chaos`` and the resilience tests are
+bit-reproducible, not flaky.
+
+A :class:`FaultInjector` binds a plan to runtime effects (sleeping,
+raising :class:`~repro.errors.InjectedFaultError`, clearing caches) and
+counts every injected fault in a thread-safe :class:`FaultStats`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import InjectedFaultError
+from repro.utils.rng import derive_seed
+from repro.utils.tables import Table
+
+__all__ = ["FaultPlan", "FaultInjector", "FaultStats", "DEFAULT_FAULT_PLAN"]
+
+#: ``derive_seed`` yields uniform 63-bit ints; dividing by 2**63 maps them
+#: onto [0, 1) for rate thresholds.
+_SCALE = float(1 << 63)
+
+_RATE_FIELDS = (
+    "transient_error_rate",
+    "latency_spike_rate",
+    "eviction_storm_rate",
+    "queue_stall_rate",
+    "cell_error_rate",
+)
+_DURATION_FIELDS = ("latency_spike_s", "queue_stall_s")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injectable failure modes.
+
+    Attributes
+    ----------
+    seed:
+        Root of the fault-decision hash; two plans with equal fields make
+        identical decisions everywhere.
+    transient_error_rate:
+        Per-request probability that the batch worker raises
+        :class:`~repro.errors.InjectedFaultError` before executing.
+    latency_spike_rate, latency_spike_s:
+        Per-request probability/duration of an added service delay.
+    eviction_storm_rate:
+        Per-request probability that both service caches are cleared
+        first (a cold-cache storm).
+    queue_stall_rate, queue_stall_s:
+        Per-flush probability/duration of a scheduler stall before the
+        batch is dispatched.
+    cell_error_rate:
+        Per-cell probability that :func:`repro.core.runner.run_spec`
+        fails before running any probes (grid-level crash simulation).
+    """
+
+    seed: int = 0
+    transient_error_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    latency_spike_s: float = 0.01
+    eviction_storm_rate: float = 0.0
+    queue_stall_rate: float = 0.0
+    queue_stall_s: float = 0.005
+    cell_error_rate: float = 0.0
+
+    def __post_init__(self):
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        for name in _DURATION_FIELDS:
+            duration = getattr(self, name)
+            if duration < 0:
+                raise ValueError(f"{name} must be >= 0, got {duration}")
+
+    # ------------------------------------------------------------------ #
+    def fires(self, site: str, key: object, rate: float) -> bool:
+        """Pure fault decision for ``(site, key)`` at ``rate``."""
+        if rate <= 0.0:
+            return False
+        return derive_seed(self.seed, "fault", site, key) / _SCALE < rate
+
+    def transient_error(self, key: object) -> bool:
+        return self.fires("transient-error", key, self.transient_error_rate)
+
+    def latency_spike(self, key: object) -> float:
+        """Added latency in seconds for this key (0.0 when no spike)."""
+        if self.fires("latency-spike", key, self.latency_spike_rate):
+            return self.latency_spike_s
+        return 0.0
+
+    def eviction_storm(self, key: object) -> bool:
+        return self.fires("eviction-storm", key, self.eviction_storm_rate)
+
+    def queue_stall(self, key: object) -> float:
+        """Scheduler stall in seconds for this flush (0.0 when none)."""
+        if self.fires("queue-stall", key, self.queue_stall_rate):
+            return self.queue_stall_s
+        return 0.0
+
+    def cell_fault(self, key: object) -> bool:
+        return self.fires("cell-error", key, self.cell_error_rate)
+
+    @property
+    def active(self) -> bool:
+        """Whether any failure mode has a non-zero rate."""
+        return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+
+
+#: The ``repro chaos`` default: a realistically hostile mix — ~8% of
+#: requests fail transiently, 5% see a latency spike, caches are stormed
+#: on 2% of requests, and 5% of flushes stall.  Under the default
+#: :class:`~repro.serve.resilience.RetryPolicy` this keeps availability
+#: >= 99% (pinned by ``benchmarks/test_serve_chaos.py``).
+DEFAULT_FAULT_PLAN = FaultPlan(
+    seed=20250806,
+    transient_error_rate=0.08,
+    latency_spike_rate=0.05,
+    latency_spike_s=0.01,
+    eviction_storm_rate=0.02,
+    queue_stall_rate=0.05,
+    queue_stall_s=0.005,
+)
+
+
+class FaultStats:
+    """Thread-safe counters of injected faults (one per failure mode)."""
+
+    _KINDS = (
+        "transient_errors",
+        "latency_spikes",
+        "evictions",
+        "stalls",
+        "cell_faults",
+    )
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {kind: 0 for kind in self._KINDS}
+
+    def record(self, kind: str) -> None:
+        if kind not in self._counts:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        with self._lock:
+            self._counts[kind] += 1
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of the current counters."""
+        with self._lock:
+            return dict(self._counts)
+
+    @property
+    def total(self) -> int:
+        with self._lock:
+            return sum(self._counts.values())
+
+    def render(self, title: str = "injected faults") -> str:
+        """ASCII table of the counters (the chaos report body)."""
+        snap = self.snapshot()
+        t = Table(["fault", "count"], title=title)
+        t.add_row(["transient worker errors", snap["transient_errors"]])
+        t.add_row(["latency spikes", snap["latency_spikes"]])
+        t.add_row(["cache-eviction storms", snap["evictions"]])
+        t.add_row(["queue stalls", snap["stalls"]])
+        t.add_row(["grid-cell faults", snap["cell_faults"]])
+        return t.render()
+
+
+class FaultInjector:
+    """Binds a :class:`FaultPlan` to runtime effects at the hook points.
+
+    Parameters
+    ----------
+    plan:
+        The fault schedule; decisions stay pure functions of its seed.
+    sleep:
+        Injectable sleep (tests pass a stub so stalls cost no wall time).
+    """
+
+    def __init__(self, plan: FaultPlan, sleep=time.sleep):
+        self.plan = plan
+        self.stats = FaultStats()
+        self._sleep = sleep
+
+    def before_request(self, key: object, caches=()) -> None:
+        """Per-request hook (``PredictionService._serve_one``).
+
+        Order matters: an eviction storm first (so this request sees the
+        cold caches), then the latency spike, then the transient error —
+        a spiked request can still fail, like a slow worker dying.
+        """
+        plan = self.plan
+        if plan.eviction_storm(key):
+            self.stats.record("evictions")
+            for cache in caches:
+                if cache is not None:
+                    cache.clear()
+        spike = plan.latency_spike(key)
+        if spike > 0.0:
+            self.stats.record("latency_spikes")
+            self._sleep(spike)
+        if plan.transient_error(key):
+            self.stats.record("transient_errors")
+            raise InjectedFaultError("serve", key)
+
+    def before_flush(self, key: object) -> None:
+        """Per-flush hook (``MicroBatcher._flush``): maybe stall."""
+        stall = self.plan.queue_stall(key)
+        if stall > 0.0:
+            self.stats.record("stalls")
+            self._sleep(stall)
+
+    def before_cell(self, key: object) -> None:
+        """Per-cell hook (:func:`repro.core.runner.run_spec`)."""
+        if self.plan.cell_fault(key):
+            self.stats.record("cell_faults")
+            raise InjectedFaultError("run_spec", key)

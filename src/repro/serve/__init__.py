@@ -18,10 +18,18 @@ proper inference service (SURGE's "LLM as surrogate executor" framing):
 The experiment runner (:func:`repro.core.runner.run_grid`) can execute
 grids through a service, making the paper reproduction itself the first
 traffic generator.
+
+Robustness beyond typed errors lives in :mod:`repro.serve.resilience`:
+:class:`RetryPolicy` (deterministic backoff), per-route
+:class:`CircuitBreaker`, and the :class:`FallbackChain` degradation
+ladder behind :class:`ResilientService` — all testable under seeded
+fault injection from :mod:`repro.faults` (see ``repro chaos``).
 """
 
 from repro.serve.cache import LRUCache, prompt_fingerprint
+from repro.serve.fallback import FallbackChain
 from repro.serve.request import Request, Response
+from repro.serve.resilience import CircuitBreaker, ResilientService, RetryPolicy
 from repro.serve.scheduler import MicroBatcher
 from repro.serve.service import PredictionService
 from repro.serve.stats import ServiceStats, StatsRecorder
@@ -35,4 +43,8 @@ __all__ = [
     "prompt_fingerprint",
     "ServiceStats",
     "StatsRecorder",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResilientService",
+    "FallbackChain",
 ]

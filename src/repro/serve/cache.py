@@ -83,6 +83,16 @@ class LRUCache:
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
 
+    def peek(self, key: Hashable) -> object:
+        """Return the cached value or :data:`MISS` without side effects.
+
+        Neither the hit/miss counters nor LRU recency are touched — the
+        degradation fallback uses this so its cache probes don't distort
+        the service's hit-rate metrics or eviction order.
+        """
+        with self._lock:
+            return self._data.get(key, MISS)
+
     @property
     def hit_rate(self) -> float:
         """Hits over lookups (0.0 before any lookup)."""

@@ -1,0 +1,152 @@
+"""Graceful-degradation fallback chain for the resilience layer.
+
+When the live generation path is unavailable (retries exhausted, breaker
+open), the service degrades through three rungs rather than failing:
+
+1. **result cache** — an exact prior answer for this request (free and
+   bit-identical to the live path);
+2. **GBT surrogate** — a small gradient-boosted model from
+   :mod:`repro.gbt`, trained once per size on the synthetic performance
+   dataset (the paper's own baseline regressor standing in for the LLM);
+3. **magnitude prior** — the median runtime of the request's own ICL
+   examples, the weakest guess that is still on the right order of
+   magnitude (the paper shows ICL predictions cluster on the example
+   values anyway).
+
+Every degraded :class:`~repro.serve.request.Response` is flagged
+``degraded=True`` and carries the rung that produced it in
+``provenance``, so downstream analyses can weigh or drop such answers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.surrogate import SurrogatePrediction
+from repro.dataset.generate import generate_dataset
+from repro.errors import ReproError
+from repro.gbt import (
+    BoostingParams,
+    FeatureEncoder,
+    GradientBoostingRegressor,
+    TargetTransform,
+)
+from repro.serve.request import Request, Response
+
+__all__ = ["FallbackChain"]
+
+#: Training-set size for the per-size fallback GBT: enough rows for a
+#: usable model, small enough that the first degraded serve stays fast.
+_GBT_TRAIN_ROWS = 400
+
+
+@lru_cache(maxsize=8)
+def _gbt_stack(size: str):
+    """Fit the per-size fallback model once (process-lifetime cache)."""
+    dataset = generate_dataset(size)
+    sub = dataset.subset(np.arange(min(len(dataset), _GBT_TRAIN_ROWS)))
+    encoder = FeatureEncoder(dataset.space)
+    transform = TargetTransform("log")
+    model = GradientBoostingRegressor(
+        BoostingParams(
+            n_estimators=40,
+            learning_rate=0.15,
+            max_depth=4,
+            min_samples_leaf=2,
+        )
+    ).fit(encoder.encode_dataset(sub), transform.forward(sub.runtimes))
+    return dataset.space, encoder, transform, model
+
+
+class FallbackChain:
+    """The cache → GBT → magnitude-prior degradation ladder.
+
+    Parameters
+    ----------
+    service:
+        The wrapped :class:`~repro.serve.service.PredictionService`
+        (source of the result-cache rung); ``None`` skips that rung.
+    use_cache, use_gbt, use_prior:
+        Rung kill-switches (tests pin each rung by disabling the ones
+        above it).
+    """
+
+    def __init__(
+        self,
+        service=None,
+        *,
+        use_cache: bool = True,
+        use_gbt: bool = True,
+        use_prior: bool = True,
+    ):
+        self._service = service
+        self.use_cache = use_cache
+        self.use_gbt = use_gbt
+        self.use_prior = use_prior
+
+    def degraded_response(
+        self, request: Request, request_id: int = -1
+    ) -> Response | None:
+        """Best degraded answer for ``request``, or ``None`` if every rung
+        is disabled (the caller then surfaces the original failure)."""
+        start = time.monotonic()
+        if self.use_cache and self._service is not None:
+            cached = self._service.cached_response(request)
+            if cached is not None:
+                return replace(
+                    cached, degraded=True, provenance="result-cache"
+                )
+        if self.use_gbt:
+            try:
+                value = self._gbt_value(request)
+            except ReproError:
+                value = None  # unknown size/space: fall through to prior
+            if value is not None:
+                return self._synthetic(
+                    request, request_id, value, "gbt-surrogate", start
+                )
+        if self.use_prior:
+            value = float(
+                np.median([runtime for _, runtime in request.examples])
+            )
+            return self._synthetic(
+                request, request_id, value, "magnitude-prior", start
+            )
+        return None
+
+    # ------------------------------------------------------------------ #
+    def _gbt_value(self, request: Request) -> float:
+        space, encoder, transform, model = _gbt_stack(request.size)
+        index = space.to_index(request.query_config)
+        features = encoder.encode_indices([index])
+        return float(transform.inverse(model.predict(features))[0])
+
+    @staticmethod
+    def _synthetic(
+        request: Request,
+        request_id: int,
+        value: float,
+        provenance: str,
+        start: float,
+    ) -> Response:
+        prediction = SurrogatePrediction(
+            value=value,
+            value_text=f"{value:.7f}",
+            generated_text="",
+            icl_value_strings=[],
+            value_steps=[],
+            n_prompt_tokens=0,
+            seed=int(request.seed),
+        )
+        return Response(
+            request_id=request_id,
+            prediction=prediction,
+            latency_s=time.monotonic() - start,
+            batch_size=1,
+            degraded=True,
+            provenance=provenance,
+        )

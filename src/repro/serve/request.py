@@ -66,6 +66,11 @@ class Response:
     Cached responses share the underlying
     :class:`~repro.core.surrogate.SurrogatePrediction` object; treat it as
     read-only.
+
+    ``degraded`` marks responses produced by the resilience layer's
+    fallback chain instead of live generation; ``provenance`` names the
+    source: ``"service"`` (live path), ``"result-cache"``,
+    ``"gbt-surrogate"``, or ``"magnitude-prior"``.
     """
 
     request_id: int
@@ -74,6 +79,8 @@ class Response:
     result_cache_hit: bool = False
     prepare_cache_hit: bool = False
     batch_size: int = 1
+    degraded: bool = False
+    provenance: str = "service"
 
     @property
     def value(self) -> float | None:

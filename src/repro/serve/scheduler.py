@@ -75,6 +75,10 @@ class MicroBatcher:
         collector would drain the bounded queue into the executor's
         unbounded backlog and the queue bound would never exert
         backpressure.
+    fault_injector:
+        Optional :class:`repro.faults.FaultInjector`; its
+        ``before_flush`` hook runs on every flush (queue-stall
+        injection), keyed on the flush index.
     """
 
     def __init__(
@@ -86,6 +90,7 @@ class MicroBatcher:
         queue_capacity: int = 1024,
         workers: int | None = None,
         max_inflight_batches: int | None = None,
+        fault_injector=None,
     ):
         if max_batch_size < 1:
             raise ValueError(
@@ -109,6 +114,8 @@ class MicroBatcher:
             raise ValueError(
                 f"max_inflight_batches must be >= 1, got {max_inflight_batches}"
             )
+        self._faults = fault_injector
+        self._flush_count = 0
         self._inflight = threading.Semaphore(max_inflight_batches)
         self._pool = ThreadPoolExecutor(
             max_workers=nworkers,
@@ -132,11 +139,21 @@ class MicroBatcher:
             raise ServiceClosedError("service is shut down")
         if block:
             self._queue.put(ticket)
-            return
-        try:
-            self._queue.put_nowait(ticket)
-        except queue.Full:
-            raise ServiceOverloadedError(self.queue_capacity) from None
+        else:
+            try:
+                self._queue.put_nowait(ticket)
+            except queue.Full:
+                raise ServiceOverloadedError(
+                    self.queue_capacity, depth=self._queue.qsize()
+                ) from None
+        # close() may have raced the enqueue: the collector could already
+        # have passed (or be past) the shutdown sentinel, in which case
+        # this ticket would never be batched and its future never
+        # resolved.  Cancelling wins only while the ticket is still
+        # pending — if the collector did pick it up, it completes
+        # normally and the submission stands.
+        if self._closed.is_set() and ticket.future.cancel():
+            raise ServiceClosedError("service shut down during submission")
 
     def close(self, drain: bool = True) -> None:
         """Stop admissions and shut the scheduler down.
@@ -165,6 +182,17 @@ class MicroBatcher:
                     )
         self._queue.put(_STOP)
         self._collector.join()
+        # Sweep tickets enqueued after the sentinel (submit racing
+        # close): cancel them so the racing submitter's own post-enqueue
+        # check converts the cancellation into ServiceClosedError instead
+        # of waiting forever on an unresolved future.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if isinstance(item, Ticket):
+                item.future.cancel()
         self._pool.shutdown(wait=True)
 
     # ------------------------------------------------------------------ #
@@ -196,6 +224,10 @@ class MicroBatcher:
                 batch, deadline = [], None
 
     def _flush(self, batch: list[Ticket]) -> None:
+        if self._faults is not None:
+            # Only the collector thread flushes, so the index needs no lock.
+            self._flush_count += 1
+            self._faults.before_flush(self._flush_count)
         # Block until a dispatch slot frees: this is what propagates
         # worker saturation back to the bounded queue (and from there to
         # submitters) instead of hiding it in the executor's backlog.

@@ -29,6 +29,7 @@ from typing import Iterable
 from repro.core.surrogate import DiscriminativeSurrogate
 from repro.dataset.syr2k import Syr2kTask
 from repro.errors import RequestTimeoutError, ServiceClosedError
+from repro.faults import FaultInjector, FaultPlan
 from repro.serve.cache import MISS, LRUCache, prompt_fingerprint
 from repro.serve.request import Request, Response
 from repro.serve.scheduler import MicroBatcher, Ticket
@@ -59,6 +60,11 @@ class PredictionService:
     default_timeout_s:
         Fallback per-request deadline for blocking submits when the
         request does not carry its own (``None``: wait indefinitely).
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` (or a pre-built
+        :class:`~repro.faults.FaultInjector`) activating deterministic
+        fault injection at the service's hook points; injected faults are
+        counted on ``service.faults.stats``.
     """
 
     def __init__(
@@ -75,6 +81,7 @@ class PredictionService:
         enable_prepare_cache: bool = True,
         enable_result_cache: bool = True,
         default_timeout_s: float | None = None,
+        fault_plan: FaultPlan | FaultInjector | None = None,
     ):
         self._fixed_surrogate = surrogate
         self._surrogates: dict[str, DiscriminativeSurrogate] = {}
@@ -88,6 +95,9 @@ class PredictionService:
         )
         self._stats = StatsRecorder(max_batch_size=max_batch_size)
         self._ids = itertools.count()
+        if isinstance(fault_plan, FaultPlan):
+            fault_plan = FaultInjector(fault_plan)
+        self.faults = fault_plan
         self._batcher = MicroBatcher(
             self._execute_batch,
             max_batch_size=max_batch_size,
@@ -95,6 +105,7 @@ class PredictionService:
             queue_capacity=queue_capacity,
             workers=workers,
             max_inflight_batches=max_inflight_batches,
+            fault_injector=self.faults,
         )
 
     # ------------------------------------------------------------------ #
@@ -132,9 +143,19 @@ class PredictionService:
         try:
             return future.result(timeout=timeout)
         except FuturesTimeoutError:
-            future.cancel()
+            if not future.cancel():
+                # The batch already started: the work will finish in the
+                # background with nobody left to read it.  Count that
+                # discarded late completion instead of dropping it
+                # silently (failures/cancellations are already counted
+                # through their own paths).
+                future.add_done_callback(self._note_late_discard)
             self._stats.record_timeout()
             raise RequestTimeoutError(float(timeout)) from None
+
+    def _note_late_discard(self, future: Future) -> None:
+        if not future.cancelled() and future.exception() is None:
+            self._stats.record_late_discard()
 
     def submit_many(self, requests: Iterable[Request]) -> list[Response]:
         """Serve a bulk workload, preserving input order.
@@ -169,6 +190,11 @@ class PredictionService:
             result_misses=rc.misses if rc else 0,
         )
 
+    @property
+    def stats_recorder(self) -> StatsRecorder:
+        """The live accumulator (shared with the resilience wrapper)."""
+        return self._stats
+
     # ------------------------------------------------------------------ #
     # Execution path (batch workers)
     # ------------------------------------------------------------------ #
@@ -197,17 +223,56 @@ class PredictionService:
                 self._stats.record_done(response.latency_s)
                 ticket.future.set_result(response)
 
-    def _serve_one(self, ticket: Ticket, batch_size: int) -> Response:
-        request = ticket.request
-        surrogate = self._surrogate_for(request.size)
-        parts = surrogate.build_parts(request.examples, request.query_config)
-        fingerprint = prompt_fingerprint(parts.ids)
-        result_key = (
+    @staticmethod
+    def _result_key(surrogate: DiscriminativeSurrogate, fingerprint: str, seed: int):
+        """Full-result cache key (the engine's determinism contract)."""
+        return (
             fingerprint,
-            int(request.seed),
+            int(seed),
             surrogate.engine.sampling,
             surrogate.engine.max_new_tokens,
         )
+
+    def cached_response(self, request: Request) -> Response | None:
+        """Serve purely from the result cache — no admission, no generation.
+
+        Returns ``None`` on a miss or when the result cache is disabled.
+        This is the first rung of the resilience layer's degradation
+        chain, so the lookup uses :meth:`LRUCache.peek` (no counter or
+        recency side effects).
+        """
+        if self.result_cache is None:
+            return None
+        surrogate = self._surrogate_for(request.size)
+        parts = surrogate.build_parts(request.examples, request.query_config)
+        key = self._result_key(
+            surrogate, prompt_fingerprint(parts.ids), request.seed
+        )
+        prediction = self.result_cache.peek(key)
+        if prediction is MISS:
+            return None
+        return Response(
+            request_id=next(self._ids),
+            prediction=prediction,
+            latency_s=0.0,
+            result_cache_hit=True,
+            batch_size=1,
+        )
+
+    def _serve_one(self, ticket: Ticket, batch_size: int) -> Response:
+        request = ticket.request
+        if self.faults is not None:
+            # Deterministic per-request injection, keyed on the ticket's
+            # admission-ordered id: eviction storm / latency spike /
+            # transient error (the error propagates as a failed future).
+            self.faults.before_request(
+                ticket.request_id,
+                caches=(self.prepare_cache, self.result_cache),
+            )
+        surrogate = self._surrogate_for(request.size)
+        parts = surrogate.build_parts(request.examples, request.query_config)
+        fingerprint = prompt_fingerprint(parts.ids)
+        result_key = self._result_key(surrogate, fingerprint, request.seed)
 
         result_hit = prepare_hit = False
         prediction = MISS

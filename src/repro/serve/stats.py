@@ -44,6 +44,14 @@ class ServiceStats:
     prepare_misses: int
     result_hits: int
     result_misses: int
+    # Resilience layer (repro.serve.resilience); all zero when requests
+    # bypass the ResilientService wrapper.
+    n_late_discards: int = 0
+    n_retries: int = 0
+    n_breaker_trips: int = 0
+    n_degraded: int = 0
+    n_logical: int = 0
+    n_unavailable: int = 0
 
     @property
     def batch_occupancy(self) -> float:
@@ -62,6 +70,25 @@ class ServiceStats:
         total = self.result_hits + self.result_misses
         return self.result_hits / total if total else 0.0
 
+    @property
+    def availability(self) -> float:
+        """Fraction of logical requests answered (degraded ones count).
+
+        A logical request is one ``ResilientService.submit`` call; only
+        requests that ultimately raised are unavailable.  1.0 before any
+        resilient traffic.
+        """
+        if self.n_logical <= 0:
+            return 1.0
+        return 1.0 - self.n_unavailable / self.n_logical
+
+    @property
+    def degraded_rate(self) -> float:
+        """Fraction of logical requests served via the fallback chain."""
+        if self.n_logical <= 0:
+            return 0.0
+        return self.n_degraded / self.n_logical
+
     def render(self, title: str = "service stats") -> str:
         """ASCII table of the snapshot (the serve-bench report body)."""
         t = Table(["metric", "value"], title=title)
@@ -78,6 +105,14 @@ class ServiceStats:
         t.add_row(["batch occupancy", f"{self.batch_occupancy:.0%}"])
         t.add_row(["prepare-cache hit rate", f"{self.prepare_hit_rate:.0%}"])
         t.add_row(["result-cache hit rate", f"{self.result_hit_rate:.0%}"])
+        t.add_row(["late completions discarded", self.n_late_discards])
+        if self.n_logical:
+            t.add_row(["logical requests (resilient)", self.n_logical])
+            t.add_row(["retries", self.n_retries])
+            t.add_row(["breaker trips", self.n_breaker_trips])
+            t.add_row(["degraded serves", self.n_degraded])
+            t.add_row(["degraded-serve rate", f"{self.degraded_rate:.1%}"])
+            t.add_row(["availability", f"{self.availability:.2%}"])
         return t.render()
 
 
@@ -97,6 +132,12 @@ class StatsRecorder:
         self._failed = 0
         self._rejected = 0
         self._timeouts = 0
+        self._late_discards = 0
+        self._retries = 0
+        self._breaker_trips = 0
+        self._degraded = 0
+        self._logical = 0
+        self._unavailable = 0
         self._first_submit_t: float | None = None
         self._last_done_t: float | None = None
 
@@ -114,6 +155,33 @@ class StatsRecorder:
     def record_timeout(self) -> None:
         with self._lock:
             self._timeouts += 1
+
+    def record_late_discard(self) -> None:
+        """A timed-out request's work completed anyway and was dropped."""
+        with self._lock:
+            self._late_discards += 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self._retries += 1
+
+    def record_breaker_trip(self) -> None:
+        with self._lock:
+            self._breaker_trips += 1
+
+    def record_degraded(self) -> None:
+        with self._lock:
+            self._degraded += 1
+
+    def record_logical(self) -> None:
+        """One ``ResilientService.submit`` call (denominator of availability)."""
+        with self._lock:
+            self._logical += 1
+
+    def record_unavailable(self) -> None:
+        """A logical request that ultimately raised to its caller."""
+        with self._lock:
+            self._unavailable += 1
 
     def record_batch(self, batch_size: int) -> None:
         with self._lock:
@@ -161,4 +229,10 @@ class StatsRecorder:
                 prepare_misses=prepare_misses,
                 result_hits=result_hits,
                 result_misses=result_misses,
+                n_late_discards=self._late_discards,
+                n_retries=self._retries,
+                n_breaker_trips=self._breaker_trips,
+                n_degraded=self._degraded,
+                n_logical=self._logical,
+                n_unavailable=self._unavailable,
             )

@@ -1,0 +1,144 @@
+"""Tests for :mod:`repro.faults`: deterministic, seedable fault injection.
+
+The load-bearing property is purity: every fault decision is a function
+of ``(plan seed, site, key)`` alone, which is what makes chaos drills
+bit-reproducible instead of flaky.
+"""
+
+import pytest
+
+from repro.errors import InjectedFaultError
+from repro.faults import DEFAULT_FAULT_PLAN, FaultInjector, FaultPlan
+from repro.serve.cache import MISS, LRUCache
+
+
+class TestFaultPlanValidation:
+    @pytest.mark.parametrize("field", [
+        "transient_error_rate", "latency_spike_rate", "eviction_storm_rate",
+        "queue_stall_rate", "cell_error_rate",
+    ])
+    def test_rates_must_be_probabilities(self, field):
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: 1.5})
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: -0.1})
+
+    @pytest.mark.parametrize("field", ["latency_spike_s", "queue_stall_s"])
+    def test_durations_must_be_nonnegative(self, field):
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: -0.01})
+
+    def test_active_flag(self):
+        assert not FaultPlan().active
+        assert FaultPlan(transient_error_rate=0.1).active
+        assert DEFAULT_FAULT_PLAN.active
+
+
+class TestFaultPlanDeterminism:
+    def test_decisions_are_pure(self):
+        a = FaultPlan(seed=11, transient_error_rate=0.5)
+        b = FaultPlan(seed=11, transient_error_rate=0.5)
+        assert [a.transient_error(k) for k in range(200)] == [
+            b.transient_error(k) for k in range(200)
+        ]
+
+    def test_seed_changes_decisions(self):
+        a = FaultPlan(seed=1, transient_error_rate=0.5)
+        b = FaultPlan(seed=2, transient_error_rate=0.5)
+        assert [a.transient_error(k) for k in range(200)] != [
+            b.transient_error(k) for k in range(200)
+        ]
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan(
+            seed=5, transient_error_rate=0.5, latency_spike_rate=0.5
+        )
+        errors = [plan.transient_error(k) for k in range(200)]
+        spikes = [plan.latency_spike(k) > 0 for k in range(200)]
+        assert errors != spikes
+
+    def test_rate_extremes(self):
+        never = FaultPlan(seed=1)
+        always = FaultPlan(
+            seed=1, transient_error_rate=1.0, latency_spike_rate=1.0,
+            eviction_storm_rate=1.0, queue_stall_rate=1.0,
+            cell_error_rate=1.0,
+        )
+        for key in range(50):
+            assert not never.transient_error(key)
+            assert never.latency_spike(key) == 0.0
+            assert never.queue_stall(key) == 0.0
+            assert always.transient_error(key)
+            assert always.latency_spike(key) == always.latency_spike_s
+            assert always.eviction_storm(key)
+            assert always.queue_stall(key) == always.queue_stall_s
+            assert always.cell_fault(key)
+
+    def test_empirical_rate_matches_nominal(self):
+        plan = FaultPlan(seed=9, transient_error_rate=0.3)
+        hits = sum(plan.transient_error(k) for k in range(4000))
+        assert 0.25 < hits / 4000 < 0.35
+
+
+class TestFaultInjector:
+    def test_transient_error_raises_and_counts(self):
+        injector = FaultInjector(FaultPlan(seed=1, transient_error_rate=1.0))
+        with pytest.raises(InjectedFaultError) as excinfo:
+            injector.before_request(7)
+        assert excinfo.value.site == "serve"
+        assert excinfo.value.key == 7
+        assert injector.stats.snapshot()["transient_errors"] == 1
+
+    def test_eviction_storm_clears_caches(self):
+        cache = LRUCache(8)
+        cache.put("k", "v")
+        injector = FaultInjector(FaultPlan(seed=1, eviction_storm_rate=1.0))
+        injector.before_request(0, caches=(cache, None))
+        assert cache.peek("k") is MISS
+        assert injector.stats.snapshot()["evictions"] == 1
+
+    def test_latency_spike_sleeps(self):
+        slept = []
+        injector = FaultInjector(
+            FaultPlan(seed=1, latency_spike_rate=1.0, latency_spike_s=0.25),
+            sleep=slept.append,
+        )
+        injector.before_request(0)
+        assert slept == [0.25]
+        assert injector.stats.snapshot()["latency_spikes"] == 1
+
+    def test_queue_stall_sleeps(self):
+        slept = []
+        injector = FaultInjector(
+            FaultPlan(seed=1, queue_stall_rate=1.0, queue_stall_s=0.125),
+            sleep=slept.append,
+        )
+        injector.before_flush(1)
+        assert slept == [0.125]
+        assert injector.stats.snapshot()["stalls"] == 1
+
+    def test_cell_fault_raises(self):
+        injector = FaultInjector(FaultPlan(seed=1, cell_error_rate=1.0))
+        with pytest.raises(InjectedFaultError):
+            injector.before_cell(("SM", "random", 1, 0, 1))
+        assert injector.stats.snapshot()["cell_faults"] == 1
+
+    def test_quiet_plan_is_a_no_op(self):
+        injector = FaultInjector(FaultPlan(seed=1))
+        injector.before_request(0)
+        injector.before_flush(0)
+        injector.before_cell(0)
+        assert injector.stats.total == 0
+
+    def test_stats_rejects_unknown_kind(self):
+        injector = FaultInjector(FaultPlan())
+        with pytest.raises(ValueError):
+            injector.stats.record("nonsense")
+
+    def test_stats_render(self):
+        injector = FaultInjector(FaultPlan(seed=1, transient_error_rate=1.0))
+        with pytest.raises(InjectedFaultError):
+            injector.before_request(0)
+        out = injector.stats.render()
+        assert "transient worker errors" in out
+        assert "queue stalls" in out

@@ -79,6 +79,18 @@ class TestLRUCache:
     def test_hit_rate_empty(self):
         assert LRUCache(1).hit_rate == 0.0
 
+    def test_peek_has_no_side_effects(self):
+        c = LRUCache(2)
+        assert c.peek("k") is MISS
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.peek("a") == 1
+        # peek recorded nothing and did not refresh recency: "a" is still
+        # the least recent entry and gets evicted next.
+        assert c.hits == 0 and c.misses == 0
+        c.put("c", 3)
+        assert c.peek("a") is MISS
+
     def test_thread_safety_smoke(self):
         c = LRUCache(64)
         errors = []
@@ -100,3 +112,62 @@ class TestLRUCache:
             t.join()
         assert not errors
         assert len(c) <= 64
+
+    def test_thread_safety_hammer(self):
+        """Concurrency audit: invariants under a seeded multi-thread storm.
+
+        Every value stored is a pure function of its key, so any read
+        returning something else is a lost/torn update.  Hit/miss
+        counters must add up to exactly the number of reads issued, and
+        the size bound must hold at the end — a racy eviction loop is
+        what would break it.
+        """
+        import numpy as np
+
+        capacity, n_threads, n_ops = 32, 8, 3000
+        c = LRUCache(capacity)
+        errors = []
+        gets_done = [0] * n_threads
+        start = threading.Barrier(n_threads)
+
+        def value_of(key):
+            return key * 31 + 7
+
+        def worker(t):
+            rng = np.random.default_rng(1000 + t)
+            keys = rng.integers(0, 64, size=n_ops)
+            ops = rng.integers(0, 4, size=n_ops)
+            try:
+                start.wait()
+                for key, op in zip(keys, ops):
+                    key = int(key)
+                    if op == 0:
+                        c.put(key, value_of(key))
+                    elif op == 3:
+                        got = c.peek(key)
+                        if got is not MISS and got != value_of(key):
+                            raise AssertionError(
+                                f"lost update: peek({key}) -> {got}"
+                            )
+                    else:
+                        gets_done[t] += 1
+                        got = c.get(key)
+                        if got is not MISS and got != value_of(key):
+                            raise AssertionError(
+                                f"lost update: get({key}) -> {got}"
+                            )
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert 0 < len(c) <= capacity
+        # No lost counter updates: every get recorded exactly once.
+        assert c.hits + c.misses == sum(gets_done)

@@ -1,0 +1,381 @@
+"""Tests for :mod:`repro.serve.resilience` and the fallback chain.
+
+Retry backoff, circuit-breaker state machine, and graceful degradation
+are exercised with injected fault plans; the headline property — same
+plan + seed reproduces identical retry/breaker/degradation counts — is
+pinned here and again (at scale) in the chaos benchmark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    GenerationError,
+    InjectedFaultError,
+    RequestTimeoutError,
+    ServiceOverloadedError,
+)
+from repro.faults import FaultPlan
+from repro.serve import (
+    CircuitBreaker,
+    FallbackChain,
+    PredictionService,
+    Request,
+    ResilientService,
+    RetryPolicy,
+)
+
+
+@pytest.fixture(scope="module")
+def examples(sm_dataset):
+    return [
+        (sm_dataset.config(i), float(sm_dataset.runtimes[i]))
+        for i in range(4)
+    ]
+
+
+def make_request(sm_dataset, examples, query=42, seed=0, **kw):
+    return Request(
+        examples=examples,
+        query_config=sm_dataset.config(query),
+        seed=seed,
+        size="SM",
+        **kw,
+    )
+
+
+def resilient(service, **kw):
+    """ResilientService with backoff sleeps stubbed out (test speed)."""
+    kw.setdefault("sleep", lambda s: None)
+    return ResilientService(service, **kw)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(retry_budget=-1)
+
+    def test_retryable_classification(self):
+        policy = RetryPolicy()
+        assert policy.retryable(InjectedFaultError("serve", 0))
+        assert policy.retryable(ServiceOverloadedError(4))
+        assert policy.retryable(RequestTimeoutError(0.1))
+        assert not policy.retryable(GenerationError("broken"))
+        assert not policy.retryable(ValueError("nope"))
+
+    def test_delay_is_deterministic(self):
+        a = RetryPolicy(seed=3)
+        b = RetryPolicy(seed=3)
+        delays = [(k, n) for k in range(5) for n in range(1, 4)]
+        assert [a.delay_s(k, n) for k, n in delays] == [
+            b.delay_s(k, n) for k, n in delays
+        ]
+
+    def test_delay_respects_ladder_and_jitter(self):
+        policy = RetryPolicy(
+            base_delay_s=0.01, multiplier=2.0, max_delay_s=0.05, jitter=0.5
+        )
+        for attempt in range(1, 8):
+            ceiling = min(0.01 * 2.0 ** (attempt - 1), 0.05)
+            d = policy.delay_s("key", attempt)
+            # Jitter only shrinks the wait, never exceeds the ladder.
+            assert ceiling * 0.5 <= d <= ceiling
+
+    def test_zero_jitter_is_exact_ladder(self):
+        policy = RetryPolicy(
+            base_delay_s=0.01, multiplier=2.0, max_delay_s=1.0, jitter=0.0
+        )
+        assert policy.delay_s("k", 1) == 0.01
+        assert policy.delay_s("k", 2) == 0.02
+        assert policy.delay_s("k", 3) == 0.04
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout_s=-1.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_successes=0)
+
+    def test_trips_after_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.record_failure()  # third failure trips
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_failure_streak(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        assert not breaker.record_failure()  # streak restarted
+        assert breaker.state == "closed"
+
+    def test_half_open_after_timeout_then_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=10.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.t = 9.9
+        assert not breaker.allow()
+        clock.t = 10.0
+        assert breaker.state == "half-open"
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_re_trips(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.t = 5.0
+        assert breaker.state == "half-open"
+        assert breaker.record_failure()  # probe failed: straight back open
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+
+    def test_half_open_needs_enough_successes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            reset_timeout_s=1.0,
+            half_open_successes=2,
+            clock=clock,
+        )
+        breaker.record_failure()
+        clock.t = 1.0
+        breaker.record_success()
+        assert breaker.state == "half-open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+
+class TestResilientService:
+    def test_clean_path_no_resilience_overhead(self, sm_dataset, examples):
+        with PredictionService() as base:
+            svc = resilient(base)
+            resp = svc.submit(make_request(sm_dataset, examples, seed=3))
+            stats = svc.stats()
+        assert not resp.degraded
+        assert resp.provenance == "service"
+        assert stats.n_logical == 1
+        assert stats.n_retries == 0
+        assert stats.n_degraded == 0
+        assert stats.availability == 1.0
+
+    def test_retry_absorbs_transient_faults(self, sm_dataset, examples):
+        """A moderate fault rate is fully absorbed: no degraded serves."""
+        plan = FaultPlan(seed=20250806, transient_error_rate=0.2)
+        with PredictionService(fault_plan=plan) as base:
+            svc = resilient(base, retry_policy=RetryPolicy(max_attempts=6))
+            responses = svc.submit_many(
+                make_request(sm_dataset, examples, query=q, seed=q)
+                for q in range(12)
+            )
+            stats = svc.stats()
+        assert len(responses) == 12
+        assert stats.n_retries >= 1  # the plan fired at least once
+        assert stats.availability == 1.0
+
+    def test_degrades_when_retries_exhausted(self, sm_dataset, examples):
+        plan = FaultPlan(seed=1, transient_error_rate=1.0)
+        with PredictionService(fault_plan=plan) as base:
+            svc = resilient(base, retry_policy=RetryPolicy(max_attempts=2))
+            resp = svc.submit(make_request(sm_dataset, examples))
+            stats = svc.stats()
+        assert resp.degraded
+        assert resp.provenance == "gbt-surrogate"  # cache empty, GBT next
+        assert resp.prediction.value > 0
+        assert stats.n_degraded == 1
+        assert stats.n_retries == 1  # attempt 2 of 2 = one retry
+        assert stats.availability == 1.0  # degraded still counts as served
+        assert stats.degraded_rate == 1.0
+
+    def test_fallback_disabled_raises(self, sm_dataset, examples):
+        plan = FaultPlan(seed=1, transient_error_rate=1.0)
+        with PredictionService(fault_plan=plan) as base:
+            svc = resilient(
+                base,
+                retry_policy=RetryPolicy(max_attempts=2),
+                fallback=False,
+            )
+            with pytest.raises(InjectedFaultError):
+                svc.submit(make_request(sm_dataset, examples))
+            stats = svc.stats()
+        assert stats.n_unavailable == 1
+        assert stats.availability == 0.0
+
+    def test_retry_budget_is_a_stop_loss(self, sm_dataset, examples):
+        plan = FaultPlan(seed=1, transient_error_rate=1.0)
+        with PredictionService(fault_plan=plan) as base:
+            svc = resilient(
+                base,
+                retry_policy=RetryPolicy(max_attempts=10, retry_budget=1),
+            )
+            svc.submit_many(
+                make_request(sm_dataset, examples, query=q, seed=q)
+                for q in range(3)
+            )
+            stats = svc.stats()
+        assert stats.n_retries == 1  # budget, not max_attempts, bound it
+        assert stats.n_degraded == 3
+
+    def test_breaker_trips_and_fails_fast(self, sm_dataset, examples):
+        plan = FaultPlan(seed=1, transient_error_rate=1.0)
+        with PredictionService(fault_plan=plan) as base:
+            svc = resilient(
+                base,
+                retry_policy=RetryPolicy(max_attempts=2),
+                breaker_factory=lambda: CircuitBreaker(
+                    failure_threshold=2, reset_timeout_s=1000.0
+                ),
+                fallback=False,
+            )
+            with pytest.raises(InjectedFaultError):
+                svc.submit(make_request(sm_dataset, examples))
+            assert svc.breaker("SM").state == "open"
+            # Breaker open: next request is refused without touching the
+            # service (CircuitOpenError, not the injected fault).
+            with pytest.raises(CircuitOpenError):
+                svc.submit(make_request(sm_dataset, examples, query=7))
+            stats = svc.stats()
+        assert stats.n_breaker_trips == 1
+        assert stats.n_unavailable == 2
+
+    def test_breaker_open_still_degrades(self, sm_dataset, examples):
+        plan = FaultPlan(seed=1, transient_error_rate=1.0)
+        with PredictionService(fault_plan=plan) as base:
+            svc = resilient(
+                base,
+                retry_policy=RetryPolicy(max_attempts=2),
+                breaker_factory=lambda: CircuitBreaker(
+                    failure_threshold=1, reset_timeout_s=1000.0
+                ),
+            )
+            resp = svc.submit(make_request(sm_dataset, examples))
+            assert resp.degraded
+            # Open breaker short-circuits; the fallback still answers.
+            resp2 = svc.submit(make_request(sm_dataset, examples, query=7))
+            stats = svc.stats()
+        assert resp2.degraded
+        assert stats.availability == 1.0
+
+    def test_breakers_are_per_route(self, sm_dataset, examples):
+        with PredictionService() as base:
+            svc = resilient(base)
+            assert svc.breaker("SM") is svc.breaker("SM")
+            assert svc.breaker("SM") is not svc.breaker("XL")
+
+    def test_counters_reproduce_across_runs(self, sm_dataset, examples):
+        """Same plan + seed: identical retry/breaker/degradation counts."""
+
+        def drill():
+            plan = FaultPlan(
+                seed=99,
+                transient_error_rate=0.3,
+                eviction_storm_rate=0.1,
+            )
+            with PredictionService(fault_plan=plan) as base:
+                svc = resilient(
+                    base, retry_policy=RetryPolicy(max_attempts=3, seed=99)
+                )
+                svc.submit_many(
+                    make_request(sm_dataset, examples, query=q, seed=q)
+                    for q in range(20)
+                )
+                stats = svc.stats()
+            return (
+                stats.n_retries,
+                stats.n_breaker_trips,
+                stats.n_degraded,
+                stats.n_unavailable,
+                stats.n_logical,
+            )
+
+        first, second = drill(), drill()
+        assert first == second
+        assert first[4] == 20
+
+
+class TestFallbackChain:
+    def test_result_cache_rung(self, sm_dataset, examples):
+        """A previously served request degrades to its exact cached answer."""
+        request = make_request(sm_dataset, examples, seed=5)
+        with PredictionService() as base:
+            live = base.submit(request)
+            chain = FallbackChain(base)
+            degraded = chain.degraded_response(request)
+        assert degraded is not None
+        assert degraded.degraded
+        assert degraded.provenance == "result-cache"
+        assert degraded.prediction.value == live.prediction.value
+
+    def test_cached_response_miss_returns_none(self, sm_dataset, examples):
+        with PredictionService() as base:
+            assert base.cached_response(
+                make_request(sm_dataset, examples, seed=123)
+            ) is None
+
+    def test_gbt_rung(self, sm_dataset, examples):
+        chain = FallbackChain(None, use_prior=False)
+        resp = chain.degraded_response(make_request(sm_dataset, examples))
+        assert resp.provenance == "gbt-surrogate"
+        assert resp.degraded
+        assert resp.prediction.value > 0
+        # A sane runtime guess: right order of magnitude for SM syr2k.
+        truth = float(sm_dataset.runtimes[42])
+        assert resp.prediction.value / truth < 100
+        assert truth / resp.prediction.value < 100
+
+    def test_magnitude_prior_rung(self, sm_dataset, examples):
+        chain = FallbackChain(None, use_cache=False, use_gbt=False)
+        resp = chain.degraded_response(make_request(sm_dataset, examples))
+        assert resp.provenance == "magnitude-prior"
+        want = float(np.median([runtime for _, runtime in examples]))
+        assert resp.prediction.value == want
+
+    def test_all_rungs_disabled(self, sm_dataset, examples):
+        chain = FallbackChain(
+            None, use_cache=False, use_gbt=False, use_prior=False
+        )
+        assert chain.degraded_response(
+            make_request(sm_dataset, examples)
+        ) is None
+
+    def test_synthetic_prediction_is_well_formed(self, sm_dataset, examples):
+        chain = FallbackChain(None, use_cache=False, use_gbt=False)
+        resp = chain.degraded_response(
+            make_request(sm_dataset, examples, seed=17), request_id=7
+        )
+        pred = resp.prediction
+        assert resp.request_id == 7
+        assert pred.value_text == f"{pred.value:.7f}"
+        assert pred.seed == 17
+        assert pred.generated_text == ""

@@ -171,6 +171,9 @@ class TestRobustness:
                 except ServiceOverloadedError as exc:
                     rejected += 1
                     assert exc.capacity == 1
+                    assert exc.depth is not None
+                    assert 0 <= exc.depth <= exc.capacity
+                    assert "queued" in str(exc)
         finally:
             svc.close(drain=True)
         assert rejected >= 1

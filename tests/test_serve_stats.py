@@ -42,6 +42,38 @@ class TestServiceStats:
         assert "60%" in out
         assert "batch occupancy" in out
 
+    def test_availability_no_traffic_is_perfect(self):
+        s = make_stats()
+        assert s.n_logical == 0
+        assert s.availability == 1.0
+        assert s.degraded_rate == 0.0
+
+    def test_availability_counts_degraded_as_served(self):
+        s = make_stats(n_logical=10, n_degraded=3, n_unavailable=1)
+        assert s.availability == pytest.approx(0.9)
+        assert s.degraded_rate == pytest.approx(0.3)
+
+    def test_render_includes_resilience_rows_when_present(self):
+        s = make_stats(
+            n_logical=10, n_retries=4, n_breaker_trips=1,
+            n_degraded=2, n_unavailable=0, n_late_discards=1,
+        )
+        out = s.render()
+        assert "late completions discarded" in out
+        assert "retries" in out
+        assert "breaker trips" in out
+        assert "degraded-serve rate" in out
+        assert "availability" in out
+        assert "100.00%" in out
+
+    def test_render_omits_resilience_rows_without_logical_traffic(self):
+        out = make_stats().render()
+        assert "availability" not in out
+        assert "breaker trips" not in out
+        # The late-discard row is unconditional (it is a base-service
+        # leak counter, not a resilience-wrapper one).
+        assert "late completions discarded" in out
+
 
 class TestStatsRecorder:
     def test_latency_percentiles_exact(self):
@@ -85,3 +117,23 @@ class TestStatsRecorder:
         r.record_submit()
         r.record_done(0.001)
         assert r.snapshot().throughput_rps > 0.0
+
+    def test_resilience_counters(self):
+        r = StatsRecorder(max_batch_size=8)
+        for _ in range(5):
+            r.record_logical()
+        r.record_retry()
+        r.record_retry()
+        r.record_breaker_trip()
+        r.record_degraded()
+        r.record_unavailable()
+        r.record_late_discard()
+        s = r.snapshot()
+        assert s.n_logical == 5
+        assert s.n_retries == 2
+        assert s.n_breaker_trips == 1
+        assert s.n_degraded == 1
+        assert s.n_unavailable == 1
+        assert s.n_late_discards == 1
+        assert s.availability == pytest.approx(0.8)
+        assert s.degraded_rate == pytest.approx(0.2)
