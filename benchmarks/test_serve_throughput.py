@@ -101,3 +101,50 @@ def test_caching_doubles_throughput(emit):
         f"caching speedup {speedup:.2f}x below the 2x acceptance bar "
         f"({warm_rps:.0f} vs {cold_rps:.0f} req/s)"
     )
+
+
+def test_tracing_overhead_under_five_percent(emit):
+    """Enabling span tracing must cost <5% throughput on this workload.
+
+    Best-of-3 per configuration so scheduler jitter does not masquerade
+    as tracing cost; the off path is not measured against a bar here
+    because it is structurally free (the global tracer stays the
+    disabled singleton and every instrumented site short-circuits).
+    """
+    from repro.obs import Tracer, use_tracer
+
+    workload = _workload()
+    _run(workload, caches=True)  # warm the per-size surrogate cache
+
+    def best_rps(tracer=None) -> float:
+        best = 0.0
+        for _ in range(3):
+            if tracer is None:
+                _, _, rps = _run(workload, caches=True)
+            else:
+                tracer.clear()
+                with use_tracer(tracer):
+                    _, _, rps = _run(workload, caches=True)
+            best = max(best, rps)
+        return best
+
+    plain_rps = best_rps()
+    tracer = Tracer()
+    traced_rps = best_rps(tracer)
+
+    # The trace must actually have been recorded (one request root per
+    # submitted request), or the comparison measures nothing.
+    roots = [s for s in tracer.spans() if s.name == "serve.request"]
+    assert len(roots) == len(workload)
+
+    overhead = 1.0 - traced_rps / plain_rps
+    emit(
+        "serve_tracing_overhead",
+        f"tracing off: {plain_rps:.1f} req/s\n"
+        f"tracing on:  {traced_rps:.1f} req/s\n"
+        f"overhead:    {overhead:.1%} ({len(tracer)} spans collected)",
+    )
+    assert overhead < 0.05, (
+        f"tracing overhead {overhead:.1%} exceeds the 5% bar "
+        f"({traced_rps:.0f} vs {plain_rps:.0f} req/s)"
+    )

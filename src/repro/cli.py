@@ -13,7 +13,10 @@ Subcommands:
               :class:`~repro.serve.ServiceStats` with and without caching;
 ``chaos``     run a seeded fault schedule (:mod:`repro.faults`) against a
               live resilient service and print the availability /
-              p95-under-faults report.
+              p95-under-faults report;
+``trace``     summarize a span trace written by ``serve-bench --trace``:
+              reconstruct the span tree and print the per-stage latency
+              breakdown.
 
 Every command is deterministic given ``--seed`` — including ``chaos``,
 whose injected faults, retries, and degradations reproduce bit-for-bit.
@@ -138,6 +141,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-baseline", action="store_true",
         help="skip the caches-disabled comparison run",
     )
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record spans for the caches-on run and export them as "
+        "JSONL to PATH (read back with `repro trace summarize PATH`)",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="also print the unified metrics-registry snapshot "
+        "(repro.obs) for the caches-on run",
+    )
 
     p = sub.add_parser(
         "chaos", help="fault-injection drill against the serving stack"
@@ -187,8 +200,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--verify-determinism", action="store_true",
-        help="run the schedule twice and compare resilience counters "
-        "(exit 1 on any divergence)",
+        help="re-run the schedule (plain, then with degraded cache "
+        "serves interleaved) and compare counters, fault schedules and "
+        "response values (exit 1 on any divergence)",
+    )
+
+    p = sub.add_parser(
+        "trace", help="analyze a span trace (serve-bench --trace output)"
+    )
+    p.add_argument("action", choices=["summarize"])
+    p.add_argument("path", help="JSONL trace file")
+    p.add_argument(
+        "--tree", type=int, default=0, metavar="N",
+        help="also print the first N reconstructed span trees",
     )
 
     p = sub.add_parser("table1", help="GBT baseline metrics (Table I)")
@@ -356,12 +380,13 @@ def _serve_bench_workload(args):
 
 
 def _cmd_serve_bench(args) -> int:
+    from repro.obs import Tracer, collect_service_metrics, use_tracer
     from repro.serve import PredictionService
     from repro.utils.timing import Timer
 
     workload = _serve_bench_workload(args)
 
-    def run(caches_enabled: bool):
+    def run(caches_enabled: bool, tracer=None, metrics=False):
         with PredictionService(
             max_batch_size=args.batch_size,
             max_wait_s=args.max_wait,
@@ -369,9 +394,16 @@ def _cmd_serve_bench(args) -> int:
             enable_prepare_cache=caches_enabled,
             enable_result_cache=caches_enabled,
         ) as service:
-            with Timer() as timer:
-                service.submit_many(workload)
-            return service.stats(), timer.elapsed
+            if tracer is not None:
+                with use_tracer(tracer), Timer() as timer:
+                    service.submit_many(workload)
+            else:
+                with Timer() as timer:
+                    service.submit_many(workload)
+            registry = (
+                collect_service_metrics(service) if metrics else None
+            )
+            return service.stats(), timer.elapsed, registry
 
     n = len(workload)
     print(
@@ -379,10 +411,23 @@ def _cmd_serve_bench(args) -> int:
         f"repeats, size {args.size}, {args.n_icl} ICL examples)",
         file=sys.stderr,
     )
-    cached, cached_t = run(True)
+    tracer = Tracer() if args.trace else None
+    cached, cached_t, registry = run(
+        True, tracer=tracer, metrics=args.metrics
+    )
     print(cached.render(title="serve-bench (caches on)"))
+    if tracer is not None:
+        n_spans = tracer.export_jsonl(args.trace)
+        print(
+            f"exported {n_spans} spans to {args.trace} "
+            f"(`repro trace summarize {args.trace}`)",
+            file=sys.stderr,
+        )
+    if registry is not None:
+        print()
+        print(registry.render(title="metrics registry (caches on)"))
     if not args.no_baseline:
-        uncached, uncached_t = run(False)
+        uncached, uncached_t, _ = run(False)
         print()
         print(uncached.render(title="serve-bench (caches off)"))
         speedup = (n / cached_t) / (n / uncached_t)
@@ -424,7 +469,7 @@ def _chaos_workload(args):
     return workload
 
 
-def _run_chaos_once(args, workload):
+def _run_chaos_once(args, workload, cache_probes: bool = False):
     from repro.errors import ServiceError
     from repro.faults import FaultPlan
     from repro.serve import PredictionService, ResilientService, RetryPolicy
@@ -439,6 +484,7 @@ def _run_chaos_once(args, workload):
         queue_stall_s=args.stall_s,
     )
     unhandled = 0
+    values: list[float | None] = []
     with PredictionService(fault_plan=plan) as service:
         resilient = ResilientService(
             service,
@@ -448,14 +494,22 @@ def _run_chaos_once(args, workload):
             fallback=False if args.no_fallback else None,
         )
         for request in workload:
+            if cache_probes:
+                # Degraded cache serves interleaved with live traffic:
+                # these must not consume admission-ordered request ids,
+                # or the deterministic fault schedule shifts under them.
+                service.cached_response(request)
             try:
-                resilient.submit(request)
+                response = resilient.submit(request)
             except ServiceError:
                 unhandled += 1  # already counted as unavailable
+                values.append(None)
+            else:
+                values.append(response.prediction.value)
         stats = service.stats()
         fault_counts = service.faults.stats.snapshot()
         fault_report = service.faults.stats.render()
-    return stats, fault_counts, fault_report, unhandled
+    return stats, fault_counts, fault_report, unhandled, values
 
 
 def _cmd_chaos(args) -> int:
@@ -465,7 +519,9 @@ def _cmd_chaos(args) -> int:
         f"(size {args.size}, seed {args.seed})",
         file=sys.stderr,
     )
-    stats, faults, fault_report, unhandled = _run_chaos_once(args, workload)
+    stats, faults, fault_report, unhandled, values = _run_chaos_once(
+        args, workload
+    )
     print(stats.render(title="chaos report (service under faults)"))
     print()
     print(fault_report)
@@ -476,20 +532,58 @@ def _cmd_chaos(args) -> int:
         f"{stats.n_degraded} degraded, {unhandled} unanswered)"
     )
     if args.verify_determinism:
-        stats2, faults2, _, unhandled2 = _run_chaos_once(args, workload)
         counters = ("n_retries", "n_breaker_trips", "n_degraded",
                     "n_unavailable", "n_logical")
-        same = (
-            all(getattr(stats, c) == getattr(stats2, c) for c in counters)
-            and faults == faults2
-            and unhandled == unhandled2
-        )
-        print(f"deterministic across two runs: {'yes' if same else 'NO'}")
-        if not same:
-            for c in counters:
-                print(f"  {c}: {getattr(stats, c)} vs {getattr(stats2, c)}")
-            print(f"  faults: {faults} vs {faults2}")
+
+        def compare(label, stats2, faults2, unhandled2, values2) -> bool:
+            same = (
+                all(
+                    getattr(stats, c) == getattr(stats2, c)
+                    for c in counters
+                )
+                and faults == faults2
+                and unhandled == unhandled2
+                and values == values2
+            )
+            print(f"deterministic {label}: {'yes' if same else 'NO'}")
+            if not same:
+                for c in counters:
+                    print(
+                        f"  {c}: {getattr(stats, c)} "
+                        f"vs {getattr(stats2, c)}"
+                    )
+                print(f"  faults: {faults} vs {faults2}")
+                diverged = sum(
+                    a != b for a, b in zip(values, values2)
+                ) + abs(len(values) - len(values2))
+                print(f"  responses diverging: {diverged}/{len(values)}")
+            return same
+
+        s2, f2, _, u2, v2 = _run_chaos_once(args, workload)
+        ok = compare("across two identical runs", s2, f2, u2, v2)
+        # Third run with degraded cache serves interleaved: cached
+        # responses must leave the admission-ordered fault schedule (and
+        # hence every counter and response value) untouched.
+        s3, f3, _, u3, v3 = _run_chaos_once(args, workload,
+                                            cache_probes=True)
+        ok &= compare("with degraded cache serves interleaved",
+                      s3, f3, u3, v3)
+        if not ok:
             return 1
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import load_spans, render_span_tree, summarize_spans
+
+    spans = load_spans(args.path)
+    if not spans:
+        print(f"no spans in {args.path}", file=sys.stderr)
+        return 1
+    print(summarize_spans(spans).render())
+    if args.tree > 0:
+        print()
+        print(render_span_tree(spans, max_roots=args.tree))
     return 0
 
 
@@ -529,6 +623,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "serve-bench": _cmd_serve_bench,
     "chaos": _cmd_chaos,
+    "trace": _cmd_trace,
 }
 
 

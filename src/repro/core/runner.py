@@ -21,6 +21,7 @@ from repro.dataset.generate import PerformanceDataset, generate_dataset
 from repro.dataset.splits import curated_neighborhood, disjoint_example_sets
 from repro.dataset.syr2k import Syr2kTask
 from repro.errors import ExperimentError
+from repro.obs import get_tracer
 from repro.utils.parallel import parallel_map
 from repro.utils.rng import derive_seed
 
@@ -157,32 +158,40 @@ def run_spec(
         from repro.errors import InjectedFaultError
 
         raise InjectedFaultError("run_spec", spec.cell_key)
-    dataset = _dataset(spec.size, spec.root_seed)
-    inputs = _probe_inputs(spec, dataset)
-    if service is not None:
-        from repro.serve.request import Request
+    with get_tracer().span(
+        "runner.run_spec",
+        size=spec.size,
+        n_icl=spec.n_icl,
+        set_id=spec.set_id,
+        n_queries=spec.n_queries,
+        via_service=service is not None,
+    ):
+        dataset = _dataset(spec.size, spec.root_seed)
+        inputs = _probe_inputs(spec, dataset)
+        if service is not None:
+            from repro.serve.request import Request
 
-        responses = service.submit_many(
-            Request(
-                examples=examples,
-                query_config=dataset.config(query_row),
-                seed=gen_seed,
-                size=spec.size,
+            responses = service.submit_many(
+                Request(
+                    examples=examples,
+                    query_config=dataset.config(query_row),
+                    seed=gen_seed,
+                    size=spec.size,
+                )
+                for examples, query_row, gen_seed in inputs
             )
-            for examples, query_row, gen_seed in inputs
-        )
-        return [
-            _probe_result(spec, dataset, query_row, resp.prediction)
-            for (_, query_row, _), resp in zip(inputs, responses)
-        ]
-    surrogate = _surrogate(spec.size)
-    results: list[ProbeResult] = []
-    for examples, query_row, gen_seed in inputs:
-        pred = surrogate.predict(
-            examples, dataset.config(query_row), seed=gen_seed
-        )
-        results.append(_probe_result(spec, dataset, query_row, pred))
-    return results
+            return [
+                _probe_result(spec, dataset, query_row, resp.prediction)
+                for (_, query_row, _), resp in zip(inputs, responses)
+            ]
+        surrogate = _surrogate(spec.size)
+        results: list[ProbeResult] = []
+        for examples, query_row, gen_seed in inputs:
+            pred = surrogate.predict(
+                examples, dataset.config(query_row), seed=gen_seed
+            )
+            results.append(_probe_result(spec, dataset, query_row, pred))
+        return results
 
 
 def run_grid(
@@ -216,19 +225,27 @@ def run_grid(
     """
     if not specs:
         raise ExperimentError("no experiments to run")
-    if checkpoint is None:
-        nested = _run_cells(specs, workers=workers, service=service,
-                            fault_plan=fault_plan)
-        return [probe for cell in nested for probe in cell]
-    return _run_grid_checkpointed(
-        specs,
-        workers=workers,
-        service=service,
-        path=Path(checkpoint),
-        every=max(1, int(checkpoint_every)),
-        resume=resume,
-        fault_plan=fault_plan,
-    )
+    # Spans only cover the in-process paths: the process-pool fan-out runs
+    # run_spec in workers whose global tracer is the disabled default.
+    with get_tracer().span(
+        "runner.run_grid",
+        n_cells=len(specs),
+        via_service=service is not None,
+        checkpointed=checkpoint is not None,
+    ):
+        if checkpoint is None:
+            nested = _run_cells(specs, workers=workers, service=service,
+                                fault_plan=fault_plan)
+            return [probe for cell in nested for probe in cell]
+        return _run_grid_checkpointed(
+            specs,
+            workers=workers,
+            service=service,
+            path=Path(checkpoint),
+            every=max(1, int(checkpoint_every)),
+            resume=resume,
+            fault_plan=fault_plan,
+        )
 
 
 def _run_cells(

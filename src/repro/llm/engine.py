@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.errors import GenerationError
 from repro.llm.model import SurrogateLM
+from repro.obs import get_tracer
 from repro.llm.sampling import SamplingParams, sample_token
 from repro.llm.trace import GenerationStep, GenerationTrace
 from repro.utils.rng import rng_from
@@ -74,39 +75,43 @@ class GenerationEngine:
         prompt = np.asarray(prompt_ids, dtype=np.int64)
         if prompt.size == 0:
             raise GenerationError("cannot generate from an empty prompt")
-        vocab = self.model.vocab
-        rng = rng_from(seed, "sampling")
-        trace = GenerationTrace(prompt_ids=prompt, seed=int(seed))
-        context = prompt.copy()
-        generated_strings: list[str] = []
-        value_started = False
-        if analysis is None:
-            analysis = self.model.prepare(prompt)
+        with get_tracer().span(
+            "llm.generate", seed=int(seed), n_prompt_tokens=int(prompt.size)
+        ) as span:
+            vocab = self.model.vocab
+            rng = rng_from(seed, "sampling")
+            trace = GenerationTrace(prompt_ids=prompt, seed=int(seed))
+            context = prompt.copy()
+            generated_strings: list[str] = []
+            value_started = False
+            if analysis is None:
+                analysis = self.model.prepare(prompt)
 
-        for step in range(self.max_new_tokens):
-            ids, logits = self.model.next_token_logits(
-                context,
-                generated_strings,
-                sample_seed=seed,
-                step=step,
-                analysis=analysis,
-            )
-            pos = sample_token(ids, logits, self.sampling, rng)
-            trace.steps.append(
-                GenerationStep(
-                    candidate_ids=ids, logits=logits, chosen_position=pos
+            for step in range(self.max_new_tokens):
+                ids, logits = self.model.next_token_logits(
+                    context,
+                    generated_strings,
+                    sample_seed=seed,
+                    step=step,
+                    analysis=analysis,
                 )
-            )
-            chosen = int(ids[pos])
-            token_str = vocab.string_of(chosen)
-            context = np.append(context, chosen)
-            generated_strings.append(token_str)
+                pos = sample_token(ids, logits, self.sampling, rng)
+                trace.steps.append(
+                    GenerationStep(
+                        candidate_ids=ids, logits=logits, chosen_position=pos
+                    )
+                )
+                chosen = int(ids[pos])
+                token_str = vocab.string_of(chosen)
+                context = np.append(context, chosen)
+                generated_strings.append(token_str)
 
-            if chosen == vocab.specials.eot or chosen == vocab.specials.end_of_text:
-                break
-            if token_str.isdigit():
-                value_started = True
-            elif value_started and not (token_str == "." or token_str.isdigit()):
-                # Value terminated by a non-numeric token (e.g. newline).
-                break
-        return trace
+                if chosen == vocab.specials.eot or chosen == vocab.specials.end_of_text:
+                    break
+                if token_str.isdigit():
+                    value_started = True
+                elif value_started and not (token_str == "." or token_str.isdigit()):
+                    # Value terminated by a non-numeric token (e.g. newline).
+                    break
+            span.set(n_new_tokens=len(trace.steps))
+            return trace

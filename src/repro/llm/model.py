@@ -28,6 +28,7 @@ from repro.llm.scorers import (
     SparseScores,
 )
 from repro.llm.vocab import Vocabulary
+from repro.obs import get_tracer
 from repro.utils.rng import rng_from
 
 __all__ = ["LMConfig", "SurrogateLM"]
@@ -141,7 +142,9 @@ class SurrogateLM:
     # ------------------------------------------------------------------ #
     def prepare(self, prompt_ids: np.ndarray) -> FormatAnalysis:
         """One-time prompt analysis (cue anchoring, demonstrated format)."""
-        return self.format.analyze_prompt(np.asarray(prompt_ids, dtype=np.int64))
+        ids = np.asarray(prompt_ids, dtype=np.int64)
+        with get_tracer().span("llm.prepare", n_prompt_tokens=int(ids.size)):
+            return self.format.analyze_prompt(ids)
 
     def next_token_logits(
         self,

@@ -1,0 +1,63 @@
+"""repro.obs — zero-dependency observability for the serving stack.
+
+Three pieces, all in-process and stdlib+numpy only:
+
+* :class:`Tracer` / :class:`Span` (:mod:`repro.obs.tracer`) — nested
+  spans with monotonic start/duration, span/parent ids, and structured
+  attributes; thread-safe collection; JSONL export.  **Off by default**:
+  the global tracer is a disabled singleton until :func:`set_tracer` /
+  :func:`use_tracer` installs a live one, so instrumented hot paths cost
+  one attribute check when tracing is off.
+* :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) — named counters /
+  gauges / histograms with label sets, one ``snapshot()``/``render()``
+  over what ``StatsRecorder``, ``LRUCache``, ``FaultInjector.stats`` and
+  ``CircuitBreaker.trips`` each count separately
+  (:func:`collect_service_metrics` does the mapping).
+* trace analysis (:mod:`repro.obs.summary`) — reload an exported trace,
+  reconstruct the span tree, and print a per-stage latency breakdown
+  (``repro trace summarize``).
+
+The span taxonomy wired through the stack is documented in DESIGN.md
+§Observability; ``repro serve-bench --trace out.jsonl`` produces a trace
+end to end.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_service_metrics,
+)
+from repro.obs.summary import (
+    TraceSummary,
+    load_spans,
+    render_span_tree,
+    summarize_spans,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "collect_service_metrics",
+    "TraceSummary",
+    "load_spans",
+    "summarize_spans",
+    "render_span_tree",
+]

@@ -1,0 +1,289 @@
+"""A labelled metrics registry: counters, gauges, histograms.
+
+The serving stack already counts things in four unrelated places —
+:class:`~repro.serve.stats.StatsRecorder` (request/latency counters),
+:class:`~repro.serve.cache.LRUCache` (hit/miss), ``FaultInjector.stats``
+(injected faults), and ``CircuitBreaker.trips`` — each with its own ad-hoc
+snapshot and render.  :class:`MetricsRegistry` is the single vocabulary
+over all of them: named instruments with label sets, one ``snapshot()``
+(plain dict, JSON-friendly) and one ``render()`` (ASCII table).
+:func:`collect_service_metrics` maps a live service (and optionally its
+resilience wrapper) onto that vocabulary at a point in time.
+
+Metric names are dotted, labels identify the sub-stream::
+
+    registry.counter("cache.lookups", level="result", outcome="hit").inc()
+    registry.histogram("serve.latency_s").observe(0.012)
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.utils.tables import Table
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "collect_service_metrics",
+]
+
+
+def _label_suffix(labels: tuple) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+class _Instrument:
+    """Shared identity: a name plus a frozen, sorted label set."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: tuple):
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+
+    @property
+    def key(self) -> str:
+        """Render key: ``name{label=value,...}``."""
+        return self.name + _label_suffix(self.labels)
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple):
+        super().__init__(name, labels)
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counters only go up; got inc({n})")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Instrument):
+    """A point-in-time value (set, not accumulated)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple):
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram(_Instrument):
+    """A distribution of observations with exact percentiles.
+
+    Observations are kept in full (registry lifetimes here are bench and
+    drill runs, not months), so ``percentile`` matches
+    ``np.percentile`` on the raw samples exactly.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: tuple):
+        super().__init__(name, labels)
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return float(sum(self._values))
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return float(np.mean(self._values)) if self._values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile of the observations (0.0 when empty)."""
+        with self._lock:
+            if not self._values:
+                return 0.0
+            return float(np.percentile(np.asarray(self._values, float), q))
+
+    def values(self) -> list[float]:
+        with self._lock:
+            return list(self._values)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled instruments.
+
+    The same ``(name, labels)`` pair always returns the same instrument;
+    requesting it as a different kind is an error (one name, one meaning).
+    """
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple, _Instrument] = {}
+
+    def _get(self, kind: str, name: str, labels: dict):
+        key = (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+        cls = self._KINDS[kind]
+        with self._lock:
+            inst = self._instruments.get(key)
+            if inst is None:
+                inst = self._instruments[key] = cls(name, key[1])
+            elif not isinstance(inst, cls):
+                raise ValueError(
+                    f"metric {inst.key!r} already registered as a "
+                    f"{inst.kind}, not a {kind}"
+                )
+            return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    def instruments(self) -> list[_Instrument]:
+        """All instruments, sorted by render key."""
+        with self._lock:
+            return sorted(self._instruments.values(), key=lambda i: i.key)
+
+    def snapshot(self) -> dict[str, object]:
+        """Freeze every instrument into a plain, JSON-friendly dict.
+
+        Counters and gauges map to their value; histograms to a
+        ``{count, mean, p50, p95, sum}`` sub-dict.
+        """
+        out: dict[str, object] = {}
+        for inst in self.instruments():
+            if isinstance(inst, Histogram):
+                out[inst.key] = {
+                    "count": inst.count,
+                    "mean": inst.mean,
+                    "p50": inst.percentile(50),
+                    "p95": inst.percentile(95),
+                    "sum": inst.sum,
+                }
+            else:
+                out[inst.key] = inst.value
+        return out
+
+    def render(self, title: str = "metrics") -> str:
+        """ASCII table of the registry (one row per instrument)."""
+        t = Table(["metric", "kind", "value"], title=title)
+        for inst in self.instruments():
+            if isinstance(inst, Histogram):
+                value = (
+                    f"n={inst.count} mean={inst.mean:.6g} "
+                    f"p50={inst.percentile(50):.6g} "
+                    f"p95={inst.percentile(95):.6g}"
+                )
+            elif isinstance(inst, Gauge):
+                value = f"{inst.value:.6g}"
+            else:
+                value = str(inst.value)
+            t.add_row([inst.key, inst.kind, value])
+        return t.render()
+
+
+def collect_service_metrics(
+    service, resilient=None, registry: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Unify a live service's scattered counters into one registry.
+
+    Maps :class:`~repro.serve.stats.ServiceStats` (request outcomes,
+    latency percentiles, resilience counters), both
+    :class:`~repro.serve.cache.LRUCache` levels, the fault injector's
+    :class:`~repro.faults.FaultStats`, and — when the ``resilient``
+    wrapper is given — per-route circuit-breaker state onto labelled
+    instruments.  Point-in-time: pass a fresh registry (the default) or
+    accept double-counting.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    stats = service.stats()
+
+    for event, count in (
+        ("submitted", stats.n_submitted),
+        ("completed", stats.n_completed),
+        ("failed", stats.n_failed),
+        ("rejected_overload", stats.n_rejected),
+        ("rejected_closed", stats.n_closed_rejects),
+        ("timeout", stats.n_timeouts),
+        ("late_discard", stats.n_late_discards),
+    ):
+        registry.counter("serve.requests", event=event).inc(count)
+    registry.counter("serve.batches").inc(stats.n_batches)
+    registry.gauge("serve.batch_occupancy").set(stats.batch_occupancy)
+    registry.gauge("serve.throughput_rps").set(stats.throughput_rps)
+    registry.gauge("serve.latency_s", quantile="p50").set(stats.p50_latency_s)
+    registry.gauge("serve.latency_s", quantile="p95").set(stats.p95_latency_s)
+
+    for level, cache in (
+        ("prepare", service.prepare_cache),
+        ("result", service.result_cache),
+    ):
+        if cache is None:
+            continue
+        registry.counter("cache.lookups", level=level, outcome="hit").inc(
+            cache.hits
+        )
+        registry.counter("cache.lookups", level=level, outcome="miss").inc(
+            cache.misses
+        )
+        registry.gauge("cache.entries", level=level).set(len(cache))
+        registry.gauge("cache.capacity", level=level).set(cache.capacity)
+
+    if service.faults is not None:
+        for kind, count in service.faults.stats.snapshot().items():
+            registry.counter("faults.injected", kind=kind).inc(count)
+
+    for name, count in (
+        ("logical", stats.n_logical),
+        ("retries", stats.n_retries),
+        ("breaker_trips", stats.n_breaker_trips),
+        ("degraded", stats.n_degraded),
+        ("unavailable", stats.n_unavailable),
+    ):
+        registry.counter(f"resilience.{name}").inc(count)
+    registry.gauge("resilience.availability").set(stats.availability)
+
+    if resilient is not None:
+        for route, breaker in resilient.breakers.items():
+            registry.counter("breaker.trips", route=route).inc(breaker.trips)
+            registry.gauge("breaker.open", route=route).set(
+                1.0 if breaker.state == "open" else 0.0
+            )
+    return registry

@@ -1,0 +1,294 @@
+"""Zero-dependency span tracing for the serving stack.
+
+A :class:`Tracer` produces nested :class:`Span` records — monotonic start
+time, duration, span-id/parent-id, structured attributes — collected in a
+thread-safe in-memory buffer and exportable as JSONL (one span per line).
+Nesting is tracked per thread: spans opened on the same thread parent
+implicitly to the innermost open span; work that hops threads (the
+microbatcher hands tickets from the caller thread to batch workers)
+passes the parent id explicitly instead.
+
+Tracing is **off by default**.  The process-global tracer returned by
+:func:`get_tracer` starts as the disabled :data:`NULL_TRACER`, whose
+``span()`` returns a shared no-op context manager — instrumented hot
+paths pay one attribute check and an empty ``with`` block, nothing else.
+Install a live tracer with :func:`set_tracer` or the scoped
+:func:`use_tracer`:
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        service.submit_many(workload)
+    tracer.export_jsonl("trace.jsonl")
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+#: Sentinel distinguishing "no parent given: use the thread's innermost
+#: open span" from an explicit ``parent=None`` (force a root span).
+_IMPLICIT = object()
+
+
+@dataclass
+class Span:
+    """One finished span: a named, timed slice of work.
+
+    ``start_s`` is on the :func:`time.monotonic` clock — comparable to
+    other spans of the same process/trace, not to wall time.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_s: float
+    duration_s: float
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the trace-file line format)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attributes": self.attributes,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "Span":
+        return cls(
+            name=str(obj["name"]),
+            span_id=int(obj["span_id"]),
+            parent_id=(
+                None if obj.get("parent_id") is None else int(obj["parent_id"])
+            ),
+            start_s=float(obj["start_s"]),
+            duration_s=float(obj["duration_s"]),
+            attributes=dict(obj.get("attributes") or {}),
+        )
+
+
+class _NullSpan:
+    """Shared no-op span handed out by disabled tracers."""
+
+    __slots__ = ()
+    span_id = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attributes) -> None:
+        """Discard attributes (tracing is off)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """An open span: context manager that finalizes into a :class:`Span`."""
+
+    __slots__ = ("_tracer", "_parent", "name", "span_id", "parent_id",
+                 "start_s", "attributes")
+
+    def __init__(self, tracer, name, parent, start_s, attributes):
+        self._tracer = tracer
+        self._parent = parent
+        self.name = name
+        self.span_id: int | None = None
+        self.parent_id: int | None = None
+        self.start_s = start_s
+        self.attributes = attributes
+
+    def __enter__(self) -> "_ActiveSpan":
+        tracer = self._tracer
+        self.span_id = tracer._next_id()
+        self.parent_id = tracer._resolve_parent(self._parent)
+        now = time.monotonic()
+        if self.start_s is None:
+            self.start_s = now
+        tracer._push(self.span_id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.monotonic()
+        self._tracer._pop()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._collect(
+            Span(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                start_s=self.start_s,
+                duration_s=max(end - self.start_s, 0.0),
+                attributes=self.attributes,
+            )
+        )
+        return False
+
+    def set(self, **attributes) -> None:
+        """Attach attributes to the span (merged into any set at open)."""
+        self.attributes.update(attributes)
+
+
+class Tracer:
+    """Collect nested spans in memory; export them as JSONL.
+
+    Parameters
+    ----------
+    enabled:
+        When False every ``span()`` returns the shared no-op span and
+        nothing is recorded.  The process-global default tracer is a
+        disabled singleton, so instrumentation costs ~nothing until a
+        live tracer is installed.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = bool(enabled)
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._tls = threading.local()
+
+    # -- span creation -------------------------------------------------- #
+    def span(self, name: str, *, parent=_IMPLICIT, start_s: float | None = None,
+             **attributes):
+        """Open a span as a context manager.
+
+        ``parent`` defaults to the calling thread's innermost open span;
+        pass a span (or id) to parent across threads, or ``None`` to
+        force a root.  ``start_s`` backdates the span's start (monotonic
+        clock) — the request root uses its admission timestamp so the
+        span covers queue wait too.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name, parent, start_s, attributes)
+
+    def record_span(self, name: str, start_s: float, end_s: float, *,
+                    parent=_IMPLICIT, **attributes) -> Span | None:
+        """Record an already-timed span retroactively (e.g. queue wait)."""
+        if not self.enabled:
+            return None
+        span = Span(
+            name=name,
+            span_id=self._next_id(),
+            parent_id=self._resolve_parent(parent),
+            start_s=float(start_s),
+            duration_s=max(float(end_s) - float(start_s), 0.0),
+            attributes=attributes,
+        )
+        self._collect(span)
+        return span
+
+    def current_span_id(self) -> int | None:
+        """Id of the calling thread's innermost open span (None outside)."""
+        stack = getattr(self._tls, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- collection ----------------------------------------------------- #
+    def spans(self) -> list[Span]:
+        """Snapshot of all finished spans (collection order)."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        """Drop collected spans (span ids keep counting up)."""
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def export_jsonl(self, path) -> int:
+        """Write one JSON object per span; returns the span count."""
+        spans = self.spans()
+        with open(Path(path), "w", encoding="utf-8") as fh:
+            for span in spans:
+                fh.write(json.dumps(span.to_dict()) + "\n")
+        return len(spans)
+
+    # -- internals ------------------------------------------------------ #
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    def _resolve_parent(self, parent) -> int | None:
+        if parent is _IMPLICIT:
+            return self.current_span_id()
+        if parent is None:
+            return None
+        span_id = getattr(parent, "span_id", parent)
+        return None if span_id is None else int(span_id)
+
+    def _push(self, span_id: int) -> None:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        stack.append(span_id)
+
+    def _pop(self) -> None:
+        stack = getattr(self._tls, "stack", None)
+        if stack:
+            stack.pop()
+
+    def _collect(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+
+#: The disabled default: instrumented code paths run against this until a
+#: live tracer is installed.
+NULL_TRACER = Tracer(enabled=False)
+
+_active: Tracer = NULL_TRACER
+_active_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (the disabled default until installed)."""
+    return _active
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` globally (``None`` restores the disabled default);
+    returns the previously installed tracer."""
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = tracer if tracer is not None else NULL_TRACER
+        return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Scope a global tracer install: restores the previous one on exit."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

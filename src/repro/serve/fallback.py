@@ -35,6 +35,7 @@ from repro.gbt import (
     GradientBoostingRegressor,
     TargetTransform,
 )
+from repro.obs import get_tracer
 from repro.serve.request import Request, Response
 
 __all__ = ["FallbackChain"]
@@ -94,29 +95,43 @@ class FallbackChain:
         """Best degraded answer for ``request``, or ``None`` if every rung
         is disabled (the caller then surfaces the original failure)."""
         start = time.monotonic()
-        if self.use_cache and self._service is not None:
-            cached = self._service.cached_response(request)
-            if cached is not None:
-                return replace(
-                    cached, degraded=True, provenance="result-cache"
-                )
-        if self.use_gbt:
-            try:
-                value = self._gbt_value(request)
-            except ReproError:
-                value = None  # unknown size/space: fall through to prior
-            if value is not None:
+        tracer = get_tracer()
+        with tracer.span("resilience.fallback", size=request.size) as chain:
+            if self.use_cache and self._service is not None:
+                with tracer.span("fallback.result_cache") as rung:
+                    cached = self._service.cached_response(request)
+                    rung.set(hit=cached is not None)
+                if cached is not None:
+                    chain.set(rung="result-cache")
+                    return replace(
+                        cached, degraded=True, provenance="result-cache"
+                    )
+            if self.use_gbt:
+                with tracer.span("fallback.gbt_surrogate") as rung:
+                    try:
+                        value = self._gbt_value(request)
+                    except ReproError:
+                        # Unknown size/space: fall through to the prior.
+                        value = None
+                    rung.set(hit=value is not None)
+                if value is not None:
+                    chain.set(rung="gbt-surrogate")
+                    return self._synthetic(
+                        request, request_id, value, "gbt-surrogate", start
+                    )
+            if self.use_prior:
+                with tracer.span("fallback.magnitude_prior"):
+                    value = float(
+                        np.median(
+                            [runtime for _, runtime in request.examples]
+                        )
+                    )
+                chain.set(rung="magnitude-prior")
                 return self._synthetic(
-                    request, request_id, value, "gbt-surrogate", start
+                    request, request_id, value, "magnitude-prior", start
                 )
-        if self.use_prior:
-            value = float(
-                np.median([runtime for _, runtime in request.examples])
-            )
-            return self._synthetic(
-                request, request_id, value, "magnitude-prior", start
-            )
-        return None
+            chain.set(rung="none")
+            return None
 
     # ------------------------------------------------------------------ #
     def _gbt_value(self, request: Request) -> float:

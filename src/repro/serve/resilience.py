@@ -36,6 +36,7 @@ from repro.errors import (
     ServiceClosedError,
     ServiceOverloadedError,
 )
+from repro.obs import get_tracer
 from repro.serve.fallback import FallbackChain
 from repro.serve.request import Request, Response
 from repro.serve.stats import ServiceStats
@@ -123,8 +124,14 @@ class CircuitBreaker:
     Closed: traffic flows; ``failure_threshold`` consecutive failures
     trip it open.  Open: ``allow`` refuses everything until
     ``reset_timeout_s`` has elapsed, then the breaker turns half-open.
-    Half-open: probe traffic is admitted; ``half_open_successes``
-    consecutive successes close it again, any failure re-trips it.
+    Half-open: at most ``half_open_successes`` probes may be in flight
+    at once — ``allow`` hands out that many admission tokens and refuses
+    further callers until a probe reports back, so a thundering herd
+    cannot pile onto a barely-recovered route.  That many consecutive
+    probe successes close the breaker again; any probe failure re-trips
+    it.  A caller that abandons an admitted probe without an outcome
+    (e.g. the service closed underneath it) must call :meth:`release`
+    to return its token.
 
     ``clock`` is injectable so tests drive state transitions without
     sleeping.
@@ -157,6 +164,7 @@ class CircuitBreaker:
         self._state = "closed"
         self._failures = 0
         self._half_open_ok = 0
+        self._half_open_inflight = 0
         self._opened_at: float | None = None
         self.trips = 0
 
@@ -168,12 +176,18 @@ class CircuitBreaker:
         ):
             self._state = "half-open"
             self._half_open_ok = 0
+            self._half_open_inflight = 0
 
     def _trip(self) -> None:
         self._state = "open"
         self._opened_at = self._clock()
         self._failures = 0
+        self._half_open_inflight = 0
         self.trips += 1
+
+    def _release_probe(self) -> None:
+        if self._half_open_inflight > 0:
+            self._half_open_inflight -= 1
 
     # ------------------------------------------------------------------ #
     @property
@@ -183,15 +197,37 @@ class CircuitBreaker:
             return self._state
 
     def allow(self) -> bool:
-        """Whether a request may be attempted right now."""
+        """Whether a request may be attempted right now.
+
+        In the half-open state a ``True`` return *admits a probe*: the
+        caller owns an admission token until it reports
+        :meth:`record_success` / :meth:`record_failure` (or abandons via
+        :meth:`release`).  At most ``half_open_successes`` tokens exist,
+        so concurrent callers racing a recovering route are bounded
+        instead of stampeding it.
+        """
         with self._lock:
             self._tick()
-            return self._state != "open"
+            if self._state == "open":
+                return False
+            if self._state == "half-open":
+                if self._half_open_inflight >= self.half_open_successes:
+                    return False
+                self._half_open_inflight += 1
+            return True
+
+    def release(self) -> None:
+        """Return an admission token without recording an outcome."""
+        with self._lock:
+            self._tick()
+            if self._state == "half-open":
+                self._release_probe()
 
     def record_success(self) -> None:
         with self._lock:
             self._tick()
             if self._state == "half-open":
+                self._release_probe()
                 self._half_open_ok += 1
                 if self._half_open_ok >= self.half_open_successes:
                     self._state = "closed"
@@ -204,7 +240,7 @@ class CircuitBreaker:
         with self._lock:
             self._tick()
             if self._state == "half-open":
-                self._trip()
+                self._trip()  # a failed probe re-opens immediately
                 return True
             self._failures += 1
             if self._state == "closed" and self._failures >= self.failure_threshold:
@@ -266,6 +302,12 @@ class ResilientService:
                 self._breakers[route] = breaker
             return breaker
 
+    @property
+    def breakers(self) -> dict[str, CircuitBreaker]:
+        """Snapshot of all per-route breakers (for metrics collection)."""
+        with self._lock:
+            return dict(self._breakers)
+
     def _spend_retry(self) -> bool:
         budget = self.retry_policy.retry_budget
         if budget is None:
@@ -286,42 +328,60 @@ class ResilientService:
         outage to paper over).
         """
         self._stats.record_logical()
+        tracer = get_tracer()
         key = next(self._keys)
         breaker = self.breaker(request.size)
         last_exc: BaseException | None = None
         attempt = 1
-        while breaker.allow():
-            try:
-                response = self.service.submit(request)
-            except ServiceClosedError:
-                self._stats.record_unavailable()
-                raise
-            except Exception as exc:
-                if breaker.record_failure():
-                    self._stats.record_breaker_trip()
-                last_exc = exc
-                if not self.retry_policy.retryable(exc):
-                    break
-                if (
-                    attempt >= self.retry_policy.max_attempts
-                    or not self._spend_retry()
-                ):
-                    break
-                self._stats.record_retry()
-                self._sleep(self.retry_policy.delay_s(key, attempt))
-                attempt += 1
-            else:
-                breaker.record_success()
-                return response
-        if self.fallback is not None:
-            response = self.fallback.degraded_response(request, request_id=key)
-            if response is not None:
-                self._stats.record_degraded()
-                return response
-        self._stats.record_unavailable()
-        if last_exc is not None:
-            raise last_exc
-        raise CircuitOpenError(request.size)
+        with tracer.span(
+            "resilience.submit", route=request.size, key=key
+        ) as root:
+            while breaker.allow():
+                try:
+                    with tracer.span("resilience.attempt", attempt=attempt):
+                        response = self.service.submit(request)
+                except ServiceClosedError:
+                    # Operator intent, not an outage: return the half-open
+                    # admission token (no outcome to record) and re-raise.
+                    breaker.release()
+                    self._stats.record_unavailable()
+                    raise
+                except Exception as exc:
+                    if breaker.record_failure():
+                        self._stats.record_breaker_trip()
+                    last_exc = exc
+                    if not self.retry_policy.retryable(exc):
+                        break
+                    if (
+                        attempt >= self.retry_policy.max_attempts
+                        or not self._spend_retry()
+                    ):
+                        break
+                    self._stats.record_retry()
+                    delay = self.retry_policy.delay_s(key, attempt)
+                    with tracer.span(
+                        "resilience.backoff", attempt=attempt, delay_s=delay
+                    ):
+                        self._sleep(delay)
+                    attempt += 1
+                else:
+                    breaker.record_success()
+                    root.set(outcome="served", attempts=attempt)
+                    return response
+            if self.fallback is not None:
+                response = self.fallback.degraded_response(
+                    request, request_id=key
+                )
+                if response is not None:
+                    self._stats.record_degraded()
+                    root.set(outcome="degraded", rung=response.provenance,
+                             attempts=attempt)
+                    return response
+            self._stats.record_unavailable()
+            root.set(outcome="unavailable", attempts=attempt)
+            if last_exc is not None:
+                raise last_exc
+            raise CircuitOpenError(request.size)
 
     def submit_many(self, requests) -> list[Response]:
         """Serve a workload sequentially (deterministic fault/retry order)."""

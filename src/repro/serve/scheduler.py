@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import ServiceClosedError, ServiceOverloadedError
+from repro.obs import get_tracer
 from repro.serve.request import Request
 from repro.utils.parallel import effective_workers
 
@@ -35,12 +36,20 @@ _POLL_S = 0.5
 
 @dataclass
 class Ticket:
-    """One admitted request travelling through the scheduler."""
+    """One admitted request travelling through the scheduler.
+
+    ``trace_parent`` carries the submitting thread's innermost span id
+    across the thread hop to the batch worker, so the worker-side
+    ``serve.request`` span parents into the caller's trace (e.g. under a
+    ``resilience.attempt`` span).  ``None`` when tracing is off or the
+    caller had no open span.
+    """
 
     request_id: int
     request: Request
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
+    trace_parent: int | None = None
 
 
 class _Sentinel:
@@ -116,6 +125,9 @@ class MicroBatcher:
             )
         self._faults = fault_injector
         self._flush_count = 0
+        #: Set by close(); read by the collector when the sentinel lands
+        #: to decide the in-hand partial batch's fate (execute vs. fail).
+        self._drain_on_close = True
         self._inflight = threading.Semaphore(max_inflight_batches)
         self._pool = ThreadPoolExecutor(
             max_workers=nworkers,
@@ -137,15 +149,20 @@ class MicroBatcher:
         """
         if self._closed.is_set():
             raise ServiceClosedError("service is shut down")
-        if block:
-            self._queue.put(ticket)
-        else:
-            try:
-                self._queue.put_nowait(ticket)
-            except queue.Full:
-                raise ServiceOverloadedError(
-                    self.queue_capacity, depth=self._queue.qsize()
-                ) from None
+        # The admission span covers any cooperative-backpressure wait on
+        # a full queue — that wait is exactly the signal worth seeing.
+        with get_tracer().span(
+            "serve.submit", request_id=ticket.request_id, block=block
+        ):
+            if block:
+                self._queue.put(ticket)
+            else:
+                try:
+                    self._queue.put_nowait(ticket)
+                except queue.Full:
+                    raise ServiceOverloadedError(
+                        self.queue_capacity, depth=self._queue.qsize()
+                    ) from None
         # close() may have raced the enqueue: the collector could already
         # have passed (or be past) the shutdown sentinel, in which case
         # this ticket would never be batched and its future never
@@ -161,13 +178,15 @@ class MicroBatcher:
         With ``drain=True`` (graceful), every already-admitted ticket is
         batched and executed before the worker pool stops.  With
         ``drain=False``, unbatched tickets fail with
-        :class:`ServiceClosedError`; batches already handed to the pool
-        still run to completion.
+        :class:`ServiceClosedError` — including the partial batch the
+        collector holds in hand when the sentinel arrives — and only
+        batches already dispatched to the pool run to completion.
 
         Idempotent; safe to call from ``with``-exit and explicitly.
         """
         if self._closed.is_set():
             return
+        self._drain_on_close = drain
         self._closed.set()
         if not drain:
             # Reject everything still queued before the sentinel lands.
@@ -177,9 +196,7 @@ class MicroBatcher:
                 except queue.Empty:
                     break
                 if isinstance(ticket, Ticket):
-                    ticket.future.set_exception(
-                        ServiceClosedError("service shut down before execution")
-                    )
+                    _fail_closed(ticket)
         self._queue.put(_STOP)
         self._collector.join()
         # Sweep tickets enqueued after the sentinel (submit racing
@@ -214,7 +231,15 @@ class MicroBatcher:
                 continue
             if isinstance(item, _Sentinel):
                 if batch:
-                    self._flush(batch)
+                    if self._drain_on_close:
+                        self._flush(batch)
+                    else:
+                        # Non-drain close: the docstring promises every
+                        # unbatched ticket fails with ServiceClosedError
+                        # — that includes this in-hand partial batch, not
+                        # just tickets still sitting on the queue.
+                        for ticket in batch:
+                            _fail_closed(ticket)
                 break
             if not batch:
                 deadline = time.monotonic() + self.max_wait_s
@@ -224,13 +249,28 @@ class MicroBatcher:
                 batch, deadline = [], None
 
     def _flush(self, batch: list[Ticket]) -> None:
-        if self._faults is not None:
-            # Only the collector thread flushes, so the index needs no lock.
-            self._flush_count += 1
-            self._faults.before_flush(self._flush_count)
-        # Block until a dispatch slot frees: this is what propagates
-        # worker saturation back to the bounded queue (and from there to
-        # submitters) instead of hiding it in the executor's backlog.
-        self._inflight.acquire()
-        future = self._pool.submit(self._execute_batch, list(batch))
-        future.add_done_callback(lambda _f: self._inflight.release())
+        # The flush span covers the injected stall and the dispatch-slot
+        # wait — the two places a batch loses time before a worker has it.
+        with get_tracer().span("serve.flush", batch_size=len(batch)) as span:
+            if self._faults is not None:
+                # Only the collector thread flushes, so the index needs
+                # no lock.
+                self._flush_count += 1
+                span.set(flush_index=self._flush_count)
+                self._faults.before_flush(self._flush_count)
+            # Block until a dispatch slot frees: this is what propagates
+            # worker saturation back to the bounded queue (and from there
+            # to submitters) instead of hiding it in the executor's
+            # backlog.
+            self._inflight.acquire()
+            future = self._pool.submit(self._execute_batch, list(batch))
+            future.add_done_callback(lambda _f: self._inflight.release())
+
+
+def _fail_closed(ticket: Ticket) -> None:
+    """Fail an unexecuted ticket with ServiceClosedError (skip if the
+    caller already cancelled it, e.g. a timed-out blocking submit)."""
+    if ticket.future.set_running_or_notify_cancel():
+        ticket.future.set_exception(
+            ServiceClosedError("service shut down before execution")
+        )

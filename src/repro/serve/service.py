@@ -30,6 +30,7 @@ from repro.core.surrogate import DiscriminativeSurrogate
 from repro.dataset.syr2k import Syr2kTask
 from repro.errors import RequestTimeoutError, ServiceClosedError
 from repro.faults import FaultInjector, FaultPlan
+from repro.obs import get_tracer
 from repro.serve.cache import MISS, LRUCache, prompt_fingerprint
 from repro.serve.request import Request, Response
 from repro.serve.scheduler import MicroBatcher, Ticket
@@ -95,6 +96,11 @@ class PredictionService:
         )
         self._stats = StatsRecorder(max_batch_size=max_batch_size)
         self._ids = itertools.count()
+        # Cache-only serves (cached_response) get negative ids from their
+        # own counter: they never pass through admission, and drawing from
+        # self._ids would shift every later ticket's admission-ordered id
+        # — the key deterministic fault injection is keyed on.
+        self._cached_ids = itertools.count(-1, -1)
         if isinstance(fault_plan, FaultPlan):
             fault_plan = FaultInjector(fault_plan)
         self.faults = fault_plan
@@ -118,9 +124,16 @@ class PredictionService:
         full, unless ``block=True`` (then admission waits for space —
         the cooperative-backpressure mode bulk callers use).
         """
-        ticket = Ticket(request_id=next(self._ids), request=request)
+        ticket = Ticket(
+            request_id=next(self._ids),
+            request=request,
+            trace_parent=get_tracer().current_span_id(),
+        )
         try:
             self._batcher.submit(ticket, block=block)
+        except ServiceClosedError:
+            self._stats.record_closed_reject()
+            raise
         except Exception:
             self._stats.record_reject()
             raise
@@ -217,7 +230,7 @@ class PredictionService:
             try:
                 response = self._serve_one(ticket, batch_size=len(batch))
             except Exception as exc:  # typed errors propagate to the caller
-                self._stats.record_done(0.0, failed=True)
+                self._stats.record_failed()
                 ticket.future.set_exception(exc)
             else:
                 self._stats.record_done(response.latency_s)
@@ -252,7 +265,7 @@ class PredictionService:
         if prediction is MISS:
             return None
         return Response(
-            request_id=next(self._ids),
+            request_id=next(self._cached_ids),
             prediction=prediction,
             latency_s=0.0,
             result_cache_hit=True,
@@ -261,43 +274,72 @@ class PredictionService:
 
     def _serve_one(self, ticket: Ticket, batch_size: int) -> Response:
         request = ticket.request
-        if self.faults is not None:
-            # Deterministic per-request injection, keyed on the ticket's
-            # admission-ordered id: eviction storm / latency spike /
-            # transient error (the error propagates as a failed future).
-            self.faults.before_request(
-                ticket.request_id,
-                caches=(self.prepare_cache, self.result_cache),
-            )
-        surrogate = self._surrogate_for(request.size)
-        parts = surrogate.build_parts(request.examples, request.query_config)
-        fingerprint = prompt_fingerprint(parts.ids)
-        result_key = self._result_key(surrogate, fingerprint, request.seed)
-
-        result_hit = prepare_hit = False
-        prediction = MISS
-        if self.result_cache is not None:
-            prediction = self.result_cache.get(result_key)
-            result_hit = prediction is not MISS
-        if prediction is MISS:
-            analysis = None
-            if self.prepare_cache is not None:
-                analysis = self.prepare_cache.get(fingerprint)
-                prepare_hit = analysis is not MISS
-                if not prepare_hit:
-                    analysis = surrogate.model.prepare(parts.ids)
-                    self.prepare_cache.put(fingerprint, analysis)
-            prediction = surrogate.predict_parts(
-                parts, seed=request.seed, analysis=analysis
-            )
-            if self.result_cache is not None:
-                self.result_cache.put(result_key, prediction)
-
-        return Response(
+        tracer = get_tracer()
+        # The request root is backdated to admission so its duration is
+        # the end-to-end latency the stats report; it parents into the
+        # submitting thread's span (carried across the hop on the ticket).
+        with tracer.span(
+            "serve.request",
+            parent=ticket.trace_parent,
+            start_s=ticket.enqueued_at,
             request_id=ticket.request_id,
-            prediction=prediction,
-            latency_s=time.monotonic() - ticket.enqueued_at,
-            result_cache_hit=result_hit,
-            prepare_cache_hit=prepare_hit,
+            size=request.size,
             batch_size=batch_size,
-        )
+        ) as root:
+            serve_start = time.monotonic()
+            tracer.record_span(
+                "serve.queue_wait", ticket.enqueued_at, serve_start,
+                parent=root.span_id,
+            )
+            if self.faults is not None:
+                # Deterministic per-request injection, keyed on the
+                # ticket's admission-ordered id: eviction storm / latency
+                # spike / transient error (the error propagates as a
+                # failed future).
+                self.faults.before_request(
+                    ticket.request_id,
+                    caches=(self.prepare_cache, self.result_cache),
+                )
+            surrogate = self._surrogate_for(request.size)
+            parts = surrogate.build_parts(
+                request.examples, request.query_config
+            )
+            fingerprint = prompt_fingerprint(parts.ids)
+            result_key = self._result_key(
+                surrogate, fingerprint, request.seed
+            )
+
+            result_hit = prepare_hit = False
+            prediction = MISS
+            if self.result_cache is not None:
+                with tracer.span("serve.cache_lookup", level="result"):
+                    prediction = self.result_cache.get(result_key)
+                result_hit = prediction is not MISS
+            if prediction is MISS:
+                analysis = None
+                if self.prepare_cache is not None:
+                    with tracer.span("serve.prepare") as prep:
+                        analysis = self.prepare_cache.get(fingerprint)
+                        prepare_hit = analysis is not MISS
+                        prep.set(cache_hit=prepare_hit)
+                        if not prepare_hit:
+                            analysis = surrogate.model.prepare(parts.ids)
+                            self.prepare_cache.put(fingerprint, analysis)
+                with tracer.span("serve.generate"):
+                    prediction = surrogate.predict_parts(
+                        parts, seed=request.seed, analysis=analysis
+                    )
+                if self.result_cache is not None:
+                    self.result_cache.put(result_key, prediction)
+            root.set(
+                result_cache_hit=result_hit, prepare_cache_hit=prepare_hit
+            )
+
+            return Response(
+                request_id=ticket.request_id,
+                prediction=prediction,
+                latency_s=time.monotonic() - ticket.enqueued_at,
+                result_cache_hit=result_hit,
+                prepare_cache_hit=prepare_hit,
+                batch_size=batch_size,
+            )

@@ -32,6 +32,10 @@ class ServiceStats:
     n_submitted: int
     n_completed: int
     n_failed: int
+    #: Overload rejections only (queue full); submissions refused because
+    #: the service was closed count in ``n_closed_rejects`` — a shutdown
+    #: is operator intent, not backpressure, and conflating them made
+    #: rejection rates lie during drains.
     n_rejected: int
     n_timeouts: int
     n_batches: int
@@ -44,6 +48,8 @@ class ServiceStats:
     prepare_misses: int
     result_hits: int
     result_misses: int
+    #: Submissions refused because the service was closed/draining.
+    n_closed_rejects: int = 0
     # Resilience layer (repro.serve.resilience); all zero when requests
     # bypass the ResilientService wrapper.
     n_late_discards: int = 0
@@ -96,6 +102,7 @@ class ServiceStats:
         t.add_row(["requests completed", self.n_completed])
         t.add_row(["requests failed", self.n_failed])
         t.add_row(["requests rejected (overload)", self.n_rejected])
+        t.add_row(["requests rejected (closed)", self.n_closed_rejects])
         t.add_row(["requests timed out", self.n_timeouts])
         t.add_row(["throughput (req/s)", round(self.throughput_rps, 1)])
         t.add_row(["p50 latency", format_duration(self.p50_latency_s)])
@@ -131,6 +138,7 @@ class StatsRecorder:
         self._submitted = 0
         self._failed = 0
         self._rejected = 0
+        self._closed_rejects = 0
         self._timeouts = 0
         self._late_discards = 0
         self._retries = 0
@@ -149,8 +157,14 @@ class StatsRecorder:
                 self._first_submit_t = time.monotonic()
 
     def record_reject(self) -> None:
+        """An overload rejection (queue full — genuine backpressure)."""
         with self._lock:
             self._rejected += 1
+
+    def record_closed_reject(self) -> None:
+        """A submission refused because the service was closed/draining."""
+        with self._lock:
+            self._closed_rejects += 1
 
     def record_timeout(self) -> None:
         with self._lock:
@@ -187,13 +201,20 @@ class StatsRecorder:
         with self._lock:
             self._batch_sizes.append(int(batch_size))
 
-    def record_done(self, latency_s: float, failed: bool = False) -> None:
+    def record_done(self, latency_s: float) -> None:
+        """A successful completion with its end-to-end latency."""
         with self._lock:
             self._last_done_t = time.monotonic()
-            if failed:
-                self._failed += 1
-            else:
-                self._latencies.append(float(latency_s))
+            self._latencies.append(float(latency_s))
+
+    def record_failed(self) -> None:
+        """A failed request.  Latency-free by design: a failure has no
+        meaningful end-to-end latency, and the ``0.0`` the old API forced
+        callers to pass would have poisoned the percentiles had it ever
+        been recorded."""
+        with self._lock:
+            self._last_done_t = time.monotonic()
+            self._failed += 1
 
     # ------------------------------------------------------------------ #
     def snapshot(
@@ -218,6 +239,7 @@ class StatsRecorder:
                 n_completed=n_done,
                 n_failed=self._failed,
                 n_rejected=self._rejected,
+                n_closed_rejects=self._closed_rejects,
                 n_timeouts=self._timeouts,
                 n_batches=len(sizes),
                 max_batch_size=self._max_batch_size,

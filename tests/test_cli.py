@@ -104,3 +104,63 @@ class TestServeCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "caches on" in out and "caches off" not in out
+
+
+class TestObservabilityCommands:
+    def test_serve_bench_trace_then_summarize(self, tmp_path, capsys):
+        """The acceptance path: bench with --trace, then reconstruct."""
+        trace = tmp_path / "out.jsonl"
+        assert main([
+            "serve-bench", "--size", "SM", "--n-icl", "2", "--unique", "2",
+            "--repeats", "2", "--no-baseline", "--trace", str(trace),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert trace.exists()
+        assert "exported" in captured.err and "spans" in captured.err
+
+        assert main(["trace", "summarize", str(trace), "--tree", "1"]) == 0
+        out = capsys.readouterr().out
+        # The per-stage breakdown covers the wired span taxonomy...
+        for stage in ("serve.request", "serve.queue_wait",
+                      "serve.cache_lookup", "serve.generate"):
+            assert stage in out
+        # ...and the sample tree shows one request's nested spans.
+        assert "request_id=" in out
+
+    def test_serve_bench_untraced_writes_no_file(self, tmp_path, capsys):
+        assert main([
+            "serve-bench", "--size", "SM", "--n-icl", "2", "--unique", "2",
+            "--repeats", "2", "--no-baseline",
+        ]) == 0
+        capsys.readouterr()
+        assert not list(tmp_path.iterdir())
+
+    def test_serve_bench_metrics_table(self, capsys):
+        assert main([
+            "serve-bench", "--size", "SM", "--n-icl", "2", "--unique", "2",
+            "--repeats", "2", "--no-baseline", "--metrics",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "metrics registry" in out
+        assert "serve.requests{event=completed}" in out
+        assert "cache.lookups{level=result,outcome=hit}" in out
+
+    def test_trace_summarize_empty_file_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "summarize", str(empty)]) == 1
+        assert "no spans" in capsys.readouterr().err
+
+    def test_chaos_verify_determinism(self, capsys):
+        """Chaos determinism holds with degraded serves interleaved."""
+        assert main([
+            "chaos", "--size", "SM", "--n-icl", "2", "--requests", "16",
+            "--unique", "4", "--latency-s", "0.001", "--stall-s", "0.001",
+            "--verify-determinism",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "deterministic across two identical runs: yes" in out
+        assert (
+            "deterministic with degraded cache serves interleaved: yes"
+            in out
+        )

@@ -1,0 +1,219 @@
+"""Tests for :mod:`repro.obs.metrics`: instruments, registry, collection.
+
+The registry's job is unification: one vocabulary over what
+``StatsRecorder``, ``LRUCache``, ``FaultInjector.stats`` and
+``CircuitBreaker.trips`` each count separately.  The collection test
+drives a real service and checks the mapped values agree with the
+original sources.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry, collect_service_metrics
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = MetricsRegistry().counter("events")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        c = MetricsRegistry().counter("events")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_overwrites(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_percentiles_match_numpy(self):
+        h = MetricsRegistry().histogram("latency_s")
+        samples = [i / 1000.0 for i in range(1, 101)]
+        for s in samples:
+            h.observe(s)
+        assert h.count == 100
+        assert h.sum == pytest.approx(sum(samples))
+        assert h.mean == pytest.approx(np.mean(samples))
+        for q in (50, 90, 95, 99):
+            assert h.percentile(q) == pytest.approx(
+                float(np.percentile(samples, q))
+            )
+
+    def test_empty_histogram_is_zero(self):
+        h = MetricsRegistry().histogram("latency_s")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.percentile(95) == 0.0
+
+    def test_key_renders_sorted_labels(self):
+        c = MetricsRegistry().counter("cache.lookups", outcome="hit",
+                                      level="result")
+        assert c.key == "cache.lookups{level=result,outcome=hit}"
+
+    def test_key_without_labels_is_bare_name(self):
+        assert MetricsRegistry().counter("serve.batches").key == "serve.batches"
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        r = MetricsRegistry()
+        a = r.counter("hits", level="result")
+        b = r.counter("hits", level="result")
+        c = r.counter("hits", level="prepare")
+        assert a is b
+        assert a is not c
+
+    def test_kind_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            r.gauge("x")
+
+    def test_snapshot_shapes(self):
+        r = MetricsRegistry()
+        r.counter("n").inc(3)
+        r.gauge("g").set(0.5)
+        h = r.histogram("h")
+        h.observe(1.0)
+        h.observe(3.0)
+        snap = r.snapshot()
+        assert snap["n"] == 3
+        assert snap["g"] == 0.5
+        assert snap["h"]["count"] == 2
+        assert snap["h"]["mean"] == pytest.approx(2.0)
+        assert snap["h"]["sum"] == pytest.approx(4.0)
+
+    def test_render_lists_every_instrument(self):
+        r = MetricsRegistry()
+        r.counter("serve.batches").inc(2)
+        r.gauge("serve.throughput_rps").set(10.0)
+        r.histogram("serve.latency_s").observe(0.01)
+        out = r.render(title="bench")
+        assert "bench" in out
+        for key in ("serve.batches", "serve.throughput_rps",
+                    "serve.latency_s"):
+            assert key in out
+
+    def test_instruments_sorted_by_key(self):
+        r = MetricsRegistry()
+        r.counter("b")
+        r.counter("a", x="2")
+        r.counter("a", x="1")
+        assert [i.key for i in r.instruments()] == [
+            "a{x=1}", "a{x=2}", "b"
+        ]
+
+    def test_concurrent_increments_are_lossless(self):
+        r = MetricsRegistry()
+        n_threads, per_thread = 8, 500
+
+        def work():
+            for _ in range(per_thread):
+                r.counter("hits").inc()
+                r.histogram("obs").observe(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert r.counter("hits").value == n_threads * per_thread
+        assert r.histogram("obs").count == n_threads * per_thread
+
+
+class TestCollectServiceMetrics:
+    def test_unifies_service_counters(self, sm_dataset):
+        from repro.serve import PredictionService, Request
+
+        examples = [
+            (sm_dataset.config(i), float(sm_dataset.runtimes[i]))
+            for i in range(3)
+        ]
+        requests = [
+            Request(
+                examples=examples,
+                query_config=sm_dataset.config(40 + i % 2),
+                seed=1,
+                size="SM",
+            )
+            for i in range(6)
+        ]
+        with PredictionService() as service:
+            service.submit_many(requests)
+            registry = collect_service_metrics(service)
+            stats = service.stats()
+            rc = service.result_cache
+        snap = registry.snapshot()
+        # The registry is a relabelling of the existing sources, value
+        # for value — ServiceStats...
+        assert snap["serve.requests{event=submitted}"] == stats.n_submitted
+        assert snap["serve.requests{event=completed}"] == stats.n_completed
+        assert snap["serve.batches"] == stats.n_batches
+        assert snap["serve.latency_s{quantile=p95}"] == stats.p95_latency_s
+        # ...and the LRU cache counters.
+        assert snap["cache.lookups{level=result,outcome=hit}"] == rc.hits
+        assert snap["cache.lookups{level=result,outcome=miss}"] == rc.misses
+        assert snap["cache.capacity{level=result}"] == rc.capacity
+
+    def test_maps_faults_and_breakers(self, sm_dataset):
+        from repro.faults import FaultPlan
+        from repro.serve import (
+            PredictionService,
+            Request,
+            ResilientService,
+            RetryPolicy,
+        )
+
+        examples = [
+            (sm_dataset.config(i), float(sm_dataset.runtimes[i]))
+            for i in range(3)
+        ]
+        plan = FaultPlan(seed=20250806, transient_error_rate=0.4)
+        with PredictionService(fault_plan=plan) as service:
+            resilient = ResilientService(
+                service,
+                retry_policy=RetryPolicy(max_attempts=4),
+                sleep=lambda s: None,
+            )
+            resilient.submit_many(
+                Request(
+                    examples=examples,
+                    query_config=sm_dataset.config(40 + q),
+                    seed=q,
+                    size="SM",
+                )
+                for q in range(8)
+            )
+            registry = collect_service_metrics(service, resilient=resilient)
+            stats = service.stats()
+            faults = service.faults.stats.snapshot()
+        snap = registry.snapshot()
+        assert (
+            snap["faults.injected{kind=transient_errors}"]
+            == faults["transient_errors"]
+            >= 1
+        )
+        assert snap["resilience.retries"] == stats.n_retries
+        assert snap["resilience.logical"] == stats.n_logical
+        assert snap["resilience.availability"] == stats.availability
+        assert (
+            snap["breaker.trips{route=SM}"]
+            == resilient.breaker("SM").trips
+        )
+        assert "breaker.open{route=SM}" in snap
+
+    def test_disabled_caches_record_nothing(self, sm_dataset):
+        from repro.serve import PredictionService
+
+        with PredictionService(
+            enable_prepare_cache=False, enable_result_cache=False
+        ) as service:
+            snap = collect_service_metrics(service).snapshot()
+        assert not any(key.startswith("cache.") for key in snap)

@@ -1,0 +1,96 @@
+"""Tests for :mod:`repro.obs.summary`: tree reconstruction + aggregation."""
+
+import pytest
+
+from repro.obs import Span, summarize_spans
+from repro.obs.summary import render_span_tree, span_children, span_depths
+
+
+def make_span(name, span_id, parent_id=None, start=0.0, dur=1.0, **attrs):
+    return Span(
+        name=name, span_id=span_id, parent_id=parent_id,
+        start_s=start, duration_s=dur, attributes=attrs,
+    )
+
+
+@pytest.fixture
+def request_trace():
+    """Two serve.request trees, shaped like a real serve-bench trace."""
+    return [
+        make_span("serve.request", 1, None, start=0.0, dur=1.0),
+        make_span("serve.queue_wait", 2, 1, start=0.0, dur=0.2),
+        make_span("serve.prepare", 3, 1, start=0.2, dur=0.3),
+        make_span("llm.prepare", 4, 3, start=0.2, dur=0.25),
+        make_span("serve.generate", 5, 1, start=0.5, dur=0.5),
+        make_span("serve.request", 6, None, start=1.0, dur=0.6),
+        make_span("serve.queue_wait", 7, 6, start=1.0, dur=0.1),
+        make_span("serve.generate", 8, 6, start=1.1, dur=0.5),
+    ]
+
+
+class TestTreeReconstruction:
+    def test_children_grouped_and_time_ordered(self, request_trace):
+        children = span_children(request_trace)
+        assert [s.span_id for s in children[None]] == [1, 6]
+        assert [s.span_id for s in children[1]] == [2, 3, 5]
+        assert [s.span_id for s in children[3]] == [4]
+
+    def test_orphans_become_roots(self):
+        spans = [make_span("lost", 5, parent_id=999)]
+        children = span_children(spans)
+        assert [s.span_id for s in children[None]] == [5]
+
+    def test_depths(self, request_trace):
+        depths = span_depths(request_trace)
+        assert depths[1] == 0
+        assert depths[2] == 1
+        assert depths[4] == 2
+
+
+class TestSummary:
+    def test_stage_aggregation(self, request_trace):
+        summary = summarize_spans(request_trace)
+        assert summary.n_roots == 2
+        assert summary.wall_s == pytest.approx(1.6)
+        rows = {row["stage"]: row for row in summary.rows()}
+        assert rows["serve.request"]["count"] == 2
+        assert rows["serve.request"]["total_s"] == pytest.approx(1.6)
+        assert rows["serve.request"]["share"] == pytest.approx(1.0)
+        assert rows["serve.generate"]["count"] == 2
+        assert rows["serve.generate"]["mean_s"] == pytest.approx(0.5)
+        assert rows["serve.queue_wait"]["total_s"] == pytest.approx(0.3)
+
+    def test_rows_ordered_and_indented_by_depth(self, request_trace):
+        summary = summarize_spans(request_trace)
+        rows = summary.rows()
+        assert rows[0]["stage"] == "serve.request"
+        depths = {row["stage"]: row["depth"] for row in rows}
+        assert depths["serve.queue_wait"] == 1
+        assert depths["llm.prepare"] == 2
+        out = summary.render()
+        assert "serve.request" in out
+        assert "  serve.queue_wait" in out
+        assert "    llm.prepare" in out
+
+    def test_render_mentions_span_and_root_counts(self, request_trace):
+        out = summarize_spans(request_trace).render()
+        assert "8 spans" in out
+        assert "2 roots" in out
+
+
+class TestSpanTree:
+    def test_renders_first_root_with_attributes(self, request_trace):
+        request_trace[0].attributes["request_id"] = 0
+        out = render_span_tree(request_trace, max_roots=1)
+        lines = out.splitlines()
+        assert lines[0].startswith("serve.request")
+        assert "request_id=0" in lines[0]
+        assert lines[1].startswith("  serve.queue_wait")
+        # max_roots=1: the second tree is not rendered.
+        assert sum("serve.request" in line for line in lines) == 1
+
+    def test_max_roots_expands(self, request_trace):
+        out = render_span_tree(request_trace, max_roots=2)
+        assert sum(
+            line.startswith("serve.request") for line in out.splitlines()
+        ) == 2

@@ -1,0 +1,230 @@
+"""Tests for :mod:`repro.obs.tracer`: spans, nesting, export, globals.
+
+The two properties everything else leans on are pinned here: tracing is
+off by default (the global tracer is a disabled singleton, so the
+instrumented hot paths record nothing), and parent/child structure
+survives both same-thread nesting and the explicit cross-thread handoff
+the microbatcher uses.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+class TestOffByDefault:
+    def test_global_default_is_disabled(self):
+        assert get_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("outer", a=1) as span:
+            span.set(b=2)
+            with tracer.span("inner"):
+                pass
+        assert tracer.record_span("retro", 0.0, 1.0) is None
+        assert len(tracer) == 0
+
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+        assert tracer.span("a").span_id is None
+
+    def test_use_tracer_scopes_and_restores(self):
+        tracer = Tracer()
+        before = get_tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+            with get_tracer().span("scoped"):
+                pass
+        assert get_tracer() is before
+        assert [s.name for s in tracer.spans()] == ["scoped"]
+
+    def test_set_tracer_none_restores_null(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+        assert previous is NULL_TRACER
+
+
+class TestNesting:
+    def test_same_thread_implicit_parenting(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["root"].parent_id is None
+        assert by_name["child"].parent_id == by_name["root"].span_id
+        assert by_name["grandchild"].parent_id == by_name["child"].span_id
+        assert by_name["sibling"].parent_id == by_name["root"].span_id
+
+    def test_explicit_parent_crosses_threads(self):
+        """The ticket handoff pattern: caller span id → worker span."""
+        tracer = Tracer()
+        with tracer.span("caller") as caller:
+            parent_id = tracer.current_span_id()
+            assert parent_id == caller.span_id
+
+            def worker():
+                # A fresh thread has no implicit stack; the explicit
+                # parent is what links the spans across the hop.
+                assert tracer.current_span_id() is None
+                with tracer.span("worker", parent=parent_id):
+                    pass
+
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["worker"].parent_id == by_name["caller"].span_id
+
+    def test_parent_none_forces_root(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("detached", parent=None):
+                pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["detached"].parent_id is None
+
+    def test_threads_nest_independently(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(f"{name}.outer"):
+                barrier.wait()
+                with tracer.span(f"{name}.inner"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(n,)) for n in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["a.inner"].parent_id == by_name["a.outer"].span_id
+        assert by_name["b.inner"].parent_id == by_name["b.outer"].span_id
+
+
+class TestSpanRecords:
+    def test_duration_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("timed", phase="x") as span:
+            time.sleep(0.01)
+            span.set(extra=3)
+        (record,) = tracer.spans()
+        assert record.duration_s >= 0.01
+        assert record.attributes == {"phase": "x", "extra": 3}
+        assert record.end_s == record.start_s + record.duration_s
+
+    def test_backdated_start(self):
+        tracer = Tracer()
+        enqueued = time.monotonic() - 0.5
+        with tracer.span("request", start_s=enqueued):
+            pass
+        (record,) = tracer.spans()
+        assert record.start_s == enqueued
+        assert record.duration_s >= 0.5
+
+    def test_record_span_retroactive(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            tracer.record_span("wait", 10.0, 10.25, parent=root.span_id)
+        by_name = {s.name: s for s in tracer.spans()}
+        wait = by_name["wait"]
+        assert wait.parent_id == by_name["root"].span_id
+        assert wait.start_s == 10.0
+        assert wait.duration_s == pytest.approx(0.25)
+
+    def test_exception_sets_error_attribute(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        (record,) = tracer.spans()
+        assert record.attributes["error"] == "RuntimeError"
+
+    def test_clear_keeps_ids_monotonic(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        first_id = tracer.spans()[0].span_id
+        tracer.clear()
+        assert len(tracer) == 0
+        with tracer.span("b"):
+            pass
+        assert tracer.spans()[0].span_id > first_id
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        from repro.obs import load_spans
+
+        tracer = Tracer()
+        with tracer.span("root", kind="bench"):
+            with tracer.span("child"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(path) == 2
+        loaded = load_spans(path)
+        assert [s.to_dict() for s in loaded] == [
+            s.to_dict() for s in tracer.spans()
+        ]
+
+    def test_span_dict_round_trip(self):
+        span = Span(
+            name="s", span_id=7, parent_id=3, start_s=1.5,
+            duration_s=0.5, attributes={"k": "v"},
+        )
+        assert Span.from_dict(span.to_dict()) == span
+
+    def test_load_rejects_malformed_line(self, tmp_path):
+        from repro.obs import load_spans
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "ok", "span_id": 1, "parent_id": null, '
+                        '"start_s": 0, "duration_s": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_spans(path)
+
+    def test_concurrent_collection_is_complete(self):
+        tracer = Tracer()
+        n_threads, per_thread = 8, 25
+
+        def work(tid):
+            for i in range(per_thread):
+                with tracer.span("op", tid=tid, i=i):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = tracer.spans()
+        assert len(spans) == n_threads * per_thread
+        assert len({s.span_id for s in spans}) == len(spans)

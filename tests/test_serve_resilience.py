@@ -176,6 +176,96 @@ class TestCircuitBreaker:
         breaker.record_success()
         assert breaker.state == "closed"
 
+    def test_half_open_bounds_inflight_probes(self):
+        """allow() hands out at most half_open_successes probe tokens."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            reset_timeout_s=1.0,
+            half_open_successes=2,
+            clock=clock,
+        )
+        breaker.record_failure()
+        clock.t = 1.0
+        assert breaker.allow()
+        assert breaker.allow()
+        # Token pool exhausted: further callers are refused until an
+        # outstanding probe reports an outcome.
+        assert not breaker.allow()
+        breaker.record_success()  # returns one token and counts it
+        assert breaker.allow()
+        assert not breaker.allow()
+
+    def test_release_returns_token_without_outcome(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.t = 1.0
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.release()  # abandoned probe (e.g. service closed)
+        assert breaker.state == "half-open"  # no outcome recorded
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens_and_resets_tokens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            reset_timeout_s=1.0,
+            half_open_successes=2,
+            clock=clock,
+        )
+        breaker.record_failure()
+        clock.t = 1.0
+        assert breaker.allow()
+        assert breaker.record_failure()  # probe failed: back to open
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.t = 2.0  # next half-open window starts with a full pool
+        assert breaker.allow()
+        assert breaker.allow()
+
+    def test_half_open_hammer_admits_exactly_token_pool(self):
+        """N threads racing allow() in half-open: exactly the pool gets in.
+
+        Pre-fix, allow() admitted every caller that observed the
+        half-open state, so a recovering route got stampeded by the
+        whole retry herd instead of probed gently.
+        """
+        import threading
+
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            reset_timeout_s=1.0,
+            half_open_successes=2,
+            clock=clock,
+        )
+        breaker.record_failure()
+        clock.t = 1.0
+        n_threads = 16
+        barrier = threading.Barrier(n_threads)
+        admitted = []
+        lock = threading.Lock()
+
+        def hammer():
+            barrier.wait()
+            ok = breaker.allow()
+            with lock:
+                admitted.append(ok)
+
+        threads = [
+            threading.Thread(target=hammer) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(admitted) == 2
+        assert breaker.state == "half-open"
+
 
 class TestResilientService:
     def test_clean_path_no_resilience_overhead(self, sm_dataset, examples):

@@ -213,6 +213,110 @@ class TestRobustness:
                 outcomes.append("rejected")
         assert "rejected" in outcomes  # queued work was abandoned
 
+    def test_nondrain_close_fails_in_hand_partial_batch(self):
+        """close(drain=False) must fail the collector's partial batch.
+
+        Pre-fix the sentinel branch flushed and *executed* the in-hand
+        partial batch even on a non-drain close, contradicting the
+        documented abandon semantics.
+        """
+        from repro.serve.scheduler import MicroBatcher, Ticket
+
+        executed = []
+
+        def execute(batch):
+            executed.append(len(batch))
+            for t in batch:
+                if t.future.set_running_or_notify_cancel():
+                    t.future.set_result("ran")
+
+        # Batch threshold and deadline both unreachably large: the
+        # collector picks the tickets up and then just holds them.
+        mb = MicroBatcher(
+            execute, max_batch_size=64, max_wait_s=60.0, workers=1
+        )
+        tickets = [Ticket(request_id=i, request=None) for i in range(3)]
+        for t in tickets:
+            mb.submit(t)
+        deadline = time.monotonic() + 5.0
+        while mb._queue.qsize() > 0 and time.monotonic() < deadline:
+            time.sleep(0.001)  # wait for the collector to take them
+        mb.close(drain=False)
+        for t in tickets:
+            with pytest.raises(ServiceClosedError):
+                t.future.result(timeout=5)
+        assert executed == []
+
+    def test_closed_reject_not_counted_as_overload(
+        self, sm_dataset, examples
+    ):
+        svc = PredictionService()
+        svc.close()
+        with pytest.raises(ServiceClosedError):
+            svc.submit(make_request(sm_dataset, examples))
+        stats = svc.stats()
+        assert stats.n_closed_rejects == 1
+        assert stats.n_rejected == 0  # overload counter stays clean
+
+
+class TestCachedResponseIds:
+    def test_cached_response_ids_negative_and_isolated(
+        self, sm_dataset, examples
+    ):
+        """Cache-only serves draw from their own (negative) id space."""
+        with PredictionService() as svc:
+            req = make_request(sm_dataset, examples, seed=5)
+            assert svc.cached_response(req) is None  # miss: nothing served
+            live = svc.submit(req)
+            assert live.request_id == 0
+            cached = svc.cached_response(req)
+            cached2 = svc.cached_response(req)
+            assert cached is not None and cached2 is not None
+            assert cached.request_id < 0 and cached2.request_id < 0
+            assert cached.request_id != cached2.request_id
+            # Admission-ordered ids are untouched by the cached serves —
+            # pre-fix they shared self._ids and the next live request
+            # would have skipped ids 1 and 2.
+            live2 = svc.submit(
+                make_request(sm_dataset, examples, query=10, seed=5)
+            )
+            assert live2.request_id == 1
+
+    def test_fault_schedule_immune_to_cached_serves(
+        self, sm_dataset, examples
+    ):
+        """Interleaved degraded cache serves must not shift fault keys.
+
+        Request-level faults are keyed on admission-ordered ticket ids;
+        when cached_response consumed those ids, every later request's
+        fault decision silently moved.
+        """
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(seed=20250806, transient_error_rate=0.3)
+
+        def run(interleave: bool):
+            outcomes = []
+            with PredictionService(fault_plan=plan) as svc:
+                for q in range(12):
+                    req = make_request(
+                        sm_dataset, examples, query=q % 3, seed=q % 3
+                    )
+                    if interleave:
+                        svc.cached_response(req)
+                    try:
+                        outcomes.append(svc.submit(req).prediction.value)
+                    except ServiceError:
+                        outcomes.append(None)
+                faults = svc.faults.stats.snapshot()
+            return outcomes, faults
+
+        plain_outcomes, plain_faults = run(False)
+        mixed_outcomes, mixed_faults = run(True)
+        assert plain_faults["transient_errors"] >= 1  # the plan fired
+        assert mixed_faults == plain_faults
+        assert mixed_outcomes == plain_outcomes
+
 
 class TestRunnerIntegration:
     def test_run_spec_parity(self, sm_dataset):

@@ -94,7 +94,7 @@ class TestStatsRecorder:
         r.record_timeout()
         r.record_batch(2)
         r.record_done(0.01)
-        r.record_done(0.0, failed=True)
+        r.record_failed()
         s = r.snapshot(prepare_hits=1, prepare_misses=2,
                        result_hits=3, result_misses=4)
         assert s.n_submitted == 2
@@ -104,6 +104,35 @@ class TestStatsRecorder:
         assert s.n_failed == 1
         assert s.n_batches == 1 and s.mean_batch_size == 2.0
         assert (s.prepare_hits, s.result_misses) == (1, 4)
+
+    def test_closed_rejects_split_from_overload(self):
+        r = StatsRecorder(max_batch_size=8)
+        r.record_reject()
+        r.record_closed_reject()
+        r.record_closed_reject()
+        s = r.snapshot()
+        assert s.n_rejected == 1
+        assert s.n_closed_rejects == 2
+        out = s.render()
+        assert "requests rejected (overload)" in out
+        assert "requests rejected (closed)" in out
+
+    def test_record_failed_leaves_latency_samples_clean(self):
+        r = StatsRecorder(max_batch_size=8)
+        r.record_submit()
+        r.record_done(0.100)
+        r.record_failed()
+        r.record_failed()
+        s = r.snapshot()
+        assert s.n_completed == 1
+        assert s.n_failed == 2
+        # Failures used to force a bogus 0.0 latency sample through the
+        # old record_done(0.0, failed=True) API; the percentiles must
+        # reflect only genuine completions.
+        assert s.p50_latency_s == pytest.approx(0.100)
+        # Failures still advance the busy window, so throughput has a
+        # denominator even when the last event was a failure.
+        assert s.throughput_rps > 0.0
 
     def test_empty_snapshot(self):
         s = StatsRecorder(max_batch_size=8).snapshot()
