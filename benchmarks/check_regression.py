@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Compare a benchmark report against the committed baseline.
+
+CI's bench-regression gate:
+
+    python benchmarks/check_regression.py BENCH_<sha>.json
+
+Exits non-zero when any gated metric worsened by more than the tolerance
+(default 20% relative) against ``benchmarks/baseline.json``.  The
+comparison logic lives in :mod:`repro.bench.regression` and is pinned by
+``tests/test_bench_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import (  # noqa: E402
+    compare,
+    load_baseline,
+    load_report,
+    render_report,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="BENCH_<sha>.json to check")
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / "benchmarks" / "baseline.json"),
+        help="committed baseline (default: benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="relative worsening allowed before failing (default: 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_report(args.report)
+    baseline = load_baseline(args.baseline)
+    regressions = compare(current, baseline, tolerance=args.tolerance)
+    print(render_report(current, baseline, regressions, args.tolerance))
+    for regression in regressions:
+        print(f"REGRESSION {regression.describe()}", file=sys.stderr)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Run the gated slow benchmarks and write a ``BENCH_<sha>.json`` report.
+
+CI's bench-regression job entry point:
+
+    python benchmarks/run_benchmarks.py --output BENCH_${GITHUB_SHA}.json
+
+Runs the serve-throughput and prefix-cache benchmark files under ``-m
+slow`` (each emits its report into ``benchmarks/results/``), harvests the
+machine-independent ratio metrics, and writes the JSON report that
+``check_regression.py`` compares against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import collect_metrics, write_report  # noqa: E402
+
+#: The benchmark files whose emitted ratios the baseline gates.
+GATED_BENCHMARKS = (
+    "benchmarks/test_serve_throughput.py",
+    "benchmarks/test_llm_prefix_cache.py",
+)
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="report path (default: BENCH_<sha>.json in the repo root)",
+    )
+    parser.add_argument(
+        "--sha", default=None, help="commit id to stamp (default: git HEAD)"
+    )
+    parser.add_argument(
+        "--skip-run",
+        action="store_true",
+        help="harvest existing benchmarks/results/ without re-running",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.skip_run:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        cmd = [
+            sys.executable, "-m", "pytest", "-q", "-m", "slow",
+            *GATED_BENCHMARKS,
+        ]
+        print("$", " ".join(cmd), flush=True)
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if proc.returncode != 0:
+            print("benchmark run failed; no report written", file=sys.stderr)
+            return proc.returncode
+
+    metrics = collect_metrics(REPO_ROOT / "benchmarks" / "results")
+    sha = args.sha or _git_sha()
+    output = Path(
+        args.output or REPO_ROOT / f"BENCH_{(sha or 'local')[:12]}.json"
+    )
+    write_report(output, metrics, sha=sha)
+    print(f"wrote {output}")
+    for name, value in sorted(metrics.items()):
+        print(f"  {name}: {value:.4g}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

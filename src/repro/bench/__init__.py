@@ -1,0 +1,27 @@
+"""Benchmark regression gating (the CI bench job's comparison logic)."""
+
+from repro.bench.regression import (
+    BaselineMetric,
+    Regression,
+    collect_metrics,
+    compare,
+    load_baseline,
+    load_report,
+    parse_percent,
+    parse_ratio,
+    render_report,
+    write_report,
+)
+
+__all__ = [
+    "BaselineMetric",
+    "Regression",
+    "collect_metrics",
+    "compare",
+    "load_baseline",
+    "load_report",
+    "parse_percent",
+    "parse_ratio",
+    "render_report",
+    "write_report",
+]

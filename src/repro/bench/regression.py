@@ -1,0 +1,242 @@
+"""Benchmark regression gating: parse, compare, and report ratio metrics.
+
+The CI bench job runs the gated slow benchmarks, harvests the
+machine-independent **ratio** metrics they emit (speedup factors, overhead
+fractions — never absolute req/s or wall seconds, which vary with runner
+hardware), writes them to a ``BENCH_<sha>.json`` report, and compares the
+report against the committed ``benchmarks/baseline.json``.  A metric that
+worsens by more than the tolerance (default 20% relative) fails the job.
+
+The pieces:
+
+* :func:`parse_ratio` / :func:`parse_percent` — extract the ``speedup:
+  2.52x`` / ``overhead: 3.7%`` trailer lines the benchmarks emit.
+* :func:`collect_metrics` — harvest all gated metrics from a
+  ``benchmarks/results/`` directory.
+* :class:`BaselineMetric` / :func:`load_baseline` — the committed
+  baseline: expected value, direction of goodness, optional absolute
+  slack, and a per-metric gate switch.
+* :func:`compare` — the pure comparison (pinned by
+  ``tests/test_bench_regression.py``); :func:`render_report` formats the
+  outcome for the job log.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.errors import ExperimentError
+from repro.utils.tables import Table
+
+__all__ = [
+    "BaselineMetric",
+    "Regression",
+    "collect_metrics",
+    "compare",
+    "load_baseline",
+    "load_report",
+    "parse_percent",
+    "parse_ratio",
+    "render_report",
+    "write_report",
+]
+
+
+def parse_ratio(text: str, label: str = "speedup") -> float:
+    """Extract ``<label>: 2.52x`` from a benchmark report body."""
+    match = re.search(rf"{re.escape(label)}:\s*([0-9]+(?:\.[0-9]+)?)x", text)
+    if match is None:
+        raise ExperimentError(f"no '{label}: <value>x' line in report")
+    return float(match.group(1))
+
+
+def parse_percent(text: str, label: str = "overhead") -> float:
+    """Extract ``<label>: 3.7%`` as a fraction (0.037)."""
+    match = re.search(
+        rf"{re.escape(label)}:\s*(-?[0-9]+(?:\.[0-9]+)?)%", text
+    )
+    if match is None:
+        raise ExperimentError(f"no '{label}: <value>%' line in report")
+    return float(match.group(1)) / 100.0
+
+
+#: Gated metric -> (results file, extractor).  Only dimensionless ratios:
+#: absolute throughputs depend on the runner and would gate on hardware.
+REPORT_SOURCES: dict[str, tuple[str, Callable[[str], float]]] = {
+    "serve_caching_speedup": ("serve_throughput.txt", parse_ratio),
+    "serve_tracing_overhead": ("serve_tracing_overhead.txt", parse_percent),
+    "prefix_reuse_speedup": ("llm_prefix_cache.txt", parse_ratio),
+}
+
+
+def collect_metrics(results_dir: str | Path) -> dict[str, float]:
+    """Harvest every gated metric from a ``benchmarks/results`` directory."""
+    results_dir = Path(results_dir)
+    metrics: dict[str, float] = {}
+    for name, (filename, extract) in REPORT_SOURCES.items():
+        path = results_dir / filename
+        if not path.exists():
+            raise ExperimentError(
+                f"missing benchmark report {path} for metric {name!r} "
+                "(run the slow benchmarks first)"
+            )
+        metrics[name] = extract(path.read_text())
+    return metrics
+
+
+@dataclass(frozen=True)
+class BaselineMetric:
+    """One committed baseline entry.
+
+    ``direction`` says which way is good ("higher" for speedups, "lower"
+    for overheads); ``abs_slack`` widens the allowance by an absolute
+    amount (for near-zero metrics where relative tolerance is
+    meaningless); ``gate=False`` records the metric without failing on
+    it.
+    """
+
+    value: float
+    direction: str = "higher"
+    abs_slack: float = 0.0
+    gate: bool = True
+
+    def __post_init__(self):
+        if self.direction not in ("higher", "lower"):
+            raise ExperimentError(
+                f"direction must be 'higher' or 'lower', got "
+                f"{self.direction!r}"
+            )
+        if self.value <= 0 and self.direction == "higher":
+            raise ExperimentError(
+                f"'higher' baseline value must be > 0, got {self.value}"
+            )
+        if self.abs_slack < 0:
+            raise ExperimentError(
+                f"abs_slack must be >= 0, got {self.abs_slack}"
+            )
+
+    def floor(self, tolerance: float) -> float:
+        """Worst acceptable value under ``tolerance`` relative worsening."""
+        if self.direction == "higher":
+            return self.value * (1.0 - tolerance) - self.abs_slack
+        return self.value * (1.0 + tolerance) + self.abs_slack
+
+    def is_regression(self, current: float, tolerance: float) -> bool:
+        if self.direction == "higher":
+            return current < self.floor(tolerance)
+        return current > self.floor(tolerance)
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gated metric that worsened past tolerance (or went missing)."""
+
+    name: str
+    baseline: float
+    current: float | None
+    allowed: float
+
+    def describe(self) -> str:
+        if self.current is None:
+            return f"{self.name}: metric missing from the current report"
+        return (
+            f"{self.name}: {self.current:.4g} vs baseline "
+            f"{self.baseline:.4g} (allowed {self.allowed:.4g})"
+        )
+
+
+def compare(
+    current: Mapping[str, float],
+    baseline: Mapping[str, BaselineMetric],
+    tolerance: float = 0.2,
+) -> list[Regression]:
+    """Gated baseline metrics that regressed beyond ``tolerance``.
+
+    A baseline metric absent from ``current`` is itself a regression
+    (the benchmark silently stopped reporting); extra metrics in
+    ``current`` are ignored (new benchmarks do not fail old baselines).
+    """
+    if not 0 <= tolerance < 1:
+        raise ExperimentError(
+            f"tolerance must be in [0, 1), got {tolerance}"
+        )
+    failures: list[Regression] = []
+    for name, entry in baseline.items():
+        if not entry.gate:
+            continue
+        allowed = entry.floor(tolerance)
+        value = current.get(name)
+        if value is None or entry.is_regression(float(value), tolerance):
+            failures.append(
+                Regression(
+                    name=name,
+                    baseline=entry.value,
+                    current=None if value is None else float(value),
+                    allowed=allowed,
+                )
+            )
+    return failures
+
+
+def render_report(
+    current: Mapping[str, float],
+    baseline: Mapping[str, BaselineMetric],
+    regressions: list[Regression],
+    tolerance: float = 0.2,
+) -> str:
+    """ASCII comparison table plus a pass/fail trailer (the job log body)."""
+    failed = {r.name for r in regressions}
+    t = Table(
+        ["metric", "current", "baseline", "allowed", "gate", "status"],
+        title=f"benchmark regression check (tolerance {tolerance:.0%})",
+    )
+    for name, entry in baseline.items():
+        value = current.get(name)
+        status = "FAIL" if name in failed else "ok"
+        t.add_row([
+            name,
+            "missing" if value is None else round(float(value), 4),
+            round(entry.value, 4),
+            round(entry.floor(tolerance), 4),
+            "on" if entry.gate else "off",
+            status if entry.gate else "recorded",
+        ])
+    verdict = (
+        f"{len(regressions)} regression(s) past tolerance"
+        if regressions
+        else "all gated metrics within tolerance"
+    )
+    return t.render() + "\n" + verdict
+
+
+def load_baseline(path: str | Path) -> dict[str, BaselineMetric]:
+    """Parse ``benchmarks/baseline.json`` into :class:`BaselineMetric`s."""
+    obj = json.loads(Path(path).read_text())
+    return {
+        name: BaselineMetric(
+            value=float(spec["value"]),
+            direction=str(spec.get("direction", "higher")),
+            abs_slack=float(spec.get("abs_slack", 0.0)),
+            gate=bool(spec.get("gate", True)),
+        )
+        for name, spec in obj.items()
+    }
+
+
+def write_report(
+    path: str | Path, metrics: Mapping[str, float], sha: str | None = None
+) -> None:
+    """Write a ``BENCH_<sha>.json`` report (the uploaded CI artifact)."""
+    payload = {"sha": sha, "metrics": dict(metrics)}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_report(path: str | Path) -> dict[str, float]:
+    """Read a report written by :func:`write_report` back to metrics."""
+    obj = json.loads(Path(path).read_text())
+    metrics = obj.get("metrics", obj)
+    return {str(k): float(v) for k, v in metrics.items()}

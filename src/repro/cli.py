@@ -87,6 +87,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", type=int, default=3)
     p.add_argument("--workers", type=int, default=None)
     p.add_argument(
+        "--prefix-cache", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse prepared prompt-prefix snapshots across the probes "
+        "of each cell (bit-identical results; --no-prefix-cache runs "
+        "the cold path)",
+    )
+    p.add_argument(
         "--serve", action="store_true",
         help="execute through the repro.serve PredictionService "
         "(microbatching + caches) instead of the process pool",
@@ -137,6 +144,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--workers", type=int, default=None)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--prefix-cache", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse prepared prompt-prefix snapshots and group "
+        "same-prompt requests into lockstep batch decodes "
+        "(--no-prefix-cache measures the cold scalar path)",
+    )
     p.add_argument(
         "--no-baseline", action="store_true",
         help="skip the caches-disabled comparison run",
@@ -271,11 +285,17 @@ def _cmd_grid(args) -> int:
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint", file=sys.stderr)
         return 2
-    grid_kwargs = dict(checkpoint=args.checkpoint, resume=args.resume)
+    grid_kwargs = dict(
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        prefix_cache=args.prefix_cache,
+    )
     if args.serve:
         from repro.serve import PredictionService
 
-        with PredictionService(workers=args.workers) as service:
+        with PredictionService(
+            workers=args.workers, enable_prefix_cache=args.prefix_cache
+        ) as service:
             probes = run_grid(specs, service=service, **grid_kwargs)
             stats = service.stats()
         print(
@@ -393,6 +413,7 @@ def _cmd_serve_bench(args) -> int:
             workers=args.workers,
             enable_prepare_cache=caches_enabled,
             enable_result_cache=caches_enabled,
+            enable_prefix_cache=args.prefix_cache,
         ) as service:
             if tracer is not None:
                 with use_tracer(tracer), Timer() as timer:

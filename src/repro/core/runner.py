@@ -69,8 +69,8 @@ def _dataset(size: str, root_seed: int) -> PerformanceDataset:
 
 
 @lru_cache(maxsize=8)
-def _surrogate(size: str) -> DiscriminativeSurrogate:
-    return DiscriminativeSurrogate(Syr2kTask(size))
+def _surrogate(size: str, prefix_cache: bool = True) -> DiscriminativeSurrogate:
+    return DiscriminativeSurrogate(Syr2kTask(size), prefix_cache=prefix_cache)
 
 
 def _probes_for(
@@ -137,7 +137,8 @@ def _probe_result(spec, dataset, query_row, pred) -> ProbeResult:
 
 
 def run_spec(
-    spec: ExperimentSpec, service=None, fault_plan=None
+    spec: ExperimentSpec, service=None, fault_plan=None,
+    prefix_cache: bool = True,
 ) -> list[ProbeResult]:
     """Execute all probes of one experiment cell.
 
@@ -147,6 +148,12 @@ def run_spec(
     microbatcher and caches then handle scheduling and reuse.  Both paths
     are bit-identical for the default stack (the engine's determinism
     contract), so analyses cannot tell them apart.
+
+    ``prefix_cache`` toggles prepared-prefix reuse on the serial path's
+    surrogate (all probes of a cell share their ICL prefix, so prompts
+    only pay for the query delta); results are bit-identical either way.
+    It does not affect an explicitly passed ``service`` (configure that
+    through ``PredictionService(enable_prefix_cache=...)``).
 
     ``fault_plan`` (a :class:`repro.faults.FaultPlan`) is the grid-level
     fault hook: a cell it selects (keyed on ``spec.cell_key``) raises
@@ -165,6 +172,7 @@ def run_spec(
         set_id=spec.set_id,
         n_queries=spec.n_queries,
         via_service=service is not None,
+        prefix_cache=bool(prefix_cache),
     ):
         dataset = _dataset(spec.size, spec.root_seed)
         inputs = _probe_inputs(spec, dataset)
@@ -184,7 +192,7 @@ def run_spec(
                 _probe_result(spec, dataset, query_row, resp.prediction)
                 for (_, query_row, _), resp in zip(inputs, responses)
             ]
-        surrogate = _surrogate(spec.size)
+        surrogate = _surrogate(spec.size, bool(prefix_cache))
         results: list[ProbeResult] = []
         for examples, query_row, gen_seed in inputs:
             pred = surrogate.predict(
@@ -202,6 +210,7 @@ def run_grid(
     checkpoint_every: int = 1,
     resume: bool = False,
     fault_plan=None,
+    prefix_cache: bool = True,
 ) -> list[ProbeResult]:
     """Execute a grid of experiments, optionally across processes.
 
@@ -220,8 +229,9 @@ def run_grid(
     probes, same order, no duplicates.  Without ``resume``, an existing
     checkpoint file is an error rather than silently overwritten.
 
-    ``fault_plan`` forwards to :func:`run_spec` (deterministic grid-level
-    fault injection).
+    ``fault_plan`` and ``prefix_cache`` forward to :func:`run_spec`
+    (deterministic grid-level fault injection; prepared-prefix reuse on
+    the serial path).
     """
     if not specs:
         raise ExperimentError("no experiments to run")
@@ -232,10 +242,12 @@ def run_grid(
         n_cells=len(specs),
         via_service=service is not None,
         checkpointed=checkpoint is not None,
+        prefix_cache=bool(prefix_cache),
     ):
         if checkpoint is None:
             nested = _run_cells(specs, workers=workers, service=service,
-                                fault_plan=fault_plan)
+                                fault_plan=fault_plan,
+                                prefix_cache=prefix_cache)
             return [probe for cell in nested for probe in cell]
         return _run_grid_checkpointed(
             specs,
@@ -245,11 +257,13 @@ def run_grid(
             every=max(1, int(checkpoint_every)),
             resume=resume,
             fault_plan=fault_plan,
+            prefix_cache=prefix_cache,
         )
 
 
 def _run_cells(
-    specs: list[ExperimentSpec], workers, service, fault_plan
+    specs: list[ExperimentSpec], workers, service, fault_plan,
+    prefix_cache: bool = True,
 ) -> list[list[ProbeResult]]:
     """Run cells through the service or the process pool (spec order)."""
     if service is not None:
@@ -257,14 +271,18 @@ def _run_cells(
             run_spec(spec, service=service, fault_plan=fault_plan)
             for spec in specs
         ]
-    fn = run_spec if fault_plan is None else partial(
-        run_spec, fault_plan=fault_plan
-    )
+    if fault_plan is None and prefix_cache:
+        fn = run_spec
+    else:
+        fn = partial(
+            run_spec, fault_plan=fault_plan, prefix_cache=prefix_cache
+        )
     return parallel_map(fn, specs, workers=workers)
 
 
 def _run_grid_checkpointed(
-    specs, workers, service, path, every, resume, fault_plan
+    specs, workers, service, path, every, resume, fault_plan,
+    prefix_cache=True,
 ) -> list[ProbeResult]:
     from repro.core.storage import (
         append_probes_jsonl,
@@ -299,7 +317,8 @@ def _run_grid_checkpointed(
     for start in range(0, len(remaining), every):
         chunk = remaining[start : start + every]
         nested = _run_cells(chunk, workers=workers, service=service,
-                            fault_plan=fault_plan)
+                            fault_plan=fault_plan,
+                            prefix_cache=prefix_cache)
         append_probes_jsonl(
             [probe for cell in nested for probe in cell], path
         )

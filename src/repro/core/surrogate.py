@@ -10,8 +10,10 @@ from repro.dataset.syr2k import Syr2kTask
 from repro.errors import ParseError
 from repro.llm.engine import GenerationEngine
 from repro.llm.model import SurrogateLM
+from repro.llm.prefix_cache import PreparedPrefix, PrefixCache
 from repro.llm.sampling import SamplingParams
 from repro.llm.tokenizer import Tokenizer
+from repro.llm.trace import GenerationTrace
 from repro.prompts.builder import PromptBuilder, PromptParts
 from repro.prompts.parser import extract_prediction
 
@@ -71,6 +73,14 @@ class DiscriminativeSurrogate:
     tokenizer, model, engine:
         Optional pre-built components; defaults construct the calibrated
         stack.
+    prefix_cache:
+        ``True`` (default) owns a fresh
+        :class:`~repro.llm.prefix_cache.PrefixCache` of prepared-prefix
+        snapshots — prompts sharing their ICL prefix then only process
+        the query delta, bit-identically to the cold path.  ``False``
+        disables prefix reuse entirely (the benchmark baseline); passing
+        a :class:`PrefixCache` instance shares one across surrogates
+        wrapping the same model.
     """
 
     def __init__(
@@ -81,6 +91,7 @@ class DiscriminativeSurrogate:
         engine: GenerationEngine | None = None,
         sampling: SamplingParams | None = None,
         value_style: str = "decimal",
+        prefix_cache: bool | PrefixCache = True,
     ):
         self.task = task
         self.tokenizer = tokenizer or Tokenizer()
@@ -89,6 +100,16 @@ class DiscriminativeSurrogate:
         self.builder = PromptBuilder(
             task, self.tokenizer, value_style=value_style
         )
+        if prefix_cache is True:
+            self.prefix_cache: PrefixCache | None = PrefixCache(self.model)
+        elif prefix_cache is False:
+            self.prefix_cache = None
+        else:
+            if prefix_cache.model is not self.model:
+                raise ValueError(
+                    "shared prefix_cache must wrap this surrogate's model"
+                )
+            self.prefix_cache = prefix_cache
 
     def build_parts(
         self,
@@ -102,6 +123,21 @@ class DiscriminativeSurrogate:
         before deciding whether to run generation at all.
         """
         return self.builder.discriminative(examples, query_config)
+
+    def prepared_prefix(self, parts: PromptParts) -> PreparedPrefix | None:
+        """Prepared-prefix snapshot for a built prompt (None when disabled).
+
+        Looks up (building on miss) the snapshot for ``parts``' shared
+        ICL prefix in this surrogate's :class:`PrefixCache`.  Returns
+        ``None`` when prefix reuse is off or the prompt has no usable
+        split.
+        """
+        if self.prefix_cache is None:
+            return None
+        prefix_len = int(getattr(parts, "prefix_len", 0) or 0)
+        if prefix_len <= 0:
+            return None
+        return self.prefix_cache.prepared(parts.ids, prefix_len)
 
     def predict_parts(
         self,
@@ -121,7 +157,40 @@ class DiscriminativeSurrogate:
             Optional memoized :meth:`SurrogateLM.prepare` result for this
             prompt (must match ``parts.ids``); forwarded to the engine.
         """
-        trace = self.engine.generate(parts.ids, seed=seed, analysis=analysis)
+        trace = self.engine.generate(
+            parts.ids,
+            seed=seed,
+            analysis=analysis,
+            prefix=self.prepared_prefix(parts),
+        )
+        return self._prediction_from_trace(parts, trace, seed)
+
+    def predict_parts_batch(
+        self,
+        parts: PromptParts,
+        seeds: Sequence[int],
+        analysis=None,
+    ) -> list[SurrogatePrediction]:
+        """One prediction per seed for a single built prompt.
+
+        Decodes all seeds through the engine's lockstep batch kernel
+        (sharing the seed-independent content pass per step); each
+        prediction is identical to ``predict_parts(parts, seed=s)``.
+        """
+        traces = self.engine.generate_batch(
+            parts.ids,
+            seeds,
+            analysis=analysis,
+            prefix=self.prepared_prefix(parts),
+        )
+        return [
+            self._prediction_from_trace(parts, trace, seed)
+            for trace, seed in zip(traces, seeds)
+        ]
+
+    def _prediction_from_trace(
+        self, parts: PromptParts, trace: GenerationTrace, seed: int
+    ) -> SurrogatePrediction:
         text = trace.generated_text(self.tokenizer.vocab)
         try:
             value, value_text = extract_prediction(text)

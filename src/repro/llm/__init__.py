@@ -23,6 +23,7 @@ from repro.llm.scorers import (
     RecencyUnigramScorer,
     SparseScores,
 )
+from repro.llm.prefix_cache import PrefixCache, PreparedPrefix, token_fingerprint
 from repro.llm.model import LMConfig, SurrogateLM
 from repro.llm.sampling import SamplingParams, sample_token
 from repro.llm.trace import GenerationStep, GenerationTrace
@@ -39,6 +40,9 @@ __all__ = [
     "RecencyUnigramScorer",
     "FormatScorer",
     "PriorScorer",
+    "PrefixCache",
+    "PreparedPrefix",
+    "token_fingerprint",
     "LMConfig",
     "SurrogateLM",
     "SamplingParams",

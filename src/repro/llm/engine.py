@@ -43,7 +43,7 @@ class GenerationEngine:
         self.max_new_tokens = max_new_tokens
 
     def generate(
-        self, prompt_ids, seed: int = 0, analysis=None
+        self, prompt_ids, seed: int = 0, analysis=None, prefix=None
     ) -> GenerationTrace:
         """Generate a completion for ``prompt_ids`` under ``seed``.
 
@@ -55,7 +55,8 @@ class GenerationEngine:
         model's frozen identity (vocabulary, config, ``model_seed``).
         Identical (prompt, seed, sampling) triples are bit-reproducible —
         every step's candidate ids, logits, and sampled choice are equal
-        across repeated calls and across processes.  The result cache in
+        across repeated calls and across processes, whether or not a
+        prepared ``prefix`` was supplied.  The result cache in
         :mod:`repro.serve` memoizes full predictions on exactly this key,
         and ``tests/test_engine_determinism.py`` pins the contract.
 
@@ -71,12 +72,25 @@ class GenerationEngine:
             this exact prompt.  Passing it skips the per-call prompt
             analysis (the serving layer's prepare cache); it must have
             been computed from ``prompt_ids`` or generations may differ.
+        prefix:
+            Optional :class:`~repro.llm.prefix_cache.PreparedPrefix`
+            snapshot for a leading slice of the prompt: per-step scoring
+            then processes only the delta past the prefix, bit-identical
+            to the cold path.
         """
         prompt = np.asarray(prompt_ids, dtype=np.int64)
         if prompt.size == 0:
             raise GenerationError("cannot generate from an empty prompt")
+        if prefix is not None and not prefix.extends(prompt):
+            raise GenerationError(
+                "prepared prefix does not match the prompt "
+                f"(prefix length {prefix.length}, prompt length {prompt.size})"
+            )
         with get_tracer().span(
-            "llm.generate", seed=int(seed), n_prompt_tokens=int(prompt.size)
+            "llm.generate",
+            seed=int(seed),
+            n_prompt_tokens=int(prompt.size),
+            prefix_reused=prefix is not None,
         ) as span:
             vocab = self.model.vocab
             rng = rng_from(seed, "sampling")
@@ -85,7 +99,7 @@ class GenerationEngine:
             generated_strings: list[str] = []
             value_started = False
             if analysis is None:
-                analysis = self.model.prepare(prompt)
+                analysis = self.model.prepare(prompt, prefix=prefix)
 
             for step in range(self.max_new_tokens):
                 ids, logits = self.model.next_token_logits(
@@ -94,6 +108,7 @@ class GenerationEngine:
                     sample_seed=seed,
                     step=step,
                     analysis=analysis,
+                    prefix=prefix,
                 )
                 pos = sample_token(ids, logits, self.sampling, rng)
                 trace.steps.append(
@@ -115,3 +130,114 @@ class GenerationEngine:
                     break
             span.set(n_new_tokens=len(trace.steps))
             return trace
+
+    def generate_batch(
+        self, prompt_ids, seeds, analysis=None, prefix=None
+    ) -> list[GenerationTrace]:
+        """Generate one completion per seed for a single shared prompt.
+
+        Decodes all seeds in lockstep: at each step, seeds whose
+        generated-so-far token sequences coincide share one call into
+        :meth:`SurrogateLM.next_token_logits_batch` (the vectorized
+        kernel), so the seed-independent content pass runs once per
+        distinct decode state instead of once per seed.  Each returned
+        trace is bit-identical to ``generate(prompt_ids, seed=s, ...)``
+        for its seed — same candidate ids, logits, and chosen tokens.
+
+        Singleton batches short-circuit to the scalar path (no batch
+        bookkeeping overhead), as do empty seed lists.
+        """
+        prompt = np.asarray(prompt_ids, dtype=np.int64)
+        if prompt.size == 0:
+            raise GenerationError("cannot generate from an empty prompt")
+        seeds = [int(s) for s in seeds]
+        if not seeds:
+            return []
+        if len(seeds) == 1:
+            return [
+                self.generate(
+                    prompt, seed=seeds[0], analysis=analysis, prefix=prefix
+                )
+            ]
+        if prefix is not None and not prefix.extends(prompt):
+            raise GenerationError(
+                "prepared prefix does not match the prompt "
+                f"(prefix length {prefix.length}, prompt length {prompt.size})"
+            )
+        with get_tracer().span(
+            "llm.generate_batch",
+            n_seeds=len(seeds),
+            n_prompt_tokens=int(prompt.size),
+            prefix_reused=prefix is not None,
+        ) as span:
+            vocab = self.model.vocab
+            if analysis is None:
+                analysis = self.model.prepare(prompt, prefix=prefix)
+            states = [_DecodeState(seed, prompt) for seed in seeds]
+            group_widths: list[int] = []
+            for step in range(self.max_new_tokens):
+                live = [st for st in states if not st.done]
+                if not live:
+                    break
+                # Seeds at the same decode state share one kernel call.
+                groups: dict[tuple[int, ...], list[_DecodeState]] = {}
+                for st in live:
+                    groups.setdefault(tuple(st.generated_ids), []).append(st)
+                for members in groups.values():
+                    lead = members[0]
+                    results = self.model.next_token_logits_batch(
+                        lead.context,
+                        lead.generated_strings,
+                        [m.seed for m in members],
+                        step,
+                        analysis=analysis,
+                        prefix=prefix,
+                    )
+                    group_widths.append(len(members))
+                    for st, (ids, logits) in zip(members, results):
+                        st.advance(ids, logits, self.sampling, vocab)
+            span.set(
+                n_kernel_calls=len(group_widths),
+                mean_group_width=(
+                    sum(group_widths) / len(group_widths)
+                    if group_widths
+                    else 0.0
+                ),
+            )
+            return [st.trace for st in states]
+
+
+class _DecodeState:
+    """Per-seed decoding state for :meth:`GenerationEngine.generate_batch`.
+
+    Mirrors the scalar loop's locals exactly (context growth, termination
+    conditions) so lockstep decoding stays bit-identical per seed.
+    """
+
+    def __init__(self, seed: int, prompt: np.ndarray):
+        self.seed = seed
+        self.rng = rng_from(seed, "sampling")
+        self.trace = GenerationTrace(prompt_ids=prompt, seed=int(seed))
+        self.context = prompt.copy()
+        self.generated_ids: list[int] = []
+        self.generated_strings: list[str] = []
+        self.value_started = False
+        self.done = False
+
+    def advance(self, ids, logits, sampling, vocab) -> None:
+        """Sample one token and apply the scalar loop's termination rules."""
+        pos = sample_token(ids, logits, sampling, self.rng)
+        self.trace.steps.append(
+            GenerationStep(candidate_ids=ids, logits=logits, chosen_position=pos)
+        )
+        chosen = int(ids[pos])
+        token_str = vocab.string_of(chosen)
+        self.context = np.append(self.context, chosen)
+        self.generated_ids.append(chosen)
+        self.generated_strings.append(token_str)
+        if chosen == vocab.specials.eot or chosen == vocab.specials.end_of_text:
+            self.done = True
+        elif token_str.isdigit():
+            self.value_started = True
+        elif self.value_started and not (token_str == "." or token_str.isdigit()):
+            self.done = True

@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.errors import GenerationError
+from repro.llm.prefix_cache import PreparedPrefix, token_fingerprint
 from repro.llm.scorers import (
     FormatAnalysis,
     FormatScorer,
@@ -119,32 +120,85 @@ class SurrogateLM:
                     self._size_ids.setdefault(vocab.id_of(variant), size)
 
     # ------------------------------------------------------------------ #
-    def detect_size(self, context: np.ndarray) -> str | None:
-        """Guess the problem-size keyword from token frequency.
-
-        The task size appears once per ICL example (``size is SM``) while
-        other sizes only occur in the problem description's enumeration, so
-        the most frequent size token wins.
-        """
-        ctx = np.asarray(context, dtype=np.int64)
-        if ctx.size == 0:
-            return None
+    def _size_token_counts(self, ctx: np.ndarray) -> dict[str, int]:
+        """Problem-size keyword frequencies over a token-id array."""
         counts: dict[str, int] = {}
         ids, freq = np.unique(ctx, return_counts=True)
         for tid, f in zip(ids, freq):
             size = self._size_ids.get(int(tid))
             if size is not None:
                 counts[size] = counts.get(size, 0) + int(f)
+        return counts
+
+    def detect_size(
+        self, context: np.ndarray, prefix: PreparedPrefix | None = None
+    ) -> str | None:
+        """Guess the problem-size keyword from token frequency.
+
+        The task size appears once per ICL example (``size is SM``) while
+        other sizes only occur in the problem description's enumeration, so
+        the most frequent size token wins.  With a prepared ``prefix`` only
+        the suffix delta is counted (the argmax is order-independent, so
+        the result matches the cold path exactly).
+        """
+        ctx = np.asarray(context, dtype=np.int64)
+        if ctx.size == 0:
+            return None
+        if prefix is not None and prefix.length <= ctx.size:
+            counts = dict(prefix.size_counts)
+            tail = ctx[prefix.length :]
+            if tail.size:
+                for size, f in self._size_token_counts(tail).items():
+                    counts[size] = counts.get(size, 0) + f
+        else:
+            counts = self._size_token_counts(ctx)
         if not counts:
             return None
         return max(counts, key=lambda s: (counts[s], s))
 
     # ------------------------------------------------------------------ #
-    def prepare(self, prompt_ids: np.ndarray) -> FormatAnalysis:
-        """One-time prompt analysis (cue anchoring, demonstrated format)."""
+    def prepare_prefix(self, prefix_ids: np.ndarray) -> PreparedPrefix:
+        """Snapshot the prepared state of a fixed prompt prefix.
+
+        The snapshot is immutable and reusable across every prompt that
+        extends the prefix, every sampling seed, and every thread; see
+        :mod:`repro.llm.prefix_cache` for the determinism contract.
+        """
+        ids = np.array(prefix_ids, dtype=np.int64, copy=True)
+        ids.setflags(write=False)
+        with get_tracer().span(
+            "llm.prepare_prefix", n_prefix_tokens=int(ids.size)
+        ):
+            return PreparedPrefix(
+                ids=ids,
+                fingerprint=token_fingerprint(ids),
+                induction=self.induction.build_index(ids),
+                unigram=self.unigram.build_index(ids),
+                format_index=self.format.build_prefix(ids),
+                size_counts=self._size_token_counts(ids),
+            )
+
+    def prepare(
+        self,
+        prompt_ids: np.ndarray,
+        prefix: PreparedPrefix | None = None,
+    ) -> FormatAnalysis:
+        """One-time prompt analysis (cue anchoring, demonstrated format).
+
+        With ``prefix`` (a :meth:`prepare_prefix` snapshot for a leading
+        slice of the prompt) only the suffix delta is scanned; the result
+        is identical to a cold analysis.
+        """
         ids = np.asarray(prompt_ids, dtype=np.int64)
-        with get_tracer().span("llm.prepare", n_prompt_tokens=int(ids.size)):
-            return self.format.analyze_prompt(ids)
+        reused = prefix is not None and prefix.length <= ids.size
+        with get_tracer().span(
+            "llm.prepare",
+            n_prompt_tokens=int(ids.size),
+            prefix_reused=bool(reused),
+        ):
+            return self.format.analyze_prompt(
+                ids, prefix=prefix.format_index if reused else None
+            )
 
     def next_token_logits(
         self,
@@ -153,6 +207,7 @@ class SurrogateLM:
         sample_seed: int,
         step: int,
         analysis: FormatAnalysis | None = None,
+        prefix: PreparedPrefix | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Sparse logits for the next token.
 
@@ -170,6 +225,11 @@ class SurrogateLM:
         analysis:
             Cached :meth:`prepare` result for the prompt (recomputed from
             the context when omitted).
+        prefix:
+            Optional :meth:`prepare_prefix` snapshot for a leading slice
+            of the context: scorers then process only the suffix delta.
+            Bit-identical to the cold path for every seed (the prefix-
+            cache determinism contract).
 
         Returns
         -------
@@ -177,41 +237,127 @@ class SurrogateLM:
             Token ids (sorted ascending) and their logits, restricted to
             the "nonzero" support after the probability floor.
         """
+        ctx = np.asarray(context, dtype=np.int64)
+        if ctx.size == 0:
+            raise GenerationError("cannot score an empty context")
+        ids, probs = self._content_probs(ctx, generated_strings, analysis, prefix)
+        if probs is None:
+            # Degenerate context: fall back to ending the turn.
+            return ids, np.zeros(1)
+        return self._finalize_logits(ids, probs, sample_seed, step)
+
+    def next_token_logits_batch(
+        self,
+        context: np.ndarray,
+        generated_strings: list[str],
+        sample_seeds: list[int],
+        step: int,
+        analysis: FormatAnalysis | None = None,
+        prefix: PreparedPrefix | None = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Sparse logits for one context under many sampling seeds.
+
+        The seed-independent content pass (scorer mixture, prior bias,
+        noise mix) runs once; the per-seed jitter is drawn for all seeds
+        and applied in a single vectorized numpy pass over a
+        ``(n_seeds, support)`` matrix.  Every row is bit-identical to the
+        corresponding scalar :meth:`next_token_logits` call — the matrix
+        ops (correctly-rounded ``+``/``*``, exact ``max``) cannot diverge
+        from their 1-D counterparts, and the row-wise softmax/floor runs
+        on contiguous rows exactly as the scalar path does.
+        """
         cfg = self.config
         ctx = np.asarray(context, dtype=np.int64)
         if ctx.size == 0:
             raise GenerationError("cannot score an empty context")
+        seeds = [int(s) for s in sample_seeds]
+        if not seeds:
+            return []
+        ids, probs = self._content_probs(ctx, generated_strings, analysis, prefix)
+        if probs is None:
+            return [(ids, np.zeros(1)) for _ in seeds]
+        if cfg.seed_jitter > 0 and len(seeds) > 1:
+            base = np.log(probs + 1e-300)
+            jitter = np.stack(
+                [
+                    rng_from(
+                        self.model_seed, "seed-jitter", s, int(step)
+                    ).standard_normal(ids.size)
+                    for s in seeds
+                ]
+            )
+            logit_rows = base[np.newaxis, :] + cfg.seed_jitter * jitter
+            row_max = logit_rows.max(axis=1)
+            out = []
+            for k in range(len(seeds)):
+                logits = logit_rows[k]
+                z = logits - row_max[k]
+                row_probs = np.exp(z)
+                row_probs /= row_probs.sum()
+                out.append(self._select_support(ids, logits, row_probs))
+            return out
+        return [self._finalize_logits(ids, probs, s, step) for s in seeds]
+
+    # ------------------------------------------------------------------ #
+    def _content_probs(
+        self,
+        ctx: np.ndarray,
+        generated_strings: list[str],
+        analysis: FormatAnalysis | None,
+        prefix: PreparedPrefix | None,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Seed-independent content distribution over the sparse support.
+
+        Returns ``(ids, probs)`` after the noise mix; ``probs`` is None
+        for the degenerate fall-back-to-eot case (``ids`` then holds the
+        eot token alone).
+        """
+        cfg = self.config
         if analysis is None and cfg.use_format:
             n_gen = len(generated_strings)
             prompt = ctx[: ctx.size - n_gen] if n_gen else ctx
-            analysis = self.format.analyze_prompt(prompt)
+            fmt_prefix = None
+            if prefix is not None and prefix.length <= prompt.size:
+                fmt_prefix = prefix.format_index
+            analysis = self.format.analyze_prompt(prompt, prefix=fmt_prefix)
 
         value_started = any(s.isdigit() for s in generated_strings)
         parts: list[SparseScores] = []
         if cfg.use_induction:
             state = self.format.value_state(generated_strings)
             shift = -cfg.induction_value_decay * state.digits_after_dot
-            ind = self.induction.score(ctx, offset_shift=shift)
+            if prefix is not None:
+                ind = self.induction.score_indexed(
+                    ctx, prefix.induction, prefix.length, offset_shift=shift
+                )
+            else:
+                ind = self.induction.score(ctx, offset_shift=shift)
             w = cfg.induction_weight
             if not value_started:
                 w *= cfg.preamble_induction_damping
             parts.append(SparseScores(ind.ids, w * ind.scores))
         if cfg.use_unigram:
-            uni = self.unigram.score(ctx)
+            if prefix is not None:
+                uni = self.unigram.score_indexed(
+                    ctx, prefix.unigram, prefix.length
+                )
+            else:
+                uni = self.unigram.score(ctx)
             parts.append(SparseScores(uni.ids, cfg.unigram_weight * uni.scores))
         if cfg.use_format:
             fmt = self.format.score(generated_strings, analysis)
             parts.append(SparseScores(fmt.ids, cfg.format_weight * fmt.scores))
         if cfg.use_prior and not value_started:
             # Magnitude hint applies to the first value token only.
-            mag = self.prior.first_token_magnitude(self.detect_size(ctx))
+            mag = self.prior.first_token_magnitude(
+                self.detect_size(ctx, prefix=prefix)
+            )
             parts.append(SparseScores(mag.ids, cfg.prior_weight * mag.scores))
 
         merged = SparseScores.accumulate(parts)
         if merged.ids.size == 0:
-            # Degenerate context: fall back to ending the turn.
             eot = np.asarray([self.vocab.specials.eot], dtype=np.int64)
-            return eot, np.zeros(1)
+            return eot, None
 
         content_logits = merged.scores
         if cfg.use_prior:
@@ -237,7 +383,13 @@ class SurrogateLM:
                     ]
                 )
                 ids, probs = both.ids, both.scores
+        return ids, probs
 
+    def _finalize_logits(
+        self, ids: np.ndarray, probs: np.ndarray, sample_seed: int, step: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-seed jitter, re-softmax, and support selection."""
+        cfg = self.config
         logits = np.log(probs + 1e-300)
         if cfg.seed_jitter > 0:
             jitter_rng = rng_from(
@@ -249,8 +401,13 @@ class SurrogateLM:
             z = logits - logits.max()
             probs = np.exp(z)
             probs /= probs.sum()
+        return self._select_support(ids, logits, probs)
 
-        # Probability floor -> the recorded "nonzero logit" support.
+    def _select_support(
+        self, ids: np.ndarray, logits: np.ndarray, probs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Probability floor + support cap -> the recorded "nonzero" set."""
+        cfg = self.config
         keep = probs >= cfg.support_floor
         if not keep.any():
             keep[np.argmax(probs)] = True

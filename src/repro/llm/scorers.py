@@ -38,6 +38,7 @@ __all__ = [
     "RecencyUnigramScorer",
     "FormatScorer",
     "FormatAnalysis",
+    "FormatPrefixIndex",
     "PriorScorer",
 ]
 
@@ -150,6 +151,110 @@ class InductionScorer:
             ids, self.offset + offset_shift + self.scale * np.log(p + 1e-12)
         )
 
+    # ------------------------------------------------------------------ #
+    # Prefix-indexed fast path.  ``score`` above stays the reference
+    # implementation; ``score_indexed`` must be bit-identical to it (the
+    # prefix-cache determinism tests diff full logit arrays both ways).
+    # ------------------------------------------------------------------ #
+    def build_index(
+        self, prefix: np.ndarray
+    ) -> dict[int, dict[bytes, np.ndarray]]:
+        """Precompute the suffix-match table for a fixed prompt prefix.
+
+        For every n-gram length the index maps window bytes to the sorted
+        window-start positions within the prefix whose *next token* is
+        also inside the prefix (``start <= len(prefix) - 1 - length``) —
+        exactly the starts the reference full scan would find there.
+        """
+        ctx = np.asarray(prefix, dtype=np.int64)
+        p = ctx.size
+        index: dict[int, dict[bytes, np.ndarray]] = {}
+        for length in range(1, self.max_ngram + 1):
+            if p - 1 < length:
+                break
+            windows = np.lib.stride_tricks.sliding_window_view(
+                ctx[: p - 1], length
+            )
+            table: dict[bytes, list[int]] = {}
+            for start in range(windows.shape[0]):
+                key = windows[start].tobytes()
+                table.setdefault(key, []).append(start)
+            index[length] = {
+                key: np.asarray(starts, dtype=np.int64)
+                for key, starts in table.items()
+            }
+        return index
+
+    def score_indexed(
+        self,
+        context: np.ndarray,
+        index: dict[int, dict[bytes, np.ndarray]],
+        prefix_len: int,
+        offset_shift: float = 0.0,
+    ) -> SparseScores:
+        """Suffix-match voting using a prefix index plus a tail delta scan.
+
+        Combines index-listed starts (inside the prefix) with a scan of
+        the boundary/suffix region; the concatenation reproduces the
+        reference scan's start array element-for-element, and the vote
+        accumulation replays the reference dict loop's insertion and
+        addition order, so the returned scores are bit-identical.
+        """
+        ctx = np.asarray(context, dtype=np.int64)
+        n = ctx.size
+        if n < 2:
+            return SparseScores.empty()
+        decay = np.log(2.0) / self.recency_halflife
+        max_l = min(self.max_ngram, n - 1)
+        tok_parts: list[np.ndarray] = []
+        weight_parts: list[np.ndarray] = []
+        for length in range(1, max_l + 1):
+            suffix = np.ascontiguousarray(ctx[n - length :])
+            table = index.get(length)
+            pre = table.get(suffix.tobytes()) if table else None
+            # Starts >= prefix_len - length cross the boundary or live in
+            # the suffix; rescan just that region of the full context.
+            lo = max(0, prefix_len - length)
+            tail = ctx[lo : n - 1]
+            tail_starts = None
+            if tail.size >= length:
+                windows = np.lib.stride_tricks.sliding_window_view(
+                    tail, length
+                )
+                eq = np.all(windows == suffix, axis=1)
+                tail_starts = np.nonzero(eq)[0] + lo
+            parts = [
+                s for s in (pre, tail_starts) if s is not None and s.size
+            ]
+            if not parts:
+                continue
+            starts = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            weight_l = self.match_base ** (length - 1)
+            tok_parts.append(ctx[starts + length])
+            weight_parts.append(
+                weight_l * np.exp(-decay * (n - (starts + length)))
+            )
+        if not tok_parts:
+            return SparseScores.empty()
+        tokens = np.concatenate(tok_parts)
+        weights = np.concatenate(weight_parts)
+        # First-occurrence-order accumulation: rank tokens by where they
+        # first appear in the traversal (== dict insertion order) and let
+        # np.add.at replay the per-key additions in traversal order.
+        uniq, first_idx, inverse = np.unique(
+            tokens, return_index=True, return_inverse=True
+        )
+        order = np.argsort(first_idx)
+        rank = np.empty(uniq.size, dtype=np.int64)
+        rank[order] = np.arange(uniq.size)
+        w = np.zeros(uniq.size)
+        np.add.at(w, rank[inverse], weights)
+        ids = uniq[order]
+        p = w / w.sum()
+        return SparseScores(
+            ids, self.offset + offset_shift + self.scale * np.log(p + 1e-12)
+        )
+
 
 class RecencyUnigramScorer:
     """Recency-decayed unigram frequency of the context."""
@@ -168,6 +273,49 @@ class RecencyUnigramScorer:
         decay = np.log(2.0) / self.halflife
         weights = np.exp(-decay * (n - 1 - np.arange(n)))
         uniq, inverse = np.unique(ctx, return_inverse=True)
+        mass = np.zeros(uniq.size)
+        np.add.at(mass, inverse, weights)
+        p = mass / mass.sum()
+        return SparseScores(uniq, self.scale * np.log(p + 1e-12))
+
+    # ------------------------------------------------------------------ #
+    # Prefix-indexed fast path (bit-identical to ``score`` above).
+    # ------------------------------------------------------------------ #
+    def build_index(
+        self, prefix: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Precompute the unique-token factorization of a fixed prefix."""
+        ctx = np.asarray(prefix, dtype=np.int64)
+        uniq, inverse = np.unique(ctx, return_inverse=True)
+        return uniq, inverse
+
+    def score_indexed(
+        self,
+        context: np.ndarray,
+        index: tuple[np.ndarray, np.ndarray],
+        prefix_len: int,
+    ) -> SparseScores:
+        """Recency-unigram score reusing the prefix factorization.
+
+        Only the suffix delta is sorted; the prefix's unique/inverse
+        decomposition is remapped into the merged support.  The merged
+        support equals ``np.unique`` of the full context and the mass
+        accumulation runs in the same element order, so the result is
+        bit-identical to the reference path.
+        """
+        ctx = np.asarray(context, dtype=np.int64)
+        n = ctx.size
+        if n == 0:
+            return SparseScores.empty()
+        decay = np.log(2.0) / self.halflife
+        weights = np.exp(-decay * (n - 1 - np.arange(n)))
+        uniq_p, inv_p = index
+        suffix = ctx[prefix_len:]
+        uniq_s, inv_s = np.unique(suffix, return_inverse=True)
+        uniq = np.union1d(uniq_p, uniq_s)
+        remap_p = np.searchsorted(uniq, uniq_p)
+        remap_s = np.searchsorted(uniq, uniq_s)
+        inverse = np.concatenate([remap_p[inv_p], remap_s[inv_s]])
         mass = np.zeros(uniq.size)
         np.add.at(mass, inverse, weights)
         p = mass / mass.sum()
@@ -217,6 +365,36 @@ class FormatAnalysis:
     integer_valued: bool = False
 
 
+@dataclass(frozen=True)
+class _CueRecord:
+    """One parsed demonstrated value (what follows a ``Performance:`` cue).
+
+    Position-dependent but length-independent: the recency weight of the
+    start vote depends on the *current* context length, so it is not
+    stored here — only the parse, which is frozen once the value lies
+    fully inside a fixed prefix.
+    """
+
+    start: int
+    first: int
+    seen_dot: bool
+    decimals: int
+    fraction_prefix: str | None
+
+
+@dataclass(frozen=True)
+class FormatPrefixIndex:
+    """Parsed cue records of a fixed prompt prefix (FSM prepared state).
+
+    ``records`` holds the cue hits whose 8-token parse window lies fully
+    inside the prefix (``hit <= prefix_len - 11``); hits nearer the
+    boundary are re-scanned against the full context at analysis time.
+    """
+
+    prefix_len: int
+    records: tuple[_CueRecord | None, ...]
+
+
 class FormatScorer:
     """Instruction-following prior for the ``Performance: <decimal>`` format."""
 
@@ -264,58 +442,108 @@ class FormatScorer:
                 )
 
     # ------------------------------------------------------------------ #
-    def analyze_prompt(self, prompt_ids: np.ndarray) -> FormatAnalysis:
-        """Locate the demonstrated values after each value cue."""
-        ctx = np.asarray(prompt_ids, dtype=np.int64)
-        analysis = FormatAnalysis()
-        if ctx.size < 4:
-            return analysis
+    def _cue_hits(self, ctx: np.ndarray, lo: int = 0) -> np.ndarray:
+        """Sorted, deduplicated cue-hit positions ``h >= lo`` in ``ctx``."""
+        region = ctx[lo:]
+        if region.size < 4:
+            return np.empty(0, dtype=np.int64)
         hit_list = []
         for cue in self._cues:
             c0, c1, c2 = cue
             hit_list.append(
                 np.nonzero(
-                    (ctx[:-3] == c0) & (ctx[1:-2] == c1) & (ctx[2:-1] == c2)
+                    (region[:-3] == c0)
+                    & (region[1:-2] == c1)
+                    & (region[2:-1] == c2)
                 )[0]
             )
-        hits = np.unique(np.concatenate(hit_list)) if hit_list else np.empty(0)
-        if hits.size == 0:
+        if not hit_list:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(hit_list)) + lo
+
+    def _parse_hit(self, ctx: np.ndarray, h: int, n: int) -> _CueRecord | None:
+        """Parse the demonstrated value after cue hit ``h`` (None: no value)."""
+        start = h + 3
+        first = int(ctx[start])
+        if not self.vocab.string_of(first).isdigit():
+            return None
+        # Count decimals of this demonstrated value and remember its
+        # first fraction chunk (the prefix alternatives cluster on).
+        seen_dot = False
+        decimals = 0
+        fraction_prefix: str | None = None
+        newline_id = self.vocab.newline_id
+        for pos in range(start, min(start + 8, n)):
+            s = self.vocab.string_of(int(ctx[pos]))
+            if s == "." and not seen_dot:
+                seen_dot = True
+            elif s.isdigit():
+                if seen_dot:
+                    if decimals == 0:
+                        fraction_prefix = s
+                    decimals += len(s)
+            elif int(ctx[pos]) == newline_id or not (
+                s.isdigit() or s == "."
+            ):
+                break
+        return _CueRecord(start, first, seen_dot, decimals, fraction_prefix)
+
+    def build_prefix(self, prefix_ids: np.ndarray) -> FormatPrefixIndex:
+        """Pre-parse the cue records that lie fully inside a fixed prefix."""
+        ctx = np.asarray(prefix_ids, dtype=np.int64)
+        p = int(ctx.size)
+        records = tuple(
+            self._parse_hit(ctx, int(h), p)
+            for h in self._cue_hits(ctx)
+            if int(h) <= p - 11
+        )
+        return FormatPrefixIndex(prefix_len=p, records=records)
+
+    def analyze_prompt(
+        self,
+        prompt_ids: np.ndarray,
+        prefix: FormatPrefixIndex | None = None,
+    ) -> FormatAnalysis:
+        """Locate the demonstrated values after each value cue.
+
+        With ``prefix`` (a :meth:`build_prefix` index for a leading slice
+        of ``prompt_ids``), only cue hits near or past the prefix
+        boundary are re-scanned; cached records merge in hit order, and
+        the position-dependent recency weights are recomputed against the
+        full length, so the analysis is identical to a cold scan.
+        """
+        ctx = np.asarray(prompt_ids, dtype=np.int64)
+        analysis = FormatAnalysis()
+        if ctx.size < 4:
             return analysis
+        n = ctx.size
+        records: list[_CueRecord | None]
+        if prefix is None:
+            records = [
+                self._parse_hit(ctx, int(h), n) for h in self._cue_hits(ctx)
+            ]
+        else:
+            lo = max(0, prefix.prefix_len - 10)
+            records = list(prefix.records)
+            records.extend(
+                self._parse_hit(ctx, int(h), n)
+                for h in self._cue_hits(ctx, lo=lo)
+            )
         decimal_counts: list[int] = []
         integer_count = 0
-        n = ctx.size
-        newline_id = self.vocab.newline_id
-        for h in hits:
-            start = int(h) + 3
-            first = int(ctx[start])
-            first_str = self.vocab.string_of(first)
-            if not first_str.isdigit():
+        for rec in records:
+            if rec is None:
                 continue
             # Recency-weighted start vote.
-            weight = float(np.exp(-(n - start) / 4000.0))
-            analysis.start_votes[first] = (
-                analysis.start_votes.get(first, 0.0) + weight
+            weight = float(np.exp(-(n - rec.start) / 4000.0))
+            analysis.start_votes[rec.first] = (
+                analysis.start_votes.get(rec.first, 0.0) + weight
             )
-            # Count decimals of this demonstrated value and remember its
-            # first fraction chunk (the prefix alternatives cluster on).
-            seen_dot = False
-            decimals = 0
-            for pos in range(start, min(start + 8, n)):
-                s = self.vocab.string_of(int(ctx[pos]))
-                if s == "." and not seen_dot:
-                    seen_dot = True
-                elif s.isdigit():
-                    if seen_dot:
-                        if decimals == 0:
-                            analysis.fraction_prefixes.append(s)
-                        decimals += len(s)
-                elif int(ctx[pos]) == newline_id or not (
-                    s.isdigit() or s == "."
-                ):
-                    break
-            if seen_dot and decimals > 0:
-                decimal_counts.append(decimals)
-            elif not seen_dot:
+            if rec.fraction_prefix is not None:
+                analysis.fraction_prefixes.append(rec.fraction_prefix)
+            if rec.seen_dot and rec.decimals > 0:
+                decimal_counts.append(rec.decimals)
+            elif not rec.seen_dot:
                 integer_count += 1
         if decimal_counts:
             values, counts = np.unique(decimal_counts, return_counts=True)

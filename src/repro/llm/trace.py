@@ -79,9 +79,7 @@ class GenerationTrace:
         """All steps in analysis form (token strings + logits)."""
         return [
             StepCandidates(
-                tokens=tuple(
-                    vocab.string_of(int(i)) for i in s.candidate_ids
-                ),
+                tokens=vocab.strings_of(s.candidate_ids),
                 logits=s.logits,
                 chosen=s.chosen_position,
             )
@@ -94,10 +92,16 @@ class GenerationTrace:
         This is the region the decoding-tree analysis enumerates; empty
         when the generation never produced a digit.
         """
-        steps = self.step_candidates(vocab)
-        for i, s in enumerate(steps):
-            if s.chosen_token.isdigit():
-                return steps[i:]
+        for i, s in enumerate(self.steps):
+            if vocab.string_of(s.chosen_id).isdigit():
+                return [
+                    StepCandidates(
+                        tokens=vocab.strings_of(st.candidate_ids),
+                        logits=st.logits,
+                        chosen=st.chosen_position,
+                    )
+                    for st in self.steps[i:]
+                ]
         return []
 
     def __len__(self) -> int:

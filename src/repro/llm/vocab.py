@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import VocabularyError
 
 __all__ = ["SpecialTokens", "Vocabulary", "build_default_vocabulary", "WORD_LEXICON"]
@@ -148,6 +150,21 @@ class Vocabulary:
                 f"token id {token_id} out of range ({len(self._tokens)})"
             )
         return self._tokens[token_id]
+
+    def strings_of(self, token_ids) -> tuple[str, ...]:
+        """Token strings for a sequence of ids (bulk :meth:`string_of`).
+
+        One bounds check for the whole batch instead of per id; the trace
+        post-processing layer converts every recorded candidate set and is
+        by far the heaviest ``string_of`` caller.
+        """
+        ids = np.asarray(token_ids, dtype=np.int64)
+        if ids.size and not (0 <= int(ids.min()) and int(ids.max()) < len(self._tokens)):
+            raise VocabularyError(
+                f"token id out of range ({len(self._tokens)})"
+            )
+        tokens = self._tokens
+        return tuple(tokens[i] for i in ids.tolist())
 
     def byte_id(self, byte: int) -> int:
         """Id of the byte-fallback token for ``byte``."""

@@ -266,6 +266,19 @@ def collect_service_metrics(
         registry.gauge("cache.entries", level=level).set(len(cache))
         registry.gauge("cache.capacity", level=level).set(cache.capacity)
 
+    # Prefix-reuse layer: snapshot cache hit/miss plus decode grouping.
+    if stats.prefix_hits or stats.prefix_misses:
+        registry.counter("cache.lookups", level="prefix", outcome="hit").inc(
+            stats.prefix_hits
+        )
+        registry.counter(
+            "cache.lookups", level="prefix", outcome="miss"
+        ).inc(stats.prefix_misses)
+    if stats.n_groups:
+        registry.counter("serve.prefix_groups").inc(stats.n_groups)
+        registry.counter("serve.grouped_requests").inc(stats.n_group_served)
+        registry.gauge("serve.mean_group_width").set(stats.mean_group_width)
+
     if service.faults is not None:
         for kind, count in service.faults.stats.snapshot().items():
             registry.counter("faults.injected", kind=kind).inc(count)

@@ -41,12 +41,22 @@ class PromptParts:
         prefix-cluster analyses compare generations against these).
     n_examples:
         Number of ICL examples included.
+    prefix_len:
+        Token count of the shared leading slice of ``ids`` — everything
+        up to (but excluding) the query-specific tail.  Prompts built
+        from the same task and ICL examples share this prefix exactly,
+        which is what the :mod:`repro.llm.prefix_cache` layer keys on.
+        Computed against the actual tokenization (the boundary is walked
+        back if the tokenizer merged across the text split), so
+        ``ids[:prefix_len]`` is always a verbatim prefix of the full
+        encoding.  0 when no meaningful split exists.
     """
 
     text: str
     ids: np.ndarray
     icl_value_strings: list[str]
     n_examples: int
+    prefix_len: int = 0
 
 
 class PromptBuilder:
@@ -71,29 +81,90 @@ class PromptBuilder:
         # Validate eagerly so a typo fails at construction, not mid-grid.
         format_runtime(1.0, value_style)
         self.value_style = value_style
+        # Shared-prefix encodings recur for every query of a sweep; memoize
+        # a handful (keyed by prefix text) so prefix_len costs one encode
+        # per distinct (system, examples) combination, not per prompt.
+        self._prefix_ids_memo: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
-    def _chat_wrap(self, system: str, user: str) -> str:
-        """Wrap system/user content in Llama-3 chat markers."""
+    def _chat_prefix(self, system: str, user_head: str) -> str:
+        """Chat markers + system turn + the head of the user turn."""
         return (
             "<|begin_of_text|>"
             "<|start_header_id|>system<|end_header_id|>\n\n"
             f"{system}<|eot_id|>"
             "<|start_header_id|>user<|end_header_id|>\n\n"
-            f"{user}<|eot_id|>"
+            f"{user_head}"
+        )
+
+    def _chat_wrap(self, system: str, user: str) -> str:
+        """Wrap system/user content in Llama-3 chat markers."""
+        return self._chat_prefix(system, user) + (
+            "<|eot_id|>"
             "<|start_header_id|>assistant<|end_header_id|>\n\n"
         )
 
+    def _prefix_ids(self, prefix_text: str) -> np.ndarray:
+        pids = self._prefix_ids_memo.get(prefix_text)
+        if pids is None:
+            pids = np.asarray(self.tokenizer.encode(prefix_text), dtype=np.int64)
+            if len(self._prefix_ids_memo) >= 8:
+                self._prefix_ids_memo.pop(next(iter(self._prefix_ids_memo)))
+            self._prefix_ids_memo[prefix_text] = pids
+        return pids
+
+    @staticmethod
+    def _splice_is_exact(prefix_text: str, rest: str) -> bool:
+        """Whether ``encode(prefix) + encode(rest) == encode(prefix+rest)``.
+
+        The piece regex has no lookbehind, so per-piece encoding is
+        position-local; the only way a piece can straddle the boundary is
+        a run continuing across it.  A prefix ending in a single newline
+        followed by anything but another newline cannot extend any
+        alternative (``\\n\\n`` is the sole pattern consuming past a
+        newline), so the spliced encoding is exact.
+        """
+        return prefix_text.endswith("\n") and not rest.startswith("\n")
+
     def _finish(
-        self, system: str, user: str, icl_values: list[str], n_examples: int
+        self,
+        system: str,
+        user_head: str,
+        user_tail: str,
+        icl_values: list[str],
+        n_examples: int,
     ) -> PromptParts:
-        text = self._chat_wrap(system, user)
-        ids = np.asarray(self.tokenizer.encode(text), dtype=np.int64)
+        prefix_text = self._chat_prefix(system, user_head)
+        rest = user_tail + (
+            "<|eot_id|>"
+            "<|start_header_id|>assistant<|end_header_id|>\n\n"
+        )
+        pids = self._prefix_ids(prefix_text)
+        if self._splice_is_exact(prefix_text, rest):
+            # Fast path: reuse the memoized prefix encoding and tokenize
+            # only the query tail (grids re-encode the same multi-KB
+            # prefix thousands of times otherwise).
+            tail_ids = np.asarray(self.tokenizer.encode(rest), dtype=np.int64)
+            ids = np.concatenate([pids, tail_ids])
+            prefix_len = int(pids.size)
+        else:
+            ids = np.asarray(
+                self.tokenizer.encode(prefix_text + rest), dtype=np.int64
+            )
+            # Clamp the split to the longest common token prefix: the
+            # greedy tokenizer merged across the text boundary.
+            m = min(int(pids.size), int(ids.size))
+            if m == 0:
+                prefix_len = 0
+            else:
+                eq = pids[:m] == ids[:m]
+                prefix_len = m if bool(eq.all()) else int(np.argmin(eq))
         return PromptParts(
-            text=text,
+            text=prefix_text + rest,
             ids=ids,
             icl_value_strings=icl_values,
             n_examples=n_examples,
+            prefix_len=prefix_len,
         )
 
     # ------------------------------------------------------------------ #
@@ -117,14 +188,16 @@ class PromptBuilder:
         style = self.value_style
         blocks = [example_block(cfg, size, rt, style) for cfg, rt in examples]
         icl_values = [format_runtime(rt, style) for _, rt in examples]
-        user = (
+        head = (
             problem_description(self.task)
             + "\n\nHere are the examples:\n"
             + "\n".join(blocks)
             + "\nPlease complete the following:\n"
-            + query_block(query_config, size)
         )
-        return self._finish(SYSTEM_INSTRUCTIONS, user, icl_values, len(examples))
+        tail = query_block(query_config, size)
+        return self._finish(
+            SYSTEM_INSTRUCTIONS, head, tail, icl_values, len(examples)
+        )
 
     def generative(
         self,
@@ -150,19 +223,21 @@ class PromptBuilder:
                 f"Performance bucket: {bucket}\n"
             )
             labels.append(str(bucket))
-        user = (
+        head = (
             problem_description(self.task)
             + f"\n\nPerformance is discretized into {n_buckets} buckets "
             "numbered 0 (fastest) through "
             f"{n_buckets - 1} (slowest).\n\nHere are the examples:\n"
             + "\n".join(blocks)
             + "\nPlease complete the following:\n"
-            + f"Hyperparameter configuration: "
+        )
+        tail = (
+            f"Hyperparameter configuration: "
             f"{serialize_config(query_config, size)}\n"
             "Performance bucket:"
         )
         return self._finish(
-            SYSTEM_INSTRUCTIONS_GENERATIVE, user, labels, len(examples)
+            SYSTEM_INSTRUCTIONS_GENERATIVE, head, tail, labels, len(examples)
         )
 
     def candidate_sampling(
@@ -177,15 +252,17 @@ class PromptBuilder:
         style = self.value_style
         blocks = [example_block(cfg, size, rt, style) for cfg, rt in examples]
         icl_values = [format_runtime(rt, style) for _, rt in examples]
-        user = (
+        head = (
             problem_description(self.task)
             + "\n\nHere are the examples:\n"
             + "\n".join(blocks)
             + "\nPlease propose one hyperparameter configuration that "
             "achieves the following performance:\n"
+        )
+        tail = (
             f"Performance: {format_runtime(target_runtime, style)}\n"
             "Hyperparameter configuration:"
         )
         return self._finish(
-            SYSTEM_INSTRUCTIONS_CANDIDATE, user, icl_values, len(examples)
+            SYSTEM_INSTRUCTIONS_CANDIDATE, head, tail, icl_values, len(examples)
         )

@@ -11,6 +11,7 @@ end-to-end latency, which caches hit, and the batch the request rode in.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -58,6 +59,42 @@ class Request:
                 f"timeout_s must be positive, got {self.timeout_s}"
             )
 
+    @property
+    def prompt_key(self) -> str:
+        """Seed-independent digest of the prompt inputs.
+
+        Two requests with equal keys build the same prompt (same task
+        size, ICL examples, and query), so they share a prepared prefix
+        and can ride one lockstep batch decode differing only by seed.
+        The scheduler sorts flush batches by this key to make such
+        requests adjacent.  Computed once and memoized on the instance.
+        """
+        key = self.__dict__.get("_prompt_key")
+        if key is None:
+            canon = (
+                self.size,
+                tuple(
+                    sorted(
+                        (str(k), repr(v))
+                        for k, v in self.query_config.items()
+                    )
+                ),
+                tuple(
+                    (
+                        tuple(
+                            sorted((str(k), repr(v)) for k, v in cfg.items())
+                        ),
+                        repr(float(rt)),
+                    )
+                    for cfg, rt in self.examples
+                ),
+            )
+            key = hashlib.blake2b(
+                repr(canon).encode(), digest_size=12
+            ).hexdigest()
+            object.__setattr__(self, "_prompt_key", key)
+        return key
+
 
 @dataclass(frozen=True)
 class Response:
@@ -79,6 +116,9 @@ class Response:
     result_cache_hit: bool = False
     prepare_cache_hit: bool = False
     batch_size: int = 1
+    #: Number of same-prompt requests decoded together in one lockstep
+    #: batch (1 when the request was generated — or cached — alone).
+    group_width: int = 1
     degraded: bool = False
     provenance: str = "service"
 

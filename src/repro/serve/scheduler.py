@@ -43,6 +43,11 @@ class Ticket:
     ``serve.request`` span parents into the caller's trace (e.g. under a
     ``resilience.attempt`` span).  ``None`` when tracing is off or the
     caller had no open span.
+
+    ``group_key`` is the request's seed-independent prompt digest (set by
+    the service when prefix reuse is on, empty otherwise): flushes
+    stable-sort by it so same-prompt tickets sit adjacently in the batch
+    and can share one lockstep decode.
     """
 
     request_id: int
@@ -50,6 +55,7 @@ class Ticket:
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
     trace_parent: int | None = None
+    group_key: str = ""
 
 
 class _Sentinel:
@@ -249,6 +255,11 @@ class MicroBatcher:
                 batch, deadline = [], None
 
     def _flush(self, batch: list[Ticket]) -> None:
+        if len(batch) > 1 and any(t.group_key for t in batch):
+            # Stable sort: same-prompt tickets become adjacent (one
+            # lockstep decode group downstream) while admission order is
+            # preserved within each group.
+            batch.sort(key=lambda t: t.group_key)
         # The flush span covers the injected stall and the dispatch-slot
         # wait — the two places a batch loses time before a worker has it.
         with get_tracer().span("serve.flush", batch_size=len(batch)) as span:

@@ -39,6 +39,22 @@ from repro.serve.stats import ServiceStats, StatsRecorder
 __all__ = ["PredictionService"]
 
 
+class _PrefixGroup:
+    """One shared-prompt decode group inside a single batch.
+
+    ``seeds`` are the distinct member seeds (admission order); ``stash``
+    holds seed -> prediction once the leader has decoded; ``width`` is
+    the member-ticket count reported on responses and spans.
+    """
+
+    __slots__ = ("seeds", "stash", "width")
+
+    def __init__(self, seeds: list[int], width: int):
+        self.seeds = seeds
+        self.width = width
+        self.stash: dict[int, object] | None = None
+
+
 class PredictionService:
     """Batched, cached serving front-end for surrogate predictions.
 
@@ -58,6 +74,15 @@ class PredictionService:
     enable_prepare_cache, enable_result_cache:
         Cache kill-switches (the throughput benchmark measures both
         settings; disabled caches record no counters).
+    enable_prefix_cache:
+        Prefix-reuse kill-switch.  On (default), lazily built per-size
+        surrogates carry a :class:`~repro.llm.prefix_cache.PrefixCache`
+        of prepared-prefix snapshots, flush batches are sorted so
+        same-prompt tickets sit adjacently, and such tickets (differing
+        only by seed) share one lockstep batch decode.  Off, every
+        request generates through the scalar cold path — bit-identical
+        results either way (the benchmark's baseline).  An explicitly
+        passed ``surrogate`` keeps its own prefix-cache setting.
     default_timeout_s:
         Fallback per-request deadline for blocking submits when the
         request does not carry its own (``None``: wait indefinitely).
@@ -81,10 +106,12 @@ class PredictionService:
         result_cache_size: int = 4096,
         enable_prepare_cache: bool = True,
         enable_result_cache: bool = True,
+        enable_prefix_cache: bool = True,
         default_timeout_s: float | None = None,
         fault_plan: FaultPlan | FaultInjector | None = None,
     ):
         self._fixed_surrogate = surrogate
+        self.enable_prefix_cache = bool(enable_prefix_cache)
         self._surrogates: dict[str, DiscriminativeSurrogate] = {}
         self._surrogate_lock = threading.Lock()
         self.default_timeout_s = default_timeout_s
@@ -128,6 +155,7 @@ class PredictionService:
             request_id=next(self._ids),
             request=request,
             trace_parent=get_tracer().current_span_id(),
+            group_key=request.prompt_key if self.enable_prefix_cache else "",
         )
         try:
             self._batcher.submit(ticket, block=block)
@@ -196,12 +224,30 @@ class PredictionService:
     def stats(self) -> ServiceStats:
         """Snapshot current service metrics (including cache counters)."""
         pc, rc = self.prepare_cache, self.result_cache
+        prefix_hits, prefix_misses = self.prefix_cache_counts()
         return self._stats.snapshot(
             prepare_hits=pc.hits if pc else 0,
             prepare_misses=pc.misses if pc else 0,
             result_hits=rc.hits if rc else 0,
             result_misses=rc.misses if rc else 0,
+            prefix_hits=prefix_hits,
+            prefix_misses=prefix_misses,
         )
+
+    def prefix_cache_counts(self) -> tuple[int, int]:
+        """(hits, misses) summed over every surrogate's prefix cache."""
+        if self._fixed_surrogate is not None:
+            surrogates = [self._fixed_surrogate]
+        else:
+            with self._surrogate_lock:
+                surrogates = list(self._surrogates.values())
+        hits = misses = 0
+        for surrogate in surrogates:
+            cache = surrogate.prefix_cache
+            if cache is not None:
+                hits += cache.hits
+                misses += cache.misses
+        return hits, misses
 
     @property
     def stats_recorder(self) -> StatsRecorder:
@@ -217,24 +263,65 @@ class PredictionService:
         with self._surrogate_lock:
             surrogate = self._surrogates.get(size)
             if surrogate is None:
-                surrogate = DiscriminativeSurrogate(Syr2kTask(size))
+                surrogate = DiscriminativeSurrogate(
+                    Syr2kTask(size), prefix_cache=self.enable_prefix_cache
+                )
                 self._surrogates[size] = surrogate
             return surrogate
 
     def _execute_batch(self, batch: list[Ticket]) -> None:
         """Resolve every ticket of one batch (the scheduler's callback)."""
         self._stats.record_batch(len(batch))
+        # Singleton batches skip group planning entirely: there is
+        # nothing to share, and the scalar path has no plan overhead.
+        plan = (
+            self._group_plan(batch)
+            if self.enable_prefix_cache and len(batch) > 1
+            else None
+        )
         for ticket in batch:
             if not ticket.future.set_running_or_notify_cancel():
                 continue  # caller gave up (timeout) before we started
             try:
-                response = self._serve_one(ticket, batch_size=len(batch))
+                response = self._serve_one(
+                    ticket,
+                    batch_size=len(batch),
+                    group=plan.get(ticket.request_id) if plan else None,
+                )
             except Exception as exc:  # typed errors propagate to the caller
                 self._stats.record_failed()
                 ticket.future.set_exception(exc)
             else:
                 self._stats.record_done(response.latency_s)
                 ticket.future.set_result(response)
+
+    @staticmethod
+    def _group_plan(batch: list[Ticket]) -> dict[int, "_PrefixGroup"]:
+        """Map request id -> shared-prompt decode group (>= 2 members).
+
+        Tickets whose requests build the same prompt (equal
+        ``prompt_key``) are planned into one group: the first member to
+        miss the result cache decodes every member seed in a single
+        lockstep batch and stashes the predictions for the rest.  The
+        batch executes in one worker thread, so groups need no locking.
+        """
+        by_key: dict[str, list[Ticket]] = {}
+        for ticket in batch:
+            if ticket.group_key:
+                by_key.setdefault(ticket.group_key, []).append(ticket)
+        plan: dict[int, _PrefixGroup] = {}
+        for members in by_key.values():
+            if len(members) < 2:
+                continue
+            group = _PrefixGroup(
+                seeds=list(
+                    dict.fromkeys(int(t.request.seed) for t in members)
+                ),
+                width=len(members),
+            )
+            for ticket in members:
+                plan[ticket.request_id] = group
+        return plan
 
     @staticmethod
     def _result_key(surrogate: DiscriminativeSurrogate, fingerprint: str, seed: int):
@@ -272,7 +359,12 @@ class PredictionService:
             batch_size=1,
         )
 
-    def _serve_one(self, ticket: Ticket, batch_size: int) -> Response:
+    def _serve_one(
+        self,
+        ticket: Ticket,
+        batch_size: int,
+        group: "_PrefixGroup | None" = None,
+    ) -> Response:
         request = ticket.request
         tracer = get_tracer()
         # The request root is backdated to admission so its duration is
@@ -310,29 +402,56 @@ class PredictionService:
             )
 
             result_hit = prepare_hit = False
+            group_width = 1
             prediction = MISS
             if self.result_cache is not None:
                 with tracer.span("serve.cache_lookup", level="result"):
                     prediction = self.result_cache.get(result_key)
                 result_hit = prediction is not MISS
             if prediction is MISS:
-                analysis = None
-                if self.prepare_cache is not None:
-                    with tracer.span("serve.prepare") as prep:
-                        analysis = self.prepare_cache.get(fingerprint)
-                        prepare_hit = analysis is not MISS
-                        prep.set(cache_hit=prepare_hit)
-                        if not prepare_hit:
-                            analysis = surrogate.model.prepare(parts.ids)
-                            self.prepare_cache.put(fingerprint, analysis)
-                with tracer.span("serve.generate"):
-                    prediction = surrogate.predict_parts(
-                        parts, seed=request.seed, analysis=analysis
-                    )
+                if group is not None and group.stash is not None:
+                    # Follower: the group's leader already decoded this
+                    # seed in its lockstep batch.
+                    prediction = group.stash.get(int(request.seed), MISS)
+                if prediction is not MISS:
+                    group_width = group.width
+                else:
+                    analysis = None
+                    if self.prepare_cache is not None:
+                        with tracer.span("serve.prepare") as prep:
+                            analysis = self.prepare_cache.get(fingerprint)
+                            prepare_hit = analysis is not MISS
+                            prep.set(cache_hit=prepare_hit)
+                            if not prepare_hit:
+                                analysis = surrogate.model.prepare(parts.ids)
+                                self.prepare_cache.put(fingerprint, analysis)
+                    with tracer.span("serve.generate") as gen:
+                        if group is not None:
+                            # Leader: decode every member seed in one
+                            # lockstep batch; followers consume the stash.
+                            predictions = surrogate.predict_parts_batch(
+                                parts, group.seeds, analysis=analysis
+                            )
+                            group.stash = {
+                                int(seed): pred
+                                for seed, pred in zip(
+                                    group.seeds, predictions
+                                )
+                            }
+                            prediction = group.stash[int(request.seed)]
+                            group_width = group.width
+                            gen.set(group_width=group.width)
+                            self._stats.record_group(group.width)
+                        else:
+                            prediction = surrogate.predict_parts(
+                                parts, seed=request.seed, analysis=analysis
+                            )
                 if self.result_cache is not None:
                     self.result_cache.put(result_key, prediction)
             root.set(
-                result_cache_hit=result_hit, prepare_cache_hit=prepare_hit
+                result_cache_hit=result_hit,
+                prepare_cache_hit=prepare_hit,
+                group_width=group_width,
             )
 
             return Response(
@@ -342,4 +461,5 @@ class PredictionService:
                 result_cache_hit=result_hit,
                 prepare_cache_hit=prepare_hit,
                 batch_size=batch_size,
+                group_width=group_width,
             )

@@ -50,6 +50,16 @@ class ServiceStats:
     result_misses: int
     #: Submissions refused because the service was closed/draining.
     n_closed_rejects: int = 0
+    # Prefix-reuse layer (repro.llm.prefix_cache); all zero when the
+    # service runs with enable_prefix_cache=False.
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    #: Shared-prompt decode groups the batch workers executed.
+    n_groups: int = 0
+    #: Requests served through a group's lockstep decode (leader +
+    #: followers).
+    n_group_served: int = 0
+    mean_group_width: float = 0.0
     # Resilience layer (repro.serve.resilience); all zero when requests
     # bypass the ResilientService wrapper.
     n_late_discards: int = 0
@@ -75,6 +85,11 @@ class ServiceStats:
     def result_hit_rate(self) -> float:
         total = self.result_hits + self.result_misses
         return self.result_hits / total if total else 0.0
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        total = self.prefix_hits + self.prefix_misses
+        return self.prefix_hits / total if total else 0.0
 
     @property
     def availability(self) -> float:
@@ -112,6 +127,14 @@ class ServiceStats:
         t.add_row(["batch occupancy", f"{self.batch_occupancy:.0%}"])
         t.add_row(["prepare-cache hit rate", f"{self.prepare_hit_rate:.0%}"])
         t.add_row(["result-cache hit rate", f"{self.result_hit_rate:.0%}"])
+        if self.prefix_hits or self.prefix_misses:
+            t.add_row(["prefix-cache hit rate", f"{self.prefix_hit_rate:.0%}"])
+        if self.n_groups:
+            t.add_row(["prefix decode groups", self.n_groups])
+            t.add_row(["grouped requests", self.n_group_served])
+            t.add_row(
+                ["mean decode-group width", round(self.mean_group_width, 2)]
+            )
         t.add_row(["late completions discarded", self.n_late_discards])
         if self.n_logical:
             t.add_row(["logical requests (resilient)", self.n_logical])
@@ -135,6 +158,7 @@ class StatsRecorder:
         self._max_batch_size = int(max_batch_size)
         self._latencies: list[float] = []
         self._batch_sizes: list[int] = []
+        self._group_widths: list[int] = []
         self._submitted = 0
         self._failed = 0
         self._rejected = 0
@@ -201,6 +225,11 @@ class StatsRecorder:
         with self._lock:
             self._batch_sizes.append(int(batch_size))
 
+    def record_group(self, width: int) -> None:
+        """One shared-prompt lockstep decode serving ``width`` requests."""
+        with self._lock:
+            self._group_widths.append(int(width))
+
     def record_done(self, latency_s: float) -> None:
         """A successful completion with its end-to-end latency."""
         with self._lock:
@@ -223,6 +252,8 @@ class StatsRecorder:
         prepare_misses: int = 0,
         result_hits: int = 0,
         result_misses: int = 0,
+        prefix_hits: int = 0,
+        prefix_misses: int = 0,
     ) -> ServiceStats:
         """Freeze current counters (cache counters supplied by the owner)."""
         with self._lock:
@@ -251,6 +282,15 @@ class StatsRecorder:
                 prepare_misses=prepare_misses,
                 result_hits=result_hits,
                 result_misses=result_misses,
+                prefix_hits=prefix_hits,
+                prefix_misses=prefix_misses,
+                n_groups=len(self._group_widths),
+                n_group_served=sum(self._group_widths),
+                mean_group_width=(
+                    sum(self._group_widths) / len(self._group_widths)
+                    if self._group_widths
+                    else 0.0
+                ),
                 n_late_discards=self._late_discards,
                 n_retries=self._retries,
                 n_breaker_trips=self._breaker_trips,

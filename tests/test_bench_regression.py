@@ -1,0 +1,172 @@
+"""Benchmark regression gate: parsing, comparison, baseline round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BaselineMetric,
+    collect_metrics,
+    compare,
+    load_baseline,
+    load_report,
+    parse_percent,
+    parse_ratio,
+    render_report,
+    write_report,
+)
+from repro.bench.regression import REPORT_SOURCES
+from repro.errors import ExperimentError
+
+
+class TestParsers:
+    def test_parse_ratio(self):
+        text = "prefix cache on | 396.5 | 0.2\nspeedup: 2.52x\n"
+        assert parse_ratio(text) == pytest.approx(2.52)
+
+    def test_parse_ratio_custom_label(self):
+        assert parse_ratio("gain: 10x", label="gain") == pytest.approx(10.0)
+
+    def test_parse_ratio_missing(self):
+        with pytest.raises(ExperimentError):
+            parse_ratio("no trailer here")
+
+    def test_parse_percent(self):
+        text = "tracing on: 2487.9 req/s\noverhead:    3.7% (1031 spans)\n"
+        assert parse_percent(text) == pytest.approx(0.037)
+
+    def test_parse_percent_negative(self):
+        assert parse_percent("overhead: -1.0%") == pytest.approx(-0.01)
+
+    def test_parse_percent_missing(self):
+        with pytest.raises(ExperimentError):
+            parse_percent("speedup: 2.0x")
+
+
+class TestBaselineMetric:
+    def test_floor_higher(self):
+        m = BaselineMetric(value=5.0, direction="higher")
+        assert m.floor(0.2) == pytest.approx(4.0)
+        assert not m.is_regression(4.0, 0.2)
+        assert m.is_regression(3.99, 0.2)
+
+    def test_floor_lower_with_abs_slack(self):
+        m = BaselineMetric(value=0.04, direction="lower", abs_slack=0.05)
+        assert m.floor(0.2) == pytest.approx(0.098)
+        assert not m.is_regression(0.09, 0.2)
+        assert m.is_regression(0.10, 0.2)
+
+    def test_direction_validated(self):
+        with pytest.raises(ExperimentError):
+            BaselineMetric(value=1.0, direction="sideways")
+
+    def test_nonpositive_higher_value_rejected(self):
+        with pytest.raises(ExperimentError):
+            BaselineMetric(value=0.0, direction="higher")
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ExperimentError):
+            BaselineMetric(value=1.0, abs_slack=-0.1)
+
+
+class TestCompare:
+    BASELINE = {
+        "speedup": BaselineMetric(value=5.0, direction="higher"),
+        "overhead": BaselineMetric(value=0.05, direction="lower"),
+        "fyi": BaselineMetric(value=1.0, direction="higher", gate=False),
+    }
+
+    def test_improvement_and_within_tolerance_pass(self):
+        current = {"speedup": 6.0, "overhead": 0.055, "fyi": 0.1}
+        assert compare(current, self.BASELINE) == []
+
+    def test_regression_past_tolerance_fails(self):
+        current = {"speedup": 3.9, "overhead": 0.03}
+        failures = compare(current, self.BASELINE)
+        assert [f.name for f in failures] == ["speedup"]
+        assert failures[0].current == pytest.approx(3.9)
+        assert failures[0].allowed == pytest.approx(4.0)
+
+    def test_lower_direction_regression(self):
+        current = {"speedup": 5.0, "overhead": 0.061}
+        failures = compare(current, self.BASELINE)
+        assert [f.name for f in failures] == ["overhead"]
+
+    def test_missing_gated_metric_is_a_regression(self):
+        failures = compare({"overhead": 0.01}, self.BASELINE)
+        assert [f.name for f in failures] == ["speedup"]
+        assert failures[0].current is None
+        assert "missing" in failures[0].describe()
+
+    def test_ungated_metric_never_fails(self):
+        current = {"speedup": 5.0, "overhead": 0.01, "fyi": 0.0001}
+        assert compare(current, self.BASELINE) == []
+        # ...even when absent entirely.
+        assert compare({"speedup": 5.0, "overhead": 0.01}, self.BASELINE) == []
+
+    def test_extra_current_metrics_ignored(self):
+        current = {"speedup": 5.0, "overhead": 0.01, "brand_new": 0.0}
+        assert compare(current, self.BASELINE) == []
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ExperimentError):
+            compare({}, self.BASELINE, tolerance=1.5)
+
+    def test_render_report_flags_failures(self):
+        current = {"speedup": 3.0, "overhead": 0.01, "fyi": 2.0}
+        failures = compare(current, self.BASELINE)
+        body = render_report(current, self.BASELINE, failures)
+        assert "FAIL" in body
+        assert "1 regression(s)" in body
+        passing = render_report(
+            {"speedup": 5.0, "overhead": 0.01}, self.BASELINE, []
+        )
+        assert "within tolerance" in passing
+
+
+class TestRoundTrips:
+    def test_report_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_abc.json"
+        write_report(path, {"speedup": 2.5}, sha="abc123")
+        assert load_report(path) == {"speedup": 2.5}
+        assert json.loads(path.read_text())["sha"] == "abc123"
+
+    def test_load_baseline(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "a": {"value": 2.0},
+            "b": {"value": 0.1, "direction": "lower", "abs_slack": 0.02,
+                  "gate": False},
+        }))
+        baseline = load_baseline(path)
+        assert baseline["a"] == BaselineMetric(value=2.0)
+        assert baseline["b"].direction == "lower"
+        assert baseline["b"].gate is False
+
+    def test_committed_baseline_parses_and_gates(self):
+        """The real baseline.json stays loadable and internally consistent."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        baseline = load_baseline(root / "benchmarks" / "baseline.json")
+        assert set(baseline) == set(REPORT_SOURCES)
+        assert any(m.gate for m in baseline.values())
+
+    def test_collect_metrics_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            collect_metrics(tmp_path)
+
+    def test_collect_metrics_from_reports(self, tmp_path):
+        (tmp_path / "serve_throughput.txt").write_text("speedup: 5.0x\n")
+        (tmp_path / "serve_tracing_overhead.txt").write_text(
+            "overhead: 3.7% (1031 spans)\n"
+        )
+        (tmp_path / "llm_prefix_cache.txt").write_text("speedup: 2.52x\n")
+        metrics = collect_metrics(tmp_path)
+        assert metrics == {
+            "serve_caching_speedup": pytest.approx(5.0),
+            "serve_tracing_overhead": pytest.approx(0.037),
+            "prefix_reuse_speedup": pytest.approx(2.52),
+        }
