@@ -28,6 +28,7 @@ from repro.bench import collect_metrics, write_report  # noqa: E402
 GATED_BENCHMARKS = (
     "benchmarks/test_serve_throughput.py",
     "benchmarks/test_llm_prefix_cache.py",
+    "benchmarks/test_sessions_throughput.py",
 )
 
 

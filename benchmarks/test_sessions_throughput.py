@@ -1,0 +1,148 @@
+"""Session-manager throughput: N concurrent campaigns vs. N sequential.
+
+The acceptance bar for the sessions layer (ISSUE 6): driving N tenant
+campaigns concurrently through one shared
+:class:`~repro.serve.service.PredictionService` must beat running the
+same N campaigns back-to-back.  The win comes from cross-session
+parallelism: tenants sharing a tuner trajectory issue identical prompts
+each step, so their requests land adjacent in one flush batch and ride a
+single lockstep prefix-group decode, where the sequential loop decodes
+each request alone.
+
+The determinism contract is asserted alongside the speedup: every
+session's history — concurrent or sequential — must be bit-identical to
+a plain :func:`~repro.tuning.harness.run_tuner` loop, because the
+surrogate prediction is advisory and the recorded runtime is the ground
+truth measurement.
+
+Run explicitly (deselected from tier-1 by the ``slow`` marker):
+
+    PYTHONPATH=src python -m pytest benchmarks/test_sessions_throughput.py -m slow -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset import Syr2kPerformanceModel, Syr2kTask, syr2k_space
+from repro.serve import PredictionService, Request
+from repro.sessions import (
+    DONE,
+    AdmissionController,
+    SessionManager,
+    TuningSession,
+)
+from repro.tuning import RandomSearchTuner, run_tuner
+from repro.utils.tables import Table
+from repro.utils.timing import Timer
+
+pytestmark = pytest.mark.slow
+
+#: Workload shape: tenants share one tuner seed (the multi-team-tuning-
+#: the-same-kernel scenario), so each step's prompts coincide.
+N_TENANTS = 4
+BUDGET = 16
+TUNER_SEED = 11
+N_TRIALS = 3
+
+
+def _sessions(model) -> list[TuningSession]:
+    return [
+        TuningSession(
+            f"t{i}/s0",
+            f"t{i}",
+            RandomSearchTuner(syr2k_space(), seed=TUNER_SEED),
+            model,
+            BUDGET,
+            seed=100 + i,
+        )
+        for i in range(N_TENANTS)
+    ]
+
+
+def _warm(service: PredictionService, model) -> None:
+    """Force the lazy per-size surrogate build outside the timed region
+    (both modes pay it identically; it is not what's being measured)."""
+    space = model.space
+    service.submit(
+        Request(
+            examples=[(space.from_index(0), float(model.runtimes([0])[0]))],
+            query_config=space.from_index(1),
+            seed=0,
+            size=model.task.size,
+        )
+    )
+
+
+def _run(model, *, concurrent: bool):
+    """One full campaign sweep; sequential mode allows a single
+    evaluation in flight against a batch-of-one service."""
+    sessions = _sessions(model)
+    admission = AdmissionController(
+        max_inflight=N_TENANTS if concurrent else 1
+    )
+    with PredictionService(
+        max_batch_size=N_TENANTS if concurrent else 1,
+        max_wait_s=0.005,
+    ) as service:
+        _warm(service, model)
+        with SessionManager(
+            service, sessions=sessions, admission=admission
+        ) as manager:
+            with Timer() as timer:
+                manager.run()
+        stats = service.stats()
+    return sessions, stats, timer.elapsed
+
+
+def test_concurrent_campaigns_beat_sequential(emit):
+    model = Syr2kPerformanceModel(Syr2kTask("SM"))
+    reference = run_tuner(
+        RandomSearchTuner(syr2k_space(), seed=TUNER_SEED), model, BUDGET
+    )
+
+    # Interleaved trials, minimum per mode: shared-runner interference
+    # only ever *adds* wall time, so the minimum converges on each
+    # mode's intrinsic cost (same convention as the tracing-overhead
+    # benchmark).  Every trial still pins the determinism contract.
+    seq_s = conc_s = float("inf")
+    seq_stats = conc_stats = None
+    for _ in range(N_TRIALS):
+        for concurrent in (False, True):
+            sessions, stats, elapsed = _run(model, concurrent=concurrent)
+            for session in sessions:
+                assert session.state == DONE
+                assert session.history.indices == reference.history.indices
+                assert (
+                    session.history.runtimes == reference.history.runtimes
+                )
+            if concurrent and elapsed < conc_s:
+                conc_s, conc_stats = elapsed, stats
+            elif not concurrent and elapsed < seq_s:
+                seq_s, seq_stats = elapsed, stats
+
+    n_evals = N_TENANTS * BUDGET
+    speedup = seq_s / conc_s
+    t = Table(
+        ["mode", "wall s", "evals/s", "mean batch", "occupancy"],
+        title=f"sessions throughput ({N_TENANTS} tenants x "
+        f"{BUDGET} evaluations, shared trajectory)",
+    )
+    for label, stats, elapsed in (
+        ("concurrent", conc_stats, conc_s),
+        ("sequential", seq_stats, seq_s),
+    ):
+        t.add_row([
+            label,
+            round(elapsed, 2),
+            round(n_evals / max(elapsed, 1e-9), 1),
+            round(stats.mean_batch_size, 2),
+            f"{stats.batch_occupancy:.0%}",
+        ])
+    emit("sessions_throughput", t.render() + f"\nspeedup: {speedup:.1f}x")
+
+    assert speedup >= 1.3, (
+        f"concurrent campaigns only {speedup:.2f}x faster than "
+        f"sequential ({conc_s:.2f}s vs {seq_s:.2f}s) — below the 1.3x "
+        "acceptance bar"
+    )

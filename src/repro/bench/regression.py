@@ -70,6 +70,7 @@ REPORT_SOURCES: dict[str, tuple[str, Callable[[str], float]]] = {
     "serve_caching_speedup": ("serve_throughput.txt", parse_ratio),
     "serve_tracing_overhead": ("serve_tracing_overhead.txt", parse_percent),
     "prefix_reuse_speedup": ("llm_prefix_cache.txt", parse_ratio),
+    "sessions_throughput": ("sessions_throughput.txt", parse_ratio),
 }
 
 

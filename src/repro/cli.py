@@ -7,6 +7,9 @@ Subcommands:
 ``grid``      run a (reduced or full) experiment grid and print the
               Section IV-A summary report;
 ``tune``      compare autotuners on a syr2k task;
+``sessions``  run/status/resume multi-tenant autotuning campaigns through
+              the shared serving stack (:mod:`repro.sessions`): fair-share
+              scheduling, admission control, JSONL event-log resume;
 ``table1``    print the GBT baseline metrics for a list of training sizes;
 ``serve-bench``  drive a repeated-prompt workload through the
               :mod:`repro.serve` inference service and print its
@@ -125,6 +128,78 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
 
     p = sub.add_parser(
+        "sessions", help="multi-tenant autotuning campaigns"
+    )
+    p.add_argument(
+        "action", choices=["run", "status", "resume"],
+        help="run fresh campaigns, inspect an event log, or resume one",
+    )
+    p.add_argument(
+        "--log", default=None, metavar="PATH",
+        help="session event-log JSONL (required for status/resume; "
+        "enables crash-resume for run)",
+    )
+    p.add_argument("--size", choices=SIZE_NAMES, default="SM")
+    p.add_argument(
+        "--tenants", type=_positive_int, default=3,
+        help="number of tenants (one session each)",
+    )
+    p.add_argument(
+        "--budget", type=_positive_int, default=12,
+        help="evaluations per campaign",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--tuner", choices=["random", "hill-climb"], default="random"
+    )
+    p.add_argument(
+        "--priorities", nargs="+", type=_positive_int, default=None,
+        help="per-tenant fair-share weights (cycled over tenants)",
+    )
+    p.add_argument(
+        "--shared-trajectory", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="tenants share one tuner seed, so identical prompts ride "
+        "one lockstep prefix-group decode (--no-shared-trajectory "
+        "gives each tenant an independent search)",
+    )
+    p.add_argument(
+        "--max-inflight", type=_positive_int, default=8,
+        help="admission controller's load-shedding ceiling",
+    )
+    p.add_argument(
+        "--quota", type=_positive_int, default=None,
+        help="per-tenant lifetime evaluation quota",
+    )
+    p.add_argument(
+        "--rate", type=float, default=None,
+        help="per-tenant token-bucket rate (evaluations/s)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-campaign wall-clock deadline in seconds",
+    )
+    p.add_argument("--batch-size", type=_positive_int, default=8)
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "--max-evaluations", type=_positive_int, default=None,
+        help="stop after this many completed evaluations (campaigns "
+        "are PAUSED and can be resumed from --log)",
+    )
+    p.add_argument(
+        "--resilient", action="store_true",
+        help="drive through ResilientService (retry/breaker/fallback)",
+    )
+    p.add_argument(
+        "--min-fairness", type=float, default=None,
+        help="exit 1 if the per-tenant Jain's index ends below this",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="also print the sessions metrics-registry snapshot",
+    )
+
+    p = sub.add_parser(
         "serve-bench", help="benchmark the surrogate serving layer"
     )
     p.add_argument("--size", choices=SIZE_NAMES, default="SM")
@@ -217,6 +292,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run the schedule (plain, then with degraded cache "
         "serves interleaved) and compare counters, fault schedules and "
         "response values (exit 1 on any divergence)",
+    )
+    p.add_argument(
+        "--sessions", action="store_true",
+        help="drill the session manager instead of a raw workload: "
+        "3-tenant campaigns under DEFAULT_FAULT_PLAN, asserting >= 99%% "
+        "completion and an event log with no lost or duplicated "
+        "evaluations (with --verify-determinism: identical histories "
+        "across two runs)",
     )
 
     p = sub.add_parser(
@@ -368,6 +451,196 @@ def _cmd_tune(args) -> int:
     for name, best in comparison.ranking():
         t.add_row([name, best, comparison.mean_regret(name)])
     print(t.render())
+    return 0
+
+
+def _session_tuner_classes():
+    from repro.tuning import HillClimbTuner, RandomSearchTuner
+
+    return {"random": RandomSearchTuner, "hill-climb": HillClimbTuner}
+
+
+def _build_sessions(args):
+    """Fresh campaigns for ``repro sessions run`` (one per tenant)."""
+    from repro.dataset import Syr2kPerformanceModel
+    from repro.sessions import TuningSession
+    from repro.utils.rng import derive_seed
+
+    tuner_cls = _session_tuner_classes()[args.tuner]
+    priorities = args.priorities or [1]
+    task = Syr2kTask(args.size)
+    sessions = []
+    for t in range(args.tenants):
+        tenant = f"tenant-{t}"
+        tuner_seed = derive_seed(
+            args.seed, "tuner", 0 if args.shared_trajectory else t
+        )
+        sessions.append(
+            TuningSession(
+                f"{tenant}/s0",
+                tenant,
+                tuner_cls(syr2k_space(), seed=tuner_seed),
+                Syr2kPerformanceModel(task),
+                args.budget,
+                priority=priorities[t % len(priorities)],
+                deadline_s=args.deadline,
+                seed=derive_seed(args.seed, "session", t),
+            )
+        )
+    return sessions
+
+
+def _sessions_from_log(path):
+    """Rebuild campaigns from a log's ``register`` events (resume path)."""
+    from repro.dataset import Syr2kPerformanceModel
+    from repro.sessions import TuningSession, replay_log
+
+    tuners = _session_tuner_classes()
+    sessions = []
+    for sid, entry in replay_log(path).items():
+        meta = entry["meta"]
+        if meta is None:
+            print(
+                f"skipping {sid}: no register event in {path}",
+                file=sys.stderr,
+            )
+            continue
+        tuner_cls = tuners.get(meta["tuner"])
+        if tuner_cls is None:
+            print(
+                f"skipping {sid}: unknown tuner {meta['tuner']!r}",
+                file=sys.stderr,
+            )
+            continue
+        sessions.append(
+            TuningSession(
+                sid,
+                meta["tenant"],
+                tuner_cls(syr2k_space(), seed=meta["tuner_seed"]),
+                Syr2kPerformanceModel(Syr2kTask(meta["size"])),
+                meta["budget"],
+                priority=meta["priority"],
+                deadline_s=meta.get("deadline_s"),
+                seed=meta["seed"],
+                context_examples=meta["context_examples"],
+            )
+        )
+    return sessions
+
+
+def _render_sessions_table(rows, title):
+    t = Table(
+        ["session", "tenant", "state", "evals", "budget", "best"],
+        title=title,
+    )
+    for row in rows:
+        t.add_row(row)
+    return t.render()
+
+
+def _cmd_sessions(args) -> int:
+    from repro.sessions import replay_log
+
+    if args.action in ("status", "resume") and not args.log:
+        print(f"sessions {args.action} requires --log", file=sys.stderr)
+        return 2
+
+    if args.action == "status":
+        rows = []
+        for sid, entry in sorted(replay_log(args.log).items()):
+            meta = entry["meta"] or {}
+            evals = entry["evals"]
+            best = min((rt for _, _, rt in evals), default=None)
+            rows.append([
+                sid,
+                meta.get("tenant", "?"),
+                entry["state"] or "PENDING",
+                len(evals),
+                meta.get("budget", "?"),
+                "-" if best is None else f"{best:.6f}",
+            ])
+        print(_render_sessions_table(rows, f"session log {args.log}"))
+        return 0
+
+    from repro.serve import PredictionService, ResilientService
+    from repro.sessions import (
+        FAILED,
+        AdmissionController,
+        SessionManager,
+        TenantQuota,
+        collect_session_metrics,
+    )
+
+    if args.action == "resume":
+        sessions = _sessions_from_log(args.log)
+        if not sessions:
+            print(f"nothing to resume in {args.log}", file=sys.stderr)
+            return 1
+    else:
+        sessions = _build_sessions(args)
+    admission = AdmissionController(
+        default_quota=TenantQuota(
+            max_evaluations=args.quota, rate_per_s=args.rate
+        ),
+        max_inflight=args.max_inflight,
+    )
+    print(
+        f"driving {len(sessions)} campaigns "
+        f"({args.tenants} tenants, size {args.size})",
+        file=sys.stderr,
+    )
+    with PredictionService(
+        max_batch_size=args.batch_size, workers=args.workers
+    ) as service:
+        driver = ResilientService(service) if args.resilient else service
+        with SessionManager(
+            driver,
+            sessions=sessions,
+            admission=admission,
+            log_path=args.log,
+            resume=args.action == "resume",
+        ) as manager:
+            snapshot = manager.run(max_evaluations=args.max_evaluations)
+        stats = service.stats()
+    rows = [
+        [
+            s.session_id,
+            s.tenant,
+            s.state,
+            len(s.history),
+            s.budget.n_evaluations,
+            "-"
+            if len(s.history) == 0
+            else f"{s.history.best_runtime:.6f}",
+        ]
+        for s in manager.registry
+    ]
+    print(_render_sessions_table(rows, "sessions"))
+    fairness = snapshot["fairness_jain"]
+    print(
+        f"completed {snapshot['completed']} evaluations, "
+        f"fairness (Jain) {fairness:.3f}, "
+        f"shed {snapshot['admission']['shed']}, "
+        f"mean batch occupancy {stats.batch_occupancy:.2f}"
+    )
+    if args.metrics:
+        print()
+        print(collect_session_metrics(manager).render(title="sessions"))
+    failed = manager.registry.by_state(FAILED)
+    for session in failed:
+        print(
+            f"FAILED {session.session_id}: {session.failure_reason}",
+            file=sys.stderr,
+        )
+    if failed:
+        return 1
+    if args.min_fairness is not None and fairness < args.min_fairness:
+        print(
+            f"fairness {fairness:.3f} below required "
+            f"{args.min_fairness:.3f}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -533,7 +806,130 @@ def _run_chaos_once(args, workload, cache_probes: bool = False):
     return stats, fault_counts, fault_report, unhandled, values
 
 
+def _run_sessions_chaos_once(args, log_path):
+    """One session-manager drill under the canonical fault plan.
+
+    Returns per-session histories, the campaign completion fraction,
+    event-log integrity problems, and the service stats.
+    """
+    import argparse as _argparse
+
+    from repro.core.storage import load_events_jsonl
+    from repro.faults import DEFAULT_FAULT_PLAN
+    from repro.serve import PredictionService, ResilientService, RetryPolicy
+    from repro.sessions import EVENT_KIND, SessionManager
+
+    sessions = _build_sessions(
+        _argparse.Namespace(
+            tenants=3,
+            budget=max(2, args.requests // 6),
+            seed=args.seed,
+            size=args.size,
+            tuner="random",
+            priorities=None,
+            shared_trajectory=False,
+            deadline=None,
+        )
+    )
+    total_budget = sum(s.budget.n_evaluations for s in sessions)
+    with PredictionService(fault_plan=DEFAULT_FAULT_PLAN) as service:
+        resilient = ResilientService(
+            service,
+            retry_policy=RetryPolicy(
+                max_attempts=args.max_attempts, seed=args.seed
+            ),
+            fallback=False if args.no_fallback else None,
+        )
+        with SessionManager(
+            resilient, sessions=sessions, log_path=log_path
+        ) as manager:
+            manager.run()
+        stats = service.stats()
+
+    completed = sum(len(s.history) for s in manager.registry)
+    completion = completed / total_budget if total_budget else 1.0
+    histories = {
+        s.session_id: (tuple(s.history.indices), tuple(s.history.runtimes))
+        for s in manager.registry
+    }
+
+    # Event-log integrity: every recorded evaluation journaled exactly
+    # once, contiguously, matching the in-memory history.
+    problems = []
+    logged: dict[str, dict[int, tuple[int, float]]] = {}
+    for event in load_events_jsonl(log_path, kind=EVENT_KIND):
+        if event.get("event") != "eval":
+            continue
+        per = logged.setdefault(event["session"], {})
+        step = event["step"]
+        if step in per:
+            problems.append(f"{event['session']}: duplicated step {step}")
+        per[step] = (event["index"], event["runtime"])
+    for sid, (indices, runtimes) in histories.items():
+        per = logged.get(sid, {})
+        if sorted(per) != list(range(len(indices))):
+            problems.append(
+                f"{sid}: logged steps {sorted(per)} != "
+                f"0..{len(indices) - 1}"
+            )
+            continue
+        for step, (index, runtime) in enumerate(
+            zip(indices, runtimes)
+        ):
+            if per[step] != (index, runtime):
+                problems.append(
+                    f"{sid}: step {step} log {per[step]} != "
+                    f"history {(index, runtime)}"
+                )
+    return histories, completion, problems, stats
+
+
+def _cmd_chaos_sessions(args) -> int:
+    import tempfile
+    from pathlib import Path
+
+    print(
+        "driving 3-tenant session campaigns under DEFAULT_FAULT_PLAN",
+        file=sys.stderr,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        histories, completion, problems, stats = _run_sessions_chaos_once(
+            args, Path(tmp) / "sessions-a.jsonl"
+        )
+        n_evals = sum(len(ix) for ix, _ in histories.values())
+        print(stats.render(title="sessions chaos report"))
+        print()
+        print(
+            f"campaign completion: {completion:.2%} "
+            f"({n_evals} evaluations, availability "
+            f"{stats.availability:.2%}, {stats.n_degraded} degraded)"
+        )
+        ok = completion >= 0.99
+        if not ok:
+            print(f"completion below 99%: {completion:.2%}")
+        for problem in problems:
+            print(f"event-log integrity: {problem}")
+        ok &= not problems
+        if not problems:
+            print("event log: no lost or duplicated evaluations")
+        if args.verify_determinism:
+            histories2, _, problems2, _ = _run_sessions_chaos_once(
+                args, Path(tmp) / "sessions-b.jsonl"
+            )
+            # Fault timing may differ between runs; recorded histories
+            # must not (ground truth is measured, predictions advisory).
+            same = histories == histories2 and not problems2
+            print(
+                f"deterministic histories across two chaos runs: "
+                f"{'yes' if same else 'NO'}"
+            )
+            ok &= same
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args) -> int:
+    if args.sessions:
+        return _cmd_chaos_sessions(args)
     workload = _chaos_workload(args)
     print(
         f"driving {len(workload)} requests through a seeded fault plan "
@@ -641,6 +1037,7 @@ _COMMANDS = {
     "grid": _cmd_grid,
     "report": _cmd_report,
     "tune": _cmd_tune,
+    "sessions": _cmd_sessions,
     "table1": _cmd_table1,
     "serve-bench": _cmd_serve_bench,
     "chaos": _cmd_chaos,

@@ -25,9 +25,14 @@ __all__ = [
     "append_probes_jsonl",
     "load_probes_jsonl",
     "load_checkpoint",
+    "append_events_jsonl",
+    "load_events_jsonl",
 ]
 
 _FORMAT_VERSION = 1
+
+_EVENTS_FORMAT = "repro-events"
+_EVENTS_VERSION = 1
 
 
 def _encode_probe(probe: ProbeResult) -> dict:
@@ -172,6 +177,101 @@ def load_probes_jsonl(
                     break
                 raise
     return probes
+
+
+def append_events_jsonl(
+    events: list[dict], path: str | Path, *, kind: str
+) -> None:
+    """Append generic event records to a kind-tagged JSONL log.
+
+    The write discipline matches :func:`append_probes_jsonl` — the file
+    is created with a header line when needed, and every append is
+    flushed and fsynced so a killed process loses at most the line being
+    written (which :func:`load_events_jsonl` discards in tolerant mode).
+    ``kind`` names the log's schema (e.g. ``"session-events"``) so
+    unrelated event logs cannot be silently confused for each other.
+    """
+    path = Path(path)
+    fresh = not path.exists() or path.stat().st_size == 0
+    with path.open("a") as fh:
+        if fresh:
+            fh.write(
+                json.dumps(
+                    {
+                        "format": _EVENTS_FORMAT,
+                        "kind": kind,
+                        "version": _EVENTS_VERSION,
+                    }
+                )
+                + "\n"
+            )
+        for event in events:
+            fh.write(json.dumps(event) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def load_events_jsonl(
+    path: str | Path, *, kind: str, tolerate_partial: bool = False
+) -> list[dict]:
+    """Read events written by :func:`append_events_jsonl`.
+
+    With ``tolerate_partial=True`` (the crash-recovery mode), a corrupt
+    or truncated trailing line ends the read at that point instead of
+    raising, and an unreadable header yields an empty list.  A header of
+    the wrong ``kind`` or version always raises — resuming one log type
+    from another is a caller bug, not crash damage.
+
+    Raises
+    ------
+    ExperimentError
+        On a missing/incompatible header or corrupt records (strict mode).
+    """
+    path = Path(path)
+    events: list[dict] = []
+    with path.open() as fh:
+        header_line = fh.readline()
+        try:
+            header = json.loads(header_line)
+            if not isinstance(header, dict):
+                raise ExperimentError(f"{path} is not an event JSONL file")
+        except json.JSONDecodeError:
+            if tolerate_partial:
+                return []
+            raise ExperimentError(
+                f"{path} is not an event JSONL file"
+            ) from None
+        if header.get("format") != _EVENTS_FORMAT:
+            if tolerate_partial:
+                return []
+            raise ExperimentError(f"{path} is not an event JSONL file")
+        if header.get("kind") != kind:
+            raise ExperimentError(
+                f"{path} holds {header.get('kind')!r} events, "
+                f"expected {kind!r}"
+            )
+        if header.get("version") != _EVENTS_VERSION:
+            raise ExperimentError(
+                f"{path} has event-format version {header.get('version')}, "
+                f"expected {_EVENTS_VERSION}"
+            )
+        for line in fh:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ExperimentError(
+                        f"corrupt event record in {path}: not an object"
+                    )
+            except json.JSONDecodeError:
+                if tolerate_partial:
+                    break
+                raise ExperimentError(
+                    f"corrupt event record in {path}"
+                ) from None
+            events.append(record)
+    return events
 
 
 def load_checkpoint(

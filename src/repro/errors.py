@@ -23,6 +23,7 @@ __all__ = [
     "ExperimentError",
     "AnalysisError",
     "TuningError",
+    "SessionError",
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceClosedError",
@@ -94,6 +95,12 @@ class AnalysisError(ReproError, ValueError):
 
 class TuningError(ReproError, RuntimeError):
     """An autotuning search was configured or driven inconsistently."""
+
+
+class SessionError(ReproError, RuntimeError):
+    """A tuning session or session manager was configured or driven
+    inconsistently (invalid lifecycle transition, duplicate session id,
+    corrupt or diverging event log)."""
 
 
 class ServiceError(ReproError, RuntimeError):

@@ -1,0 +1,80 @@
+"""Multi-tenant autotuning-as-a-service: concurrent resumable campaigns.
+
+The session layer closes the loop between :mod:`repro.tuning` (single
+synchronous search loops) and :mod:`repro.serve` (a batched, cached,
+resilient surrogate service): a :class:`SessionManager` hosts many
+stateful :class:`TuningSession` campaigns — each a tenant's tuner,
+budget, priority class, and optional deadline — and drives their
+evaluations concurrently through the shared service with
+
+* admission control (:class:`AdmissionController`): per-tenant lifetime
+  quotas and token-bucket rate limits, plus load shedding when the
+  service saturates;
+* fair-share scheduling (:class:`DeficitRoundRobin`): priority-weighted
+  deficit round robin, so one tenant's huge campaign cannot starve the
+  others (fairness measured by :func:`jains_index`);
+* crash-resume: an fsynced JSONL event journal
+  (:mod:`repro.sessions.events`) through :mod:`repro.core.storage`,
+  replayed on restart to the exact
+  :class:`~repro.tuning.base.TuningHistory` the killed run had durably
+  completed;
+* observability: :func:`collect_session_metrics` and ``sessions.*``
+  tracer spans.
+"""
+
+from repro.sessions.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TenantQuota,
+    TokenBucket,
+)
+from repro.sessions.events import (
+    EVENT_KIND,
+    SessionEventLog,
+    eval_event,
+    register_event,
+    replay_log,
+    state_event,
+)
+from repro.sessions.manager import SessionManager
+from repro.sessions.metrics import collect_session_metrics
+from repro.sessions.scheduler import DEFICIT_CAP, DeficitRoundRobin
+from repro.sessions.session import (
+    DONE,
+    FAILED,
+    PAUSED,
+    PENDING,
+    RUNNING,
+    SESSION_STATES,
+    TERMINAL_STATES,
+    SessionRegistry,
+    TuningSession,
+    jains_index,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "TenantQuota",
+    "TokenBucket",
+    "DeficitRoundRobin",
+    "DEFICIT_CAP",
+    "SessionManager",
+    "SessionRegistry",
+    "TuningSession",
+    "SessionEventLog",
+    "EVENT_KIND",
+    "register_event",
+    "state_event",
+    "eval_event",
+    "replay_log",
+    "collect_session_metrics",
+    "jains_index",
+    "PENDING",
+    "RUNNING",
+    "PAUSED",
+    "DONE",
+    "FAILED",
+    "SESSION_STATES",
+    "TERMINAL_STATES",
+]

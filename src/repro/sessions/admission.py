@@ -1,0 +1,250 @@
+"""Admission control: per-tenant quotas, token buckets, load shedding.
+
+Every dispatch the :class:`~repro.sessions.manager.SessionManager` wants
+to make passes through :meth:`AdmissionController.admit` first.  Denials
+come in two flavours:
+
+* **permanent** (``retryable=False``): the tenant's lifetime evaluation
+  quota is exhausted — the campaign can never make further progress and
+  the manager fails it.
+* **retryable** (``retryable=True``): rate limit, concurrency cap, or
+  service saturation.  The manager skips the session this scheduler turn
+  and tries again later; the session's cached proposal guarantees the
+  retry submits the identical configuration.
+
+Check ordering matters: the rate-limit token is consumed *last*, so a
+dispatch denied for saturation or concurrency does not burn the tenant's
+token budget.  Conversely :meth:`refund` returns quota/concurrency (not
+tokens) when an admitted dispatch is subsequently shed by the service —
+tokens model offered load, which the shed attempt genuinely was.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import SessionError
+
+__all__ = [
+    "TokenBucket",
+    "TenantQuota",
+    "AdmissionDecision",
+    "AdmissionController",
+]
+
+
+class TokenBucket:
+    """Classic token-bucket rate limiter with an injectable clock.
+
+    The bucket holds up to ``burst`` tokens and refills continuously at
+    ``rate_per_s``.  :meth:`try_take` consumes one token when available.
+    The clock is injectable so tests (and deterministic chaos drills)
+    can drive time explicitly.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate_per_s <= 0:
+            raise SessionError(f"rate_per_s must be positive, got {rate_per_s}")
+        if burst < 1:
+            raise SessionError(f"burst must be >= 1, got {burst}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate_per_s)
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_take(self) -> bool:
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits.
+
+    ``max_evaluations`` is a lifetime cap across all of the tenant's
+    sessions (None = unlimited); ``max_concurrent`` bounds in-flight
+    evaluations; ``rate_per_s`` (None = unlimited) adds a token-bucket
+    rate limit with capacity ``burst``.
+    """
+
+    max_evaluations: int | None = None
+    max_concurrent: int = 4
+    rate_per_s: float | None = None
+    burst: float = 8.0
+
+    def __post_init__(self):
+        if self.max_evaluations is not None and self.max_evaluations < 0:
+            raise SessionError(
+                f"max_evaluations must be >= 0, got {self.max_evaluations}"
+            )
+        if self.max_concurrent < 1:
+            raise SessionError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}"
+            )
+        if self.rate_per_s is not None and self.rate_per_s <= 0:
+            raise SessionError(
+                f"rate_per_s must be positive, got {self.rate_per_s}"
+            )
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    admitted: bool
+    reason: str
+    retryable: bool = False
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class AdmissionController:
+    """Gate dispatches by tenant quota, rate limit, and service load.
+
+    Parameters
+    ----------
+    quotas:
+        Per-tenant :class:`TenantQuota` overrides.
+    default_quota:
+        Quota applied to tenants without an explicit entry.
+    max_inflight:
+        Global in-flight ceiling, the load-shedding threshold: admission
+        returns a retryable ``"saturated"`` denial once this many
+        admitted evaluations are outstanding.  Size it to the service's
+        queue capacity so the controller sheds *before* the service
+        raises ``ServiceOverloadedError``.
+    clock:
+        Injectable time source shared by all token buckets.
+    """
+
+    def __init__(
+        self,
+        quotas: Mapping[str, TenantQuota] | None = None,
+        *,
+        default_quota: TenantQuota | None = None,
+        max_inflight: int = 32,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_inflight < 1:
+            raise SessionError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self._quotas = dict(quotas or {})
+        self._default = default_quota or TenantQuota()
+        self.max_inflight = max_inflight
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._admitted: dict[str, int] = {}
+        self._inflight: dict[str, int] = {}
+        self.n_shed = 0
+        self.n_denied: dict[str, int] = {}
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self._quotas.get(tenant, self._default)
+
+    def _bucket_for(self, tenant: str) -> TokenBucket | None:
+        quota = self.quota_for(tenant)
+        if quota.rate_per_s is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(quota.rate_per_s, quota.burst, self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    @property
+    def total_inflight(self) -> int:
+        return sum(self._inflight.values())
+
+    def inflight(self, tenant: str) -> int:
+        return self._inflight.get(tenant, 0)
+
+    def admitted(self, tenant: str) -> int:
+        """Lifetime admitted (non-refunded) evaluations for ``tenant``."""
+        return self._admitted.get(tenant, 0)
+
+    def _deny(self, reason: str, *, retryable: bool) -> AdmissionDecision:
+        self.n_denied[reason] = self.n_denied.get(reason, 0) + 1
+        if reason == "saturated":
+            self.n_shed += 1
+        return AdmissionDecision(False, reason, retryable=retryable)
+
+    def admit(self, tenant: str) -> AdmissionDecision:
+        """Decide one evaluation dispatch for ``tenant``.
+
+        Order: lifetime quota (permanent) → global saturation (shed) →
+        per-tenant concurrency → rate limit.  Only a fully admitted
+        dispatch consumes a rate token or counts against quota.
+        """
+        quota = self.quota_for(tenant)
+        if (
+            quota.max_evaluations is not None
+            and self._admitted.get(tenant, 0) >= quota.max_evaluations
+        ):
+            return self._deny("quota", retryable=False)
+        if self.total_inflight >= self.max_inflight:
+            return self._deny("saturated", retryable=True)
+        if self._inflight.get(tenant, 0) >= quota.max_concurrent:
+            return self._deny("concurrency", retryable=True)
+        bucket = self._bucket_for(tenant)
+        if bucket is not None and not bucket.try_take():
+            return self._deny("rate", retryable=True)
+        self._admitted[tenant] = self._admitted.get(tenant, 0) + 1
+        self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+        return AdmissionDecision(True, "admitted")
+
+    def complete(self, tenant: str) -> None:
+        """Mark one admitted evaluation finished (success or failure)."""
+        current = self._inflight.get(tenant, 0)
+        if current <= 0:
+            raise SessionError(
+                f"complete() without matching admit() for tenant {tenant!r}"
+            )
+        self._inflight[tenant] = current - 1
+
+    def refund(self, tenant: str) -> None:
+        """Return quota + concurrency for an admitted-then-shed dispatch.
+
+        Called when the service rejected a dispatch the controller had
+        already admitted (queue filled in between): the evaluation never
+        ran, so it must not count against the tenant's lifetime quota.
+        The rate token is deliberately not returned.
+        """
+        self.complete(tenant)
+        current = self._admitted.get(tenant, 0)
+        if current <= 0:
+            raise SessionError(
+                f"refund() without matching admit() for tenant {tenant!r}"
+            )
+        self._admitted[tenant] = current - 1
+
+    def snapshot(self) -> dict:
+        return {
+            "max_inflight": self.max_inflight,
+            "total_inflight": self.total_inflight,
+            "inflight": dict(self._inflight),
+            "admitted": dict(self._admitted),
+            "shed": self.n_shed,
+            "denied": dict(self.n_denied),
+        }

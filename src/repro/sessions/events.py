@@ -1,0 +1,172 @@
+"""Session event log: append-only JSONL journal + crash-tolerant replay.
+
+The :class:`~repro.sessions.manager.SessionManager` journals three event
+types through :func:`repro.core.storage.append_events_jsonl` (kind
+``"session-events"``, same fsync + tolerant-tail discipline as the grid
+checkpoint format):
+
+``register``
+    One per session, at manager start: everything needed to rebuild the
+    campaign from scratch (tenant, tuner name + seed, budget, priority,
+    session seed, task size, context width, deadline).
+``state``
+    A lifecycle transition (``RUNNING``/``PAUSED``/``DONE``/``FAILED``)
+    with an optional reason.
+``eval``
+    One completed evaluation: step ordinal, configuration index, the
+    ground-truth runtime recorded into the history, plus advisory
+    surrogate metadata (predicted value, provenance, degraded flag).
+
+Replay (:func:`replay_log`) reconstructs per-session evaluation prefixes:
+events are deduplicated first-wins by step (a crash between the service
+completing and the fsync landing can re-emit a step on resume) and
+truncated at the first gap, so the result is always the exact contiguous
+prefix 0..k the campaign had durably completed.  Feeding that prefix to
+:meth:`TuningSession.replay` re-proposes every step through the tuner,
+fast-forwarding its RNG/search state to exactly where the killed run was.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.storage import append_events_jsonl, load_events_jsonl
+from repro.errors import SessionError
+
+__all__ = [
+    "EVENT_KIND",
+    "register_event",
+    "state_event",
+    "eval_event",
+    "SessionEventLog",
+    "replay_log",
+]
+
+EVENT_KIND = "session-events"
+
+
+def register_event(session) -> dict:
+    """Registration record for a :class:`TuningSession` (rebuild recipe)."""
+    return {
+        "event": "register",
+        "session": session.session_id,
+        "tenant": session.tenant,
+        "tuner": session.tuner.name,
+        "tuner_seed": session.tuner.seed,
+        "budget": session.budget.n_evaluations,
+        "priority": session.priority,
+        "deadline_s": session.deadline_s,
+        "seed": session.seed,
+        "context_examples": session.context_examples,
+        "size": session.model.task.size,
+    }
+
+
+def state_event(session_id: str, state: str, reason: str | None = None) -> dict:
+    event = {"event": "state", "session": session_id, "state": state}
+    if reason is not None:
+        event["reason"] = reason
+    return event
+
+
+def eval_event(
+    session_id: str,
+    step: int,
+    index: int,
+    runtime: float,
+    *,
+    predicted: float | None = None,
+    provenance: str | None = None,
+    degraded: bool = False,
+) -> dict:
+    return {
+        "event": "eval",
+        "session": session_id,
+        "step": step,
+        "index": index,
+        "runtime": runtime,
+        "predicted": predicted,
+        "provenance": provenance,
+        "degraded": degraded,
+    }
+
+
+class SessionEventLog:
+    """Thin buffered writer over the storage-layer event functions.
+
+    Events queue in memory via :meth:`emit` and hit disk (one fsync) on
+    :meth:`flush` — the manager flushes once per completion-drain, not
+    once per event, so journaling cost stays off the dispatch path.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._buffer: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self._buffer.append(event)
+
+    def flush(self) -> None:
+        if not self._buffer:
+            return
+        append_events_jsonl(self._buffer, self.path, kind=EVENT_KIND)
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+def replay_log(path: str | Path) -> dict[str, dict]:
+    """Parse a session event log into per-session replay state.
+
+    Returns ``{session_id: {"meta": register-record | None,
+    "state": last-logged-state | None, "reason": last failure/pause
+    reason, "evals": [(step, index, runtime), ...]}}`` where ``evals``
+    is the deduplicated contiguous prefix from step 0.  Unreadable or
+    truncated tails are tolerated (crash recovery); a malformed event
+    that *did* fully land raises :class:`SessionError`.
+    """
+    sessions: dict[str, dict] = {}
+    for event in load_events_jsonl(
+        path, kind=EVENT_KIND, tolerate_partial=True
+    ):
+        kind = event.get("event")
+        sid = event.get("session")
+        if not isinstance(sid, str) or not sid:
+            raise SessionError(f"event log {path}: event without session id")
+        entry = sessions.setdefault(
+            sid, {"meta": None, "state": None, "reason": None, "evals": {}}
+        )
+        if kind == "register":
+            if entry["meta"] is None:
+                entry["meta"] = event
+        elif kind == "state":
+            entry["state"] = event.get("state")
+            entry["reason"] = event.get("reason")
+        elif kind == "eval":
+            try:
+                step = int(event["step"])
+                index = int(event["index"])
+                runtime = float(event["runtime"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SessionError(
+                    f"event log {path}: corrupt eval event for "
+                    f"session {sid!r}: {exc}"
+                ) from exc
+            # First-wins: a resume after a crash between service
+            # completion and fsync can legitimately re-log a step.
+            entry["evals"].setdefault(step, (index, runtime))
+        else:
+            raise SessionError(
+                f"event log {path}: unknown event type {kind!r}"
+            )
+    for entry in sessions.values():
+        evals: list[tuple[int, int, float]] = []
+        by_step = entry["evals"]
+        for step in range(len(by_step)):
+            if step not in by_step:
+                break  # gap: keep only the contiguous durable prefix
+            index, runtime = by_step[step]
+            evals.append((step, index, runtime))
+        entry["evals"] = evals
+    return sessions

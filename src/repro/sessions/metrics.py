@@ -1,0 +1,50 @@
+"""Map a session manager's snapshot onto the obs metrics vocabulary.
+
+The companion of :func:`repro.obs.metrics.collect_service_metrics`, one
+layer up: per-tenant throughput and completed-evaluation counters, the
+shed/denied breakdown from admission control, session-state gauges, and
+the fairness gauge (Jain's index) the scheduler is graded on.  Pass the
+same registry to both collectors for a single unified dashboard of the
+whole serving stack.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["collect_session_metrics"]
+
+
+def collect_session_metrics(
+    manager, registry: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Freeze a :class:`~repro.sessions.manager.SessionManager`'s state
+    into labelled instruments.
+
+    Point-in-time, like the service collector: pass a fresh registry
+    (the default) or accept double-counting.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    snap = manager.snapshot()
+
+    for tenant, agg in snap["tenants"].items():
+        registry.counter("sessions.evaluations", tenant=tenant).inc(
+            agg["completed_evaluations"]
+        )
+        registry.counter("sessions.shed", tenant=tenant).inc(agg["shed"])
+        registry.counter("sessions.eval_errors", tenant=tenant).inc(
+            agg["eval_errors"]
+        )
+        registry.gauge("sessions.throughput_eps", tenant=tenant).set(
+            agg["throughput_eps"]
+        )
+    for state, count in snap["states"].items():
+        registry.gauge("sessions.sessions", state=state).set(count)
+    for reason, count in snap["admission"]["denied"].items():
+        registry.counter("sessions.denied", reason=reason).inc(count)
+    registry.counter("sessions.shed_total").inc(snap["admission"]["shed"])
+    registry.gauge("sessions.inflight").set(
+        snap["admission"]["total_inflight"]
+    )
+    registry.gauge("sessions.fairness_jain").set(snap["fairness_jain"])
+    return registry

@@ -1,0 +1,406 @@
+"""Stateful tuning campaigns: lifecycle, per-tenant identity, registry.
+
+A :class:`TuningSession` is one autotuning campaign owned by a tenant: a
+tuner, an evaluation budget, a priority class, and an optional deadline,
+plus the campaign's accumulated :class:`~repro.tuning.base.TuningHistory`.
+Sessions move through the lifecycle::
+
+    PENDING -> RUNNING <-> PAUSED
+                  |  \\
+                  v   v
+               FAILED  DONE
+
+The session itself never talks to the serving stack — the
+:class:`~repro.sessions.manager.SessionManager` proposes/evaluates on its
+behalf — so the same session semantics hold under any execution backend.
+Proposals are cached on the session until an evaluation is *recorded*:
+a load-shed or retried dispatch re-submits the identical configuration
+instead of burning a fresh tuner draw, which is what keeps campaigns
+deterministic under admission-control backpressure.
+
+:func:`jains_index` is the fairness measure the scheduler is graded on:
+``(sum x)^2 / (n * sum x^2)`` over per-tenant completed-evaluation
+counts — 1.0 for a perfectly even split, ``1/n`` for a single tenant
+monopolizing the service.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.dataset.perfmodel import Syr2kPerformanceModel
+from repro.errors import SessionError, TuningError
+from repro.tuning.base import EvaluationBudget, Tuner, TuningHistory
+
+__all__ = [
+    "PENDING",
+    "RUNNING",
+    "PAUSED",
+    "DONE",
+    "FAILED",
+    "SESSION_STATES",
+    "TERMINAL_STATES",
+    "TuningSession",
+    "SessionRegistry",
+    "jains_index",
+]
+
+PENDING = "PENDING"
+RUNNING = "RUNNING"
+PAUSED = "PAUSED"
+DONE = "DONE"
+FAILED = "FAILED"
+
+SESSION_STATES = (PENDING, RUNNING, PAUSED, DONE, FAILED)
+TERMINAL_STATES = (DONE, FAILED)
+
+
+def jains_index(counts: Iterable[float]) -> float:
+    """Jain's fairness index over per-tenant allocation counts.
+
+    Returns 1.0 for an empty or all-zero allocation (nothing was unfair
+    about serving nobody).
+    """
+    values = [float(c) for c in counts]
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+class TuningSession:
+    """One tenant-owned autotuning campaign.
+
+    Parameters
+    ----------
+    session_id:
+        Unique identifier within a :class:`SessionRegistry`.
+    tenant:
+        Owning tenant; quotas, rate limits, and fairness are per-tenant.
+    tuner:
+        The proposal strategy.  Its space must match the model's.
+    model:
+        The performance model "machine" evaluations are measured on.
+        Measurements use ``rep = step + 1`` exactly like
+        :func:`repro.tuning.harness.run_tuner`, so a session's final
+        history is bit-identical to a sequential ``run_tuner`` run of
+        the same tuner/model/budget.
+    budget:
+        Evaluation budget (int or :class:`EvaluationBudget`).
+    priority:
+        Fair-share weight (>= 1); the deficit-round-robin scheduler
+        serves tenants proportionally to it.
+    deadline_s:
+        Optional wall-clock deadline relative to the manager run start;
+        expiry fails the campaign with its partial history intact.
+    seed:
+        Root of the per-evaluation service-request seeds.
+    context_examples:
+        How many recent observations ride along as ICL examples in each
+        surrogate request.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        tenant: str,
+        tuner: Tuner,
+        model: Syr2kPerformanceModel,
+        budget: EvaluationBudget | int,
+        *,
+        priority: int = 1,
+        deadline_s: float | None = None,
+        seed: int = 0,
+        context_examples: int = 8,
+    ):
+        if not session_id:
+            raise SessionError("session_id must be non-empty")
+        if not tenant:
+            raise SessionError("tenant must be non-empty")
+        if isinstance(budget, int):
+            budget = EvaluationBudget(budget)
+        if priority < 1:
+            raise SessionError(f"priority must be >= 1, got {priority}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise SessionError(
+                f"deadline_s must be positive, got {deadline_s}"
+            )
+        if context_examples < 1:
+            raise SessionError(
+                f"context_examples must be >= 1, got {context_examples}"
+            )
+        if tuner.space.size != model.space.size:
+            raise SessionError(
+                f"session {session_id!r}: tuner and model spaces differ"
+            )
+        self.session_id = session_id
+        self.tenant = tenant
+        self.tuner = tuner
+        self.model = model
+        self.budget = budget
+        self.priority = int(priority)
+        self.deadline_s = deadline_s
+        self.seed = int(seed)
+        self.context_examples = int(context_examples)
+
+        self.state = PENDING
+        self.failure_reason: str | None = None
+        self.history = TuningHistory()
+        self.inflight = False
+        #: Dispatches refused by service backpressure (queue full).
+        self.n_shed = 0
+        #: Admission-controller denials (rate/concurrency/saturation).
+        self.n_denied = 0
+        #: Service-side evaluation attempts that raised and were retried.
+        self.n_eval_errors = 0
+        self._pending_proposal: int | None = None
+        self._consecutive_errors = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def step(self) -> int:
+        """Next evaluation ordinal (== completed evaluations so far)."""
+        return len(self.history)
+
+    @property
+    def remaining(self) -> int:
+        return self.budget.n_evaluations - len(self.history)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def __repr__(self) -> str:
+        return (
+            f"TuningSession({self.session_id!r}, tenant={self.tenant!r}, "
+            f"state={self.state}, {self.step}/{self.budget.n_evaluations})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """PENDING -> RUNNING; resets the tuner for a fresh campaign.
+
+        A session resumed from an event log already holds replayed
+        history — the tuner was fast-forwarded during replay, so start
+        skips the reset in that case.
+        """
+        if self.state != PENDING:
+            raise SessionError(
+                f"cannot start session {self.session_id!r} from {self.state}"
+            )
+        if len(self.history) == 0:
+            self.tuner.reset()
+        self.state = RUNNING
+
+    def pause(self) -> None:
+        if self.state != RUNNING:
+            raise SessionError(
+                f"cannot pause session {self.session_id!r} from {self.state}"
+            )
+        self.state = PAUSED
+
+    def unpause(self) -> None:
+        if self.state != PAUSED:
+            raise SessionError(
+                f"cannot unpause session {self.session_id!r} "
+                f"from {self.state}"
+            )
+        self.state = RUNNING
+
+    def fail(self, reason: str) -> None:
+        if self.terminal:
+            raise SessionError(
+                f"cannot fail session {self.session_id!r} from {self.state}"
+            )
+        self.state = FAILED
+        self.failure_reason = reason
+
+    # ------------------------------------------------------------------ #
+    # Proposal / evaluation
+    # ------------------------------------------------------------------ #
+    def _propose(self) -> int:
+        try:
+            index = self.tuner.propose(self.history)
+        except TuningError as exc:
+            raise TuningError(
+                f"session {self.session_id!r}: tuner {self.tuner.name!r} "
+                f"propose() failed at evaluation {self.step}: {exc}"
+            ) from exc
+        except Exception as exc:
+            raise TuningError(
+                f"session {self.session_id!r}: tuner {self.tuner.name!r} "
+                f"propose() raised {type(exc).__name__} at evaluation "
+                f"{self.step}: {exc}"
+            ) from exc
+        if not 0 <= index < self.model.space.size:
+            raise TuningError(
+                f"session {self.session_id!r}: tuner {self.tuner.name!r} "
+                f"proposed out-of-range index {index}"
+            )
+        return int(index)
+
+    def next_proposal(self) -> int:
+        """The configuration index to evaluate next (cached until recorded).
+
+        The cache is what makes load shedding harmless: a dispatch that
+        was shed or errored re-submits the *same* proposal, so the
+        campaign's trajectory is independent of backpressure timing.
+        """
+        if self.remaining <= 0:
+            raise SessionError(
+                f"session {self.session_id!r} has no budget left"
+            )
+        if self._pending_proposal is None:
+            self._pending_proposal = self._propose()
+        return self._pending_proposal
+
+    def record(self, index: int, runtime: float) -> None:
+        """Record one completed evaluation; DONE once the budget is spent."""
+        if self.state not in (RUNNING, PAUSED):
+            raise SessionError(
+                f"cannot record onto session {self.session_id!r} "
+                f"in state {self.state}"
+            )
+        self.history.record(index, runtime)
+        self._pending_proposal = None
+        self._consecutive_errors = 0
+        if self.remaining <= 0:
+            self.state = DONE
+
+    def note_eval_error(self, max_attempts: int) -> bool:
+        """Count one failed evaluation attempt; True if the session should
+        fail (``max_attempts`` consecutive errors without a completion)."""
+        self.n_eval_errors += 1
+        self._consecutive_errors += 1
+        return self._consecutive_errors >= max_attempts
+
+    def replay(self, evals: list[tuple[int, int, float]]) -> None:
+        """Fast-forward a PENDING session from logged ``(step, index,
+        runtime)`` evaluations.
+
+        The tuner is reset and re-proposes every replayed step against
+        the growing history, so its internal RNG/search state lands
+        exactly where the killed run left it; a proposal that diverges
+        from the log means the log belongs to a different campaign and
+        raises.  Steps must be the contiguous prefix 0..k.
+        """
+        if self.state != PENDING or len(self.history) > 0:
+            raise SessionError(
+                f"can only replay into a fresh PENDING session, "
+                f"not {self.session_id!r} in {self.state}"
+            )
+        self.tuner.reset()
+        for expected_step, (step, index, runtime) in enumerate(evals):
+            if step != expected_step:
+                raise SessionError(
+                    f"session {self.session_id!r}: event log has gap at "
+                    f"step {expected_step} (found step {step})"
+                )
+            proposed = self._propose()
+            if proposed != index:
+                raise SessionError(
+                    f"session {self.session_id!r}: event log diverges at "
+                    f"step {step} (log index {index}, tuner re-proposed "
+                    f"{proposed})"
+                )
+            self.history.record(index, runtime)
+        self._pending_proposal = None
+        if self.remaining <= 0:
+            self.state = DONE
+
+
+class SessionRegistry:
+    """All sessions a manager hosts, with per-tenant aggregate snapshots."""
+
+    def __init__(self):
+        self._sessions: dict[str, TuningSession] = {}
+
+    def add(self, session: TuningSession) -> None:
+        if session.session_id in self._sessions:
+            raise SessionError(
+                f"duplicate session id {session.session_id!r}"
+            )
+        self._sessions[session.session_id] = session
+
+    def get(self, session_id: str) -> TuningSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise SessionError(f"unknown session {session_id!r}") from None
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def __iter__(self) -> Iterator[TuningSession]:
+        return iter(self._sessions.values())
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def by_state(self, state: str) -> list[TuningSession]:
+        return [s for s in self if s.state == state]
+
+    def active(self) -> list[TuningSession]:
+        """Sessions that are not yet DONE/FAILED."""
+        return [s for s in self if not s.terminal]
+
+    def tenants(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for session in self:
+            seen.setdefault(session.tenant, None)
+        return list(seen)
+
+    def fairness(self) -> float:
+        """Jain's index over per-tenant completed-evaluation counts."""
+        per_tenant: dict[str, int] = {}
+        for session in self:
+            per_tenant[session.tenant] = (
+                per_tenant.get(session.tenant, 0) + len(session.history)
+            )
+        return jains_index(per_tenant.values())
+
+    def snapshot(self, elapsed_s: float | None = None) -> dict:
+        """JSON-friendly point-in-time view (the obs metrics source).
+
+        Per-tenant: completed evaluations, shed/denied/error counts, and
+        throughput (evaluations/s over ``elapsed_s`` when given).  Plus
+        session-state counts and the fairness gauge.
+        """
+        tenants: dict[str, dict] = {}
+        states = {state: 0 for state in SESSION_STATES}
+        for session in self:
+            states[session.state] += 1
+            agg = tenants.setdefault(
+                session.tenant,
+                {
+                    "sessions": 0,
+                    "completed_evaluations": 0,
+                    "shed": 0,
+                    "denied": 0,
+                    "eval_errors": 0,
+                    "throughput_eps": 0.0,
+                },
+            )
+            agg["sessions"] += 1
+            agg["completed_evaluations"] += len(session.history)
+            agg["shed"] += session.n_shed
+            agg["denied"] += session.n_denied
+            agg["eval_errors"] += session.n_eval_errors
+        if elapsed_s and elapsed_s > 0:
+            for agg in tenants.values():
+                agg["throughput_eps"] = (
+                    agg["completed_evaluations"] / elapsed_s
+                )
+        return {
+            "tenants": tenants,
+            "states": states,
+            "fairness_jain": self.fairness(),
+            "elapsed_s": elapsed_s,
+        }

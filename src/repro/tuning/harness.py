@@ -9,6 +9,7 @@ import numpy as np
 from repro.dataset.perfmodel import Syr2kPerformanceModel
 from repro.errors import TuningError
 from repro.tuning.base import EvaluationBudget, Tuner, TuningHistory, TuningResult
+from repro.utils.rng import derive_seed
 
 __all__ = ["run_tuner", "TunerComparison", "compare_tuners"]
 
@@ -17,27 +18,60 @@ def run_tuner(
     tuner: Tuner,
     model: Syr2kPerformanceModel,
     budget: EvaluationBudget | int,
+    *,
+    seed: int | None = None,
 ) -> TuningResult:
     """Drive one tuner against the performance model.
 
     Each evaluation is a fresh noisy measurement (``rep`` = evaluation
     ordinal), so repeated proposals see run-to-run variance like a real
     machine.
+
+    ``seed`` makes the whole run an explicit pure function: the tuner is
+    re-seeded with ``derive_seed(seed, "tuner", tuner.name)`` (restored
+    afterwards) and each measurement's ``rep`` derives from
+    ``(seed, "measure", step)`` instead of the bare ordinal — two calls
+    with the same seed produce identical histories, different seeds
+    decorrelate both the search and the noise.  ``None`` keeps the
+    legacy behaviour (tuner's own seed, ``rep = step + 1``), which is
+    equally deterministic but couples runs to ambient tuner state.
     """
     if isinstance(budget, int):
         budget = EvaluationBudget(budget)
     if tuner.space.size != model.space.size:
         raise TuningError("tuner and model spaces differ")
-    tuner.reset()
-    history = TuningHistory()
-    for step in range(budget.n_evaluations):
-        index = tuner.propose(history)
-        if not 0 <= index < model.space.size:
-            raise TuningError(
-                f"{tuner.name} proposed out-of-range index {index}"
+    saved_seed = tuner.seed
+    if seed is not None:
+        tuner.seed = derive_seed(seed, "tuner", tuner.name)
+    try:
+        tuner.reset()
+        history = TuningHistory()
+        for step in range(budget.n_evaluations):
+            try:
+                index = tuner.propose(history)
+            except TuningError as exc:
+                raise TuningError(
+                    f"tuner {tuner.name!r} propose() failed at evaluation "
+                    f"{step}: {exc}"
+                ) from exc
+            except Exception as exc:
+                raise TuningError(
+                    f"tuner {tuner.name!r} propose() raised "
+                    f"{type(exc).__name__} at evaluation {step}: {exc}"
+                ) from exc
+            if not 0 <= index < model.space.size:
+                raise TuningError(
+                    f"{tuner.name} proposed out-of-range index {index}"
+                )
+            rep = (
+                step + 1
+                if seed is None
+                else max(1, derive_seed(seed, "measure", step))
             )
-        runtime = float(model.measure([index], rep=step + 1)[0])
-        history.record(index, runtime)
+            runtime = float(model.measure([index], rep=rep)[0])
+            history.record(index, runtime)
+    finally:
+        tuner.seed = saved_seed
     return TuningResult(
         tuner_name=tuner.name,
         history=history,
@@ -82,12 +116,18 @@ def compare_tuners(
     model: Syr2kPerformanceModel,
     budget: int,
     repetitions: int = 3,
+    *,
+    seed: int | None = None,
 ) -> TunerComparison:
     """Run each tuner ``repetitions`` times under the same budget.
 
-    Tuner seeds are varied per repetition by re-seeding deterministically
-    (``tuner.seed + 1000 * rep``) so repetitions differ but the whole
-    comparison is reproducible.
+    Without an explicit ``seed``, tuner seeds are varied per repetition
+    by re-seeding deterministically (``tuner.seed + 1000 * rep``) so
+    repetitions differ but the whole comparison is reproducible given
+    the tuners' ambient seeds.  With ``seed``, every repetition runs
+    ``run_tuner(..., seed=derive_seed(seed, "rep", rep))`` — the
+    comparison is then a pure function of ``seed`` alone, independent
+    of how the tuner instances were seeded at construction.
     """
     if repetitions < 1:
         raise TuningError(f"repetitions must be >= 1, got {repetitions}")
@@ -95,10 +135,22 @@ def compare_tuners(
     for tuner in tuners:
         runs = []
         base_seed = tuner.seed
-        for rep in range(repetitions):
-            tuner.seed = base_seed + 1000 * rep
-            runs.append(run_tuner(tuner, model, budget))
-        tuner.seed = base_seed
+        try:
+            for rep in range(repetitions):
+                if seed is None:
+                    tuner.seed = base_seed + 1000 * rep
+                    runs.append(run_tuner(tuner, model, budget))
+                else:
+                    runs.append(
+                        run_tuner(
+                            tuner,
+                            model,
+                            budget,
+                            seed=derive_seed(seed, "rep", rep),
+                        )
+                    )
+        finally:
+            tuner.seed = base_seed
         results[tuner.name] = runs
     noiseless = model.noiseless_runtimes()
     return TunerComparison(

@@ -164,9 +164,11 @@ class TestRoundTrips:
             "overhead: 3.7% (1031 spans)\n"
         )
         (tmp_path / "llm_prefix_cache.txt").write_text("speedup: 2.52x\n")
+        (tmp_path / "sessions_throughput.txt").write_text("speedup: 1.5x\n")
         metrics = collect_metrics(tmp_path)
         assert metrics == {
             "serve_caching_speedup": pytest.approx(5.0),
             "serve_tracing_overhead": pytest.approx(0.037),
             "prefix_reuse_speedup": pytest.approx(2.52),
+            "sessions_throughput": pytest.approx(1.5),
         }

@@ -164,3 +164,58 @@ class TestObservabilityCommands:
             "deterministic with degraded cache serves interleaved: yes"
             in out
         )
+
+
+class TestSessionsCommand:
+    def test_parser_accepts_actions(self):
+        args = build_parser().parse_args(
+            ["sessions", "run", "--tenants", "2", "--budget", "4"]
+        )
+        assert args.command == "sessions" and args.action == "run"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sessions", "restart"])
+
+    def test_status_and_resume_require_log(self, capsys):
+        assert main(["sessions", "status"]) == 2
+        assert main(["sessions", "resume"]) == 2
+
+    def test_run_status_resume_cycle(self, tmp_path, capsys):
+        log = str(tmp_path / "sessions.jsonl")
+        assert main([
+            "sessions", "run", "--tenants", "2", "--budget", "4",
+            "--log", log, "--max-evaluations", "3",
+            "--min-fairness", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fairness (Jain)" in out
+
+        assert main(["sessions", "status", "--log", log]) == 0
+        out = capsys.readouterr().out
+        assert "PAUSED" in out
+
+        assert main(["sessions", "resume", "--log", log]) == 0
+        out = capsys.readouterr().out
+        assert out.count("DONE") == 2
+
+    def test_run_fairness_gate_fails(self, capsys):
+        # an impossible fairness bar (> 1.0) must exit nonzero
+        assert main([
+            "sessions", "run", "--tenants", "2", "--budget", "2",
+            "--min-fairness", "1.5",
+        ]) == 1
+
+    def test_run_resilient_and_metrics(self, capsys):
+        assert main([
+            "sessions", "run", "--tenants", "2", "--budget", "2",
+            "--resilient", "--metrics",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sessions.fairness_jain" in out
+
+    def test_chaos_sessions_smoke(self, capsys):
+        assert main([
+            "chaos", "--sessions", "--requests", "12", "--seed", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "campaign completion: 100.00%" in out
+        assert "no lost or duplicated evaluations" in out

@@ -82,3 +82,79 @@ class TestErrors:
         )
         with pytest.raises(ExperimentError, match="corrupt"):
             load_probes_jsonl(path)
+
+
+class TestEventLog:
+    """Generic kind-tagged event JSONL (the session-journal substrate)."""
+
+    def events(self, n, start=0):
+        return [{"event": "eval", "step": i} for i in range(start, start + n)]
+
+    def test_roundtrip(self, tmp_path):
+        from repro.core.storage import append_events_jsonl, load_events_jsonl
+
+        path = tmp_path / "events.jsonl"
+        append_events_jsonl(self.events(3), path, kind="session-events")
+        loaded = load_events_jsonl(path, kind="session-events")
+        assert loaded == self.events(3)
+
+    def test_append_accumulates_single_header(self, tmp_path):
+        from repro.core.storage import append_events_jsonl, load_events_jsonl
+
+        path = tmp_path / "events.jsonl"
+        append_events_jsonl(self.events(2), path, kind="k")
+        append_events_jsonl(self.events(2, start=2), path, kind="k")
+        assert load_events_jsonl(path, kind="k") == self.events(4)
+        assert len(path.read_text().splitlines()) == 5  # 1 header + 4
+
+    def test_kind_mismatch_always_raises(self, tmp_path):
+        from repro.core.storage import append_events_jsonl, load_events_jsonl
+
+        path = tmp_path / "events.jsonl"
+        append_events_jsonl(self.events(1), path, kind="session-events")
+        with pytest.raises(ExperimentError, match="session-events"):
+            load_events_jsonl(path, kind="other")
+        with pytest.raises(ExperimentError, match="session-events"):
+            load_events_jsonl(path, kind="other", tolerate_partial=True)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"format": "repro-events", "kind": "k", "version": 99}\n'
+        )
+        from repro.core.storage import load_events_jsonl
+
+        with pytest.raises(ExperimentError, match="version"):
+            load_events_jsonl(path, kind="k")
+
+    def test_tolerant_tail_discards_torn_write(self, tmp_path):
+        from repro.core.storage import append_events_jsonl, load_events_jsonl
+
+        path = tmp_path / "events.jsonl"
+        append_events_jsonl(self.events(2), path, kind="k")
+        with path.open("a") as fh:
+            fh.write('{"event": "eval", "ste')  # killed mid-write
+        assert load_events_jsonl(
+            path, kind="k", tolerate_partial=True
+        ) == self.events(2)
+        with pytest.raises(ExperimentError, match="corrupt"):
+            load_events_jsonl(path, kind="k")
+
+    def test_unreadable_header_tolerant_is_empty(self, tmp_path):
+        from repro.core.storage import load_events_jsonl
+
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"form')
+        assert load_events_jsonl(path, kind="k", tolerate_partial=True) == []
+        with pytest.raises(ExperimentError):
+            load_events_jsonl(path, kind="k")
+
+    def test_non_object_record_rejected(self, tmp_path):
+        from repro.core.storage import append_events_jsonl, load_events_jsonl
+
+        path = tmp_path / "events.jsonl"
+        append_events_jsonl(self.events(1), path, kind="k")
+        with path.open("a") as fh:
+            fh.write("[1, 2, 3]\n")
+        with pytest.raises(ExperimentError, match="not an object"):
+            load_events_jsonl(path, kind="k")

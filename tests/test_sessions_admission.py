@@ -1,0 +1,150 @@
+"""Tests for admission control: token buckets, quotas, shedding."""
+
+import pytest
+
+from repro.errors import SessionError
+from repro.sessions import AdmissionController, TenantQuota, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(1.0, 3, clock=FakeClock())
+        assert bucket.tokens == 3.0
+        assert bucket.try_take()
+        assert bucket.try_take()
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2.0, 2, clock=clock)
+        assert bucket.try_take() and bucket.try_take()
+        assert not bucket.try_take()
+        clock.advance(0.5)  # 1 token at 2/s
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_burst_caps_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, 2, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == 2.0
+
+    def test_validation(self):
+        with pytest.raises(SessionError):
+            TokenBucket(0.0, 1)
+        with pytest.raises(SessionError):
+            TokenBucket(1.0, 0)
+
+
+class TestTenantQuota:
+    def test_validation(self):
+        with pytest.raises(SessionError):
+            TenantQuota(max_evaluations=-1)
+        with pytest.raises(SessionError):
+            TenantQuota(max_concurrent=0)
+        with pytest.raises(SessionError):
+            TenantQuota(rate_per_s=0.0)
+
+    def test_zero_quota_is_legal(self):
+        """A zero lifetime quota is a valid way to block a tenant."""
+        assert TenantQuota(max_evaluations=0).max_evaluations == 0
+
+
+class TestAdmissionController:
+    def test_admits_by_default(self):
+        ctl = AdmissionController()
+        decision = ctl.admit("a")
+        assert decision.admitted
+        assert ctl.inflight("a") == 1
+        assert ctl.admitted("a") == 1
+
+    def test_lifetime_quota_is_permanent(self):
+        ctl = AdmissionController(
+            {"a": TenantQuota(max_evaluations=2)}, clock=FakeClock()
+        )
+        assert ctl.admit("a") and ctl.admit("a")
+        ctl.complete("a")
+        ctl.complete("a")
+        denied = ctl.admit("a")
+        assert not denied.admitted
+        assert denied.reason == "quota"
+        assert not denied.retryable
+
+    def test_zero_quota_tenant_denied_immediately(self):
+        ctl = AdmissionController({"a": TenantQuota(max_evaluations=0)})
+        denied = ctl.admit("a")
+        assert not denied.admitted
+        assert denied.reason == "quota"
+        assert not denied.retryable
+        # other tenants are unaffected
+        assert ctl.admit("b").admitted
+
+    def test_concurrency_cap_is_retryable(self):
+        ctl = AdmissionController({"a": TenantQuota(max_concurrent=1)})
+        assert ctl.admit("a").admitted
+        denied = ctl.admit("a")
+        assert denied.reason == "concurrency"
+        assert denied.retryable
+        ctl.complete("a")
+        assert ctl.admit("a").admitted
+
+    def test_saturation_sheds(self):
+        ctl = AdmissionController(max_inflight=2)
+        assert ctl.admit("a").admitted
+        assert ctl.admit("b").admitted
+        denied = ctl.admit("c")
+        assert denied.reason == "saturated"
+        assert denied.retryable
+        assert ctl.n_shed == 1
+
+    def test_rate_limit_checked_last(self):
+        """A saturated denial must not consume the tenant's token."""
+        clock = FakeClock()
+        ctl = AdmissionController(
+            {"a": TenantQuota(rate_per_s=1.0, burst=1.0)},
+            max_inflight=1,
+            clock=clock,
+        )
+        assert ctl.admit("b").admitted  # fills the global ceiling
+        assert ctl.admit("a").reason == "saturated"
+        ctl.complete("b")
+        assert ctl.admit("a").admitted  # token still there
+        ctl.complete("a")
+        assert ctl.admit("a").reason == "rate"
+
+    def test_refund_returns_quota_and_concurrency(self):
+        ctl = AdmissionController(
+            {"a": TenantQuota(max_evaluations=1, max_concurrent=1)}
+        )
+        assert ctl.admit("a").admitted
+        ctl.refund("a")
+        assert ctl.admitted("a") == 0
+        assert ctl.inflight("a") == 0
+        assert ctl.admit("a").admitted
+
+    def test_unbalanced_complete_raises(self):
+        ctl = AdmissionController()
+        with pytest.raises(SessionError):
+            ctl.complete("nobody")
+
+    def test_snapshot(self):
+        ctl = AdmissionController(max_inflight=4)
+        ctl.admit("a")
+        ctl.admit("a")
+        ctl.complete("a")
+        snap = ctl.snapshot()
+        assert snap["total_inflight"] == 1
+        assert snap["admitted"] == {"a": 2}
+        assert snap["max_inflight"] == 4

@@ -1,0 +1,178 @@
+"""Tests for the session event log: schema, journal, replay."""
+
+import pytest
+
+from repro.core.storage import append_events_jsonl, load_events_jsonl
+from repro.dataset import Syr2kPerformanceModel, Syr2kTask, syr2k_space
+from repro.errors import ExperimentError, SessionError
+from repro.sessions import (
+    EVENT_KIND,
+    SessionEventLog,
+    TuningSession,
+    eval_event,
+    register_event,
+    replay_log,
+    state_event,
+)
+from repro.tuning import RandomSearchTuner
+
+
+@pytest.fixture(scope="module")
+def model():
+    return Syr2kPerformanceModel(Syr2kTask("SM"))
+
+
+def make_session(model, sid="t0/s0", seed=3, budget=6):
+    return TuningSession(
+        sid,
+        "t0",
+        RandomSearchTuner(syr2k_space(), seed=seed),
+        model,
+        budget,
+        priority=2,
+        seed=11,
+    )
+
+
+class TestEventBuilders:
+    def test_register_carries_rebuild_recipe(self, model):
+        event = register_event(make_session(model))
+        assert event["event"] == "register"
+        assert event["tuner"] == "random"
+        assert event["tuner_seed"] == 3
+        assert event["budget"] == 6
+        assert event["priority"] == 2
+        assert event["seed"] == 11
+        assert event["size"] == "SM"
+
+    def test_state_event_reason_optional(self):
+        assert "reason" not in state_event("s", "RUNNING")
+        assert state_event("s", "FAILED", "boom")["reason"] == "boom"
+
+    def test_eval_event_fields(self):
+        event = eval_event("s", 2, 17, 0.5, predicted=0.4,
+                           provenance="service", degraded=False)
+        assert (event["step"], event["index"], event["runtime"]) == (
+            2, 17, 0.5,
+        )
+
+
+class TestSessionEventLog:
+    def test_buffers_until_flush(self, tmp_path):
+        log = SessionEventLog(tmp_path / "log.jsonl")
+        log.emit(state_event("s", "RUNNING"))
+        assert len(log) == 1
+        assert not log.path.exists()
+        log.flush()
+        assert len(log) == 0
+        assert len(load_events_jsonl(log.path, kind=EVENT_KIND)) == 1
+
+    def test_flush_empty_is_noop(self, tmp_path):
+        log = SessionEventLog(tmp_path / "log.jsonl")
+        log.flush()
+        assert not log.path.exists()
+
+
+class TestReplayLog:
+    def write(self, path, events):
+        append_events_jsonl(events, path, kind=EVENT_KIND)
+
+    def test_roundtrip(self, tmp_path, model):
+        path = tmp_path / "log.jsonl"
+        session = make_session(model)
+        self.write(path, [
+            register_event(session),
+            state_event("t0/s0", "RUNNING"),
+            eval_event("t0/s0", 0, 4, 0.9),
+            eval_event("t0/s0", 1, 7, 0.8),
+        ])
+        entry = replay_log(path)["t0/s0"]
+        assert entry["meta"]["tenant"] == "t0"
+        assert entry["state"] == "RUNNING"
+        assert entry["evals"] == [(0, 4, 0.9), (1, 7, 0.8)]
+
+    def test_duplicate_steps_first_wins(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self.write(path, [
+            eval_event("s", 0, 4, 0.9),
+            eval_event("s", 0, 4, 0.9),
+            eval_event("s", 1, 2, 0.7),
+        ])
+        assert replay_log(path)["s"]["evals"] == [(0, 4, 0.9), (1, 2, 0.7)]
+
+    def test_gap_truncates_to_contiguous_prefix(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self.write(path, [
+            eval_event("s", 0, 4, 0.9),
+            eval_event("s", 2, 2, 0.7),
+        ])
+        assert replay_log(path)["s"]["evals"] == [(0, 4, 0.9)]
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self.write(path, [eval_event("s", 0, 4, 0.9)])
+        with path.open("a") as fh:
+            fh.write('{"event": "eval", "session": "s", "st')
+        assert replay_log(path)["s"]["evals"] == [(0, 4, 0.9)]
+
+    def test_unknown_event_type_raises(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self.write(path, [{"event": "mystery", "session": "s"}])
+        with pytest.raises(SessionError, match="unknown event"):
+            replay_log(path)
+
+    def test_wrong_kind_raises(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append_events_jsonl(
+            [{"event": "eval"}], path, kind="other-events"
+        )
+        with pytest.raises(ExperimentError, match="other-events"):
+            replay_log(path)
+
+
+class TestSessionReplay:
+    def test_replay_fast_forwards_tuner(self, model):
+        """Replaying the log reproduces the exact killed-run state:
+        the next proposal equals what an uninterrupted run proposes."""
+        full = make_session(model, seed=9)
+        full.start()
+        trajectory = []
+        for step in range(4):
+            index = full.next_proposal()
+            runtime = float(model.measure([index], rep=step + 1)[0])
+            full.record(index, runtime)
+            trajectory.append((step, index, runtime))
+        expected_next = full.next_proposal()
+
+        resumed = make_session(model, seed=9)
+        resumed.replay(trajectory)
+        assert resumed.history.indices == full.history.indices
+        assert resumed.history.runtimes == full.history.runtimes
+        resumed.start()
+        assert resumed.next_proposal() == expected_next
+
+    def test_replay_divergence_detected(self, model):
+        probe = make_session(model, seed=9)
+        probe.start()
+        wrong = (probe.next_proposal() + 1) % model.space.size
+        session = make_session(model, seed=9)
+        with pytest.raises(SessionError, match="diverges"):
+            session.replay([(0, wrong, 0.5)])
+
+    def test_replay_gap_detected(self, model):
+        session = make_session(model, seed=9)
+        with pytest.raises(SessionError, match="gap"):
+            session.replay([(1, 0, 0.5)])
+
+    def test_replay_full_budget_marks_done(self, model):
+        donor = make_session(model, seed=9, budget=3)
+        donor.start()
+        trajectory = []
+        for step in range(3):
+            index = donor.next_proposal()
+            runtime = float(model.measure([index], rep=step + 1)[0])
+            donor.record(index, runtime)
+            trajectory.append((step, index, runtime))
+        resumed = make_session(model, seed=9, budget=3)
+        resumed.replay(trajectory)
+        assert resumed.state == "DONE"

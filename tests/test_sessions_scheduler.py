@@ -1,0 +1,113 @@
+"""Tests for the deficit-round-robin fair-share scheduler."""
+
+import pytest
+
+from repro.errors import SessionError
+from repro.sessions import DEFICIT_CAP, DeficitRoundRobin, jains_index
+
+
+def serve_counts(drr, eligible, turns):
+    counts = {sid: 0 for sid in eligible}
+    for _ in range(turns):
+        sid = drr.select(set(eligible))
+        if sid is not None:
+            counts[sid] += 1
+    return counts
+
+
+class TestBasics:
+    def test_equal_weights_round_robin(self):
+        drr = DeficitRoundRobin()
+        for sid in "abc":
+            drr.add(sid)
+        counts = serve_counts(drr, {"a", "b", "c"}, 30)
+        assert counts == {"a": 10, "b": 10, "c": 10}
+
+    def test_empty_or_no_eligible(self):
+        drr = DeficitRoundRobin()
+        assert drr.select({"x"}) is None
+        drr.add("a")
+        assert drr.select(set()) is None
+
+    def test_duplicate_add_rejected(self):
+        drr = DeficitRoundRobin()
+        drr.add("a")
+        with pytest.raises(SessionError):
+            drr.add("a")
+
+    def test_invalid_weight_and_quantum(self):
+        with pytest.raises(SessionError):
+            DeficitRoundRobin(quantum=0)
+        drr = DeficitRoundRobin()
+        with pytest.raises(SessionError):
+            drr.add("a", weight=0)
+
+    def test_remove_is_idempotent(self):
+        drr = DeficitRoundRobin()
+        drr.add("a")
+        drr.remove("a")
+        drr.remove("a")
+        assert "a" not in drr
+        assert drr.select({"a"}) is None
+
+
+class TestWeighted:
+    def test_throughput_proportional_to_weight(self):
+        drr = DeficitRoundRobin()
+        drr.add("heavy", weight=3.0)
+        drr.add("light", weight=1.0)
+        counts = serve_counts(drr, {"heavy", "light"}, 200)
+        ratio = counts["heavy"] / counts["light"]
+        assert 2.5 <= ratio <= 3.5
+
+    def test_equal_weight_fairness_jain(self):
+        drr = DeficitRoundRobin()
+        for i in range(5):
+            drr.add(f"s{i}")
+        counts = serve_counts(drr, {f"s{i}" for i in range(5)}, 500)
+        assert jains_index(counts.values()) >= 0.99
+
+    def test_ineligible_session_not_served(self):
+        drr = DeficitRoundRobin()
+        drr.add("a")
+        drr.add("b")
+        counts = serve_counts(drr, {"a"}, 10)
+        assert counts == {"a": 10}
+
+    def test_deficit_capped(self):
+        """A long-ineligible session cannot bank an unbounded burst."""
+        drr = DeficitRoundRobin()
+        drr.add("a", weight=1.0)
+        drr.add("b", weight=4.0)
+        # 'a' is eligible but outweighed for many turns; its deficit
+        # accrues fractionally and must stay <= the cap.
+        for _ in range(100):
+            drr.select({"a", "b"})
+        assert drr.deficit("a") <= DEFICIT_CAP
+
+    def test_refund_restores_a_turn(self):
+        drr = DeficitRoundRobin()
+        drr.add("a")
+        assert drr.select({"a"}) == "a"
+        drr.refund("a")
+        # refunded credit means the next select serves immediately
+        assert drr.select({"a"}) == "a"
+
+    def test_snapshot(self):
+        drr = DeficitRoundRobin()
+        drr.add("a", weight=2.0)
+        snap = drr.snapshot()
+        assert snap["order"] == ["a"]
+        assert snap["weights"] == {"a": 2.0}
+
+
+class TestJainsIndex:
+    def test_perfectly_fair(self):
+        assert jains_index([5, 5, 5]) == pytest.approx(1.0)
+
+    def test_monopoly(self):
+        assert jains_index([12, 0, 0]) == pytest.approx(1 / 3)
+
+    def test_empty_and_zero(self):
+        assert jains_index([]) == 1.0
+        assert jains_index([0, 0]) == 1.0

@@ -106,3 +106,77 @@ class TestCompare:
         tuner = RandomSearchTuner(space, 123)
         compare_tuners([tuner], sm_model, budget=5, repetitions=2)
         assert tuner.seed == 123
+
+
+class _ExplodingTuner(Tuner):
+    name = "exploding"
+
+    def propose(self, history):
+        raise ValueError("internal tuner bug")
+
+
+class TestSeededRuns:
+    def test_same_seed_identical_history(self, space, sm_model):
+        """The determinism satellite: seed= makes the run a pure
+        function of the seed, regardless of tuner construction seeds."""
+        a = run_tuner(RandomSearchTuner(space, 1), sm_model, 10, seed=42)
+        b = run_tuner(RandomSearchTuner(space, 999), sm_model, 10, seed=42)
+        assert a.history.indices == b.history.indices
+        assert a.history.runtimes == b.history.runtimes
+
+    def test_different_seeds_differ(self, space, sm_model):
+        a = run_tuner(RandomSearchTuner(space, 0), sm_model, 10, seed=1)
+        b = run_tuner(RandomSearchTuner(space, 0), sm_model, 10, seed=2)
+        assert (
+            a.history.indices != b.history.indices
+            or a.history.runtimes != b.history.runtimes
+        )
+
+    def test_seeded_noise_differs_from_ordinal_noise(self, space, sm_model):
+        """Seeded runs decorrelate measurement noise from the bare
+        evaluation ordinal (same proposals, different measurements)."""
+        plain = run_tuner(_FixedTuner(space), sm_model, 5)
+        seeded = run_tuner(_FixedTuner(space), sm_model, 5, seed=3)
+        assert plain.history.runtimes != seeded.history.runtimes
+
+    def test_tuner_seed_restored(self, space, sm_model):
+        tuner = RandomSearchTuner(space, 123)
+        run_tuner(tuner, sm_model, 5, seed=7)
+        assert tuner.seed == 123
+
+    def test_seed_restored_on_propose_failure(self, space, sm_model):
+        tuner = _ExplodingTuner(space)
+        tuner.seed = 55
+        with pytest.raises(TuningError):
+            run_tuner(tuner, sm_model, 3, seed=7)
+        assert tuner.seed == 55
+
+    def test_compare_tuners_seeded_determinism(self, space, sm_model):
+        a = compare_tuners(
+            [RandomSearchTuner(space, 1)], sm_model, budget=8,
+            repetitions=2, seed=9,
+        )
+        b = compare_tuners(
+            [RandomSearchTuner(space, 888)], sm_model, budget=8,
+            repetitions=2, seed=9,
+        )
+        for ra, rb in zip(a.results["random"], b.results["random"]):
+            assert ra.history.indices == rb.history.indices
+            assert ra.history.runtimes == rb.history.runtimes
+
+
+class TestErrorSurfacing:
+    def test_propose_exception_carries_tuner_name(self, space, sm_model):
+        with pytest.raises(TuningError, match="exploding.*propose"):
+            run_tuner(_ExplodingTuner(space), sm_model, 3)
+
+    def test_propose_exception_chains_cause(self, space, sm_model):
+        with pytest.raises(TuningError) as info:
+            run_tuner(_ExplodingTuner(space), sm_model, 3)
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_zero_budget_rejected_at_construction(self, space, sm_model):
+        with pytest.raises(TuningError, match="budget must be >= 1"):
+            run_tuner(RandomSearchTuner(space, 0), sm_model, 0)
+        with pytest.raises(TuningError, match="budget must be >= 1"):
+            EvaluationBudget(-3)
