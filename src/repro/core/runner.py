@@ -8,6 +8,7 @@ and results (chunky tasks, small payloads, per the HPC guides).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from functools import lru_cache, partial
 from pathlib import Path
@@ -24,6 +25,8 @@ from repro.errors import ExperimentError
 from repro.obs import get_tracer
 from repro.utils.parallel import parallel_map
 from repro.utils.rng import derive_seed
+
+logger = logging.getLogger("repro.runner")
 
 __all__ = ["ProbeResult", "run_spec", "run_grid"]
 
@@ -302,8 +305,13 @@ def _run_grid_checkpointed(
                 "(CLI: --resume) to continue it"
             )
         done = load_checkpoint(path, specs)
+        if not done.report.clean:
+            logger.warning(
+                "resume from damaged checkpoint: %s", done.report.summary()
+            )
         # Compact the file down to the complete cells: this drops any
-        # partially written tail so the append below cannot duplicate it.
+        # partially written tail (and any damage the recovery scan
+        # quarantined) so the append below cannot duplicate it.
         save_probes_jsonl(
             [
                 probe

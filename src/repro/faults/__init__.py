@@ -2,22 +2,29 @@
 
 Every failure mode the serving stack must survive (transient worker
 errors, latency spikes, cache-eviction storms, queue stalls, grid-cell
-crashes) is injectable through a seeded :class:`FaultPlan`, so resilience
-behaviour is bit-reproducible instead of flaky.  See
-:mod:`repro.serve.resilience` for the policies that absorb these faults
-and ``repro chaos`` for the CLI drill.
+crashes, torn writes, bitflips, full disks, lying fsyncs) is injectable
+through a seeded :class:`FaultPlan`, so resilience behaviour is
+bit-reproducible instead of flaky.  See :mod:`repro.serve.resilience`
+for the policies that absorb the service faults,
+:mod:`repro.core.storage` for the durability layer the disk faults
+exercise, and ``repro chaos`` / ``repro chaos --disk`` for the CLI
+drills.
 """
 
 from repro.faults.plan import (
     DEFAULT_FAULT_PLAN,
+    DISK_FAULT_PLAN,
     FaultInjector,
     FaultPlan,
     FaultStats,
+    FaultyFile,
 )
 
 __all__ = [
     "FaultPlan",
     "FaultInjector",
     "FaultStats",
+    "FaultyFile",
     "DEFAULT_FAULT_PLAN",
+    "DISK_FAULT_PLAN",
 ]

@@ -18,6 +18,8 @@ counts every injected fault in a thread-safe :class:`FaultStats`.
 
 from __future__ import annotations
 
+import errno
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -26,7 +28,14 @@ from repro.errors import InjectedFaultError
 from repro.utils.rng import derive_seed
 from repro.utils.tables import Table
 
-__all__ = ["FaultPlan", "FaultInjector", "FaultStats", "DEFAULT_FAULT_PLAN"]
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "FaultyFile",
+    "DEFAULT_FAULT_PLAN",
+    "DISK_FAULT_PLAN",
+]
 
 #: ``derive_seed`` yields uniform 63-bit ints; dividing by 2**63 maps them
 #: onto [0, 1) for rate thresholds.
@@ -38,8 +47,18 @@ _RATE_FIELDS = (
     "eviction_storm_rate",
     "queue_stall_rate",
     "cell_error_rate",
+    "torn_write_rate",
+    "bitflip_rate",
+    "enospc_rate",
+    "fsync_fail_rate",
 )
 _DURATION_FIELDS = ("latency_spike_s", "queue_stall_s")
+_DISK_RATE_FIELDS = (
+    "torn_write_rate",
+    "bitflip_rate",
+    "enospc_rate",
+    "fsync_fail_rate",
+)
 
 
 @dataclass(frozen=True)
@@ -65,6 +84,21 @@ class FaultPlan:
     cell_error_rate:
         Per-cell probability that :func:`repro.core.runner.run_spec`
         fails before running any probes (grid-level crash simulation).
+    torn_write_rate:
+        Per-write probability that a storage write lands only a prefix
+        of its payload and then "crashes" (raises
+        :class:`~repro.errors.InjectedFaultError` after flushing the
+        torn bytes) — the classic kill-9-mid-append signature.
+    bitflip_rate:
+        Per-write probability that one character of the payload is
+        silently corrupted *before* hitting disk while the write still
+        reports success — media rot that only a checksum can catch.
+    enospc_rate:
+        Per-write probability of ``OSError(ENOSPC)`` before any byte
+        lands (a full disk).
+    fsync_fail_rate:
+        Per-fsync probability of ``OSError(EIO)`` — durability was
+        requested but the device refused.
     """
 
     seed: int = 0
@@ -75,6 +109,10 @@ class FaultPlan:
     queue_stall_rate: float = 0.0
     queue_stall_s: float = 0.005
     cell_error_rate: float = 0.0
+    torn_write_rate: float = 0.0
+    bitflip_rate: float = 0.0
+    enospc_rate: float = 0.0
+    fsync_fail_rate: float = 0.0
 
     def __post_init__(self):
         for name in _RATE_FIELDS:
@@ -114,10 +152,39 @@ class FaultPlan:
     def cell_fault(self, key: object) -> bool:
         return self.fires("cell-error", key, self.cell_error_rate)
 
+    def torn_write(self, key: object) -> bool:
+        return self.fires("torn-write", key, self.torn_write_rate)
+
+    def torn_cut(self, key: object, length: int) -> int:
+        """How many characters of a torn write land (strict prefix)."""
+        if length <= 1:
+            return 0
+        return derive_seed(self.seed, "fault", "torn-cut", key) % length
+
+    def bitflip(self, key: object) -> bool:
+        return self.fires("bitflip", key, self.bitflip_rate)
+
+    def bitflip_site(self, key: object, length: int) -> tuple[int, int]:
+        """(character index, bit index) to corrupt in a payload."""
+        pos = derive_seed(self.seed, "fault", "bitflip-pos", key) % length
+        bit = derive_seed(self.seed, "fault", "bitflip-bit", key) % 6
+        return pos, bit
+
+    def enospc(self, key: object) -> bool:
+        return self.fires("enospc", key, self.enospc_rate)
+
+    def fsync_fails(self, key: object) -> bool:
+        return self.fires("fsync-fail", key, self.fsync_fail_rate)
+
     @property
     def active(self) -> bool:
         """Whether any failure mode has a non-zero rate."""
         return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+
+    @property
+    def disk_active(self) -> bool:
+        """Whether any *storage* failure mode has a non-zero rate."""
+        return any(getattr(self, name) > 0.0 for name in _DISK_RATE_FIELDS)
 
 
 #: The ``repro chaos`` default: a realistically hostile mix — ~8% of
@@ -135,6 +202,19 @@ DEFAULT_FAULT_PLAN = FaultPlan(
     queue_stall_s=0.005,
 )
 
+#: The ``repro chaos --disk`` default: hostile storage.  Roughly a third
+#: of writes tear mid-payload, half of the survivors take a silent
+#: bitflip, and occasionally the disk is full or fsync lies — every one
+#: of which must be caught by the CRC framing and accounted for in the
+#: :class:`~repro.core.storage.RecoveryReport` (no silent data loss).
+DISK_FAULT_PLAN = FaultPlan(
+    seed=20250808,
+    torn_write_rate=0.30,
+    bitflip_rate=0.50,
+    enospc_rate=0.10,
+    fsync_fail_rate=0.05,
+)
+
 
 class FaultStats:
     """Thread-safe counters of injected faults (one per failure mode)."""
@@ -145,6 +225,10 @@ class FaultStats:
         "evictions",
         "stalls",
         "cell_faults",
+        "torn_writes",
+        "bitflips",
+        "enospc",
+        "fsync_failures",
     )
 
     def __init__(self):
@@ -176,7 +260,72 @@ class FaultStats:
         t.add_row(["cache-eviction storms", snap["evictions"]])
         t.add_row(["queue stalls", snap["stalls"]])
         t.add_row(["grid-cell faults", snap["cell_faults"]])
+        t.add_row(["torn writes", snap["torn_writes"]])
+        t.add_row(["bitflips after ack", snap["bitflips"]])
+        t.add_row(["ENOSPC writes", snap["enospc"]])
+        t.add_row(["fsync failures", snap["fsync_failures"]])
         return t.render()
+
+
+class FaultyFile:
+    """A write-path double that injects disk faults deterministically.
+
+    Wraps a text-mode file handle on the storage append/snapshot paths
+    (installed via :func:`repro.core.storage.set_fault_injector`).  Each
+    ``write`` is keyed by ``(name, byte position)`` so the fault
+    sequence is a pure function of the plan seed and what was written —
+    a crashed-and-resumed run replays identically.
+
+    Fault order per write: ENOSPC (nothing lands), torn write (a strict
+    prefix lands, is flushed, then :class:`InjectedFaultError` simulates
+    the crash), bitflip (one character corrupted, write still "succeeds")
+    — mirroring how a real device fails before, during, and after the
+    syscall.  ``fsync`` may raise ``OSError(EIO)`` on its own schedule.
+    """
+
+    def __init__(self, fh, plan: FaultPlan, stats: FaultStats,
+                 site: str, name: str):
+        self._fh = fh
+        self._plan = plan
+        self._stats = stats
+        self._site = site
+        self._name = name
+
+    def _key(self, op: str) -> str:
+        return f"{self._name}:{self._site}:{op}:{self._fh.tell()}"
+
+    def write(self, data: str) -> int:
+        plan = self._plan
+        key = self._key("write")
+        if plan.enospc(key):
+            self._stats.record("enospc")
+            raise OSError(errno.ENOSPC, "injected: no space left on device")
+        if plan.torn_write(key):
+            cut = plan.torn_cut(key, len(data))
+            self._fh.write(data[:cut])
+            self._fh.flush()
+            self._stats.record("torn_writes")
+            raise InjectedFaultError(self._site, key)
+        if plan.bitflip(key) and data.strip():
+            pos, bit = plan.bitflip_site(key, len(data))
+            # Never corrupt a character into a newline: that would split
+            # one record into two, which is a different failure mode.
+            flipped = chr(ord(data[pos]) ^ (1 << bit))
+            if flipped in ("\n", "\r") or data[pos] in ("\n", "\r"):
+                flipped = "X" if data[pos] != "X" else "Y"
+            data = data[:pos] + flipped + data[pos + 1:]
+            self._stats.record("bitflips")
+        return self._fh.write(data)
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def fsync(self) -> None:
+        if self._plan.fsync_fails(self._key("fsync")):
+            self._stats.record("fsync_failures")
+            raise OSError(errno.EIO, "injected: fsync failed")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
 
 
 class FaultInjector:
@@ -228,3 +377,13 @@ class FaultInjector:
         if self.plan.cell_fault(key):
             self.stats.record("cell_faults")
             raise InjectedFaultError("run_spec", key)
+
+    def wrap_file(self, fh, site: str, name: str):
+        """Storage-write hook: wrap a file handle in a :class:`FaultyFile`.
+
+        Returns ``fh`` unwrapped when the plan has no disk faults, so
+        the healthy write path costs one attribute check.
+        """
+        if not self.plan.disk_active:
+            return fh
+        return FaultyFile(fh, self.plan, self.stats, site, name)

@@ -28,6 +28,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     collect_service_metrics,
+    collect_storage_metrics,
 )
 from repro.obs.summary import (
     TraceSummary,
@@ -56,6 +57,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "collect_service_metrics",
+    "collect_storage_metrics",
     "TraceSummary",
     "load_spans",
     "summarize_spans",

@@ -299,4 +299,27 @@ def collect_service_metrics(
             registry.gauge("breaker.open", route=route).set(
                 1.0 if breaker.state == "open" else 0.0
             )
+
+    collect_storage_metrics(registry)
+    return registry
+
+
+def collect_storage_metrics(
+    registry: MetricsRegistry | None = None,
+) -> MetricsRegistry:
+    """Map the process-wide storage-integrity counters onto the registry.
+
+    ``storage.crc_failures`` (frames whose checksum did not verify),
+    ``storage.records_quarantined`` (lines copied to ``.quarantine``
+    sidecars), and ``storage.recoveries`` (tolerant loads or repairs
+    that found damage).  All zero on a healthy node — any non-zero value
+    is an alarm, not noise.
+    """
+    # Imported lazily: storage pulls in the runner/obs stack and the
+    # metrics module must stay importable on its own.
+    from repro.core.storage import integrity_counters
+
+    registry = registry if registry is not None else MetricsRegistry()
+    for name, count in integrity_counters().items():
+        registry.counter(f"storage.{name}").inc(count)
     return registry

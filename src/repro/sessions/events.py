@@ -28,6 +28,7 @@ fast-forwarding its RNG/search state to exactly where the killed run was.
 
 from __future__ import annotations
 
+import logging
 from pathlib import Path
 
 from repro.core.storage import append_events_jsonl, load_events_jsonl
@@ -39,8 +40,11 @@ __all__ = [
     "state_event",
     "eval_event",
     "SessionEventLog",
+    "ReplayState",
     "replay_log",
 ]
+
+logger = logging.getLogger("repro.sessions")
 
 EVENT_KIND = "session-events"
 
@@ -116,20 +120,35 @@ class SessionEventLog:
         return len(self._buffer)
 
 
-def replay_log(path: str | Path) -> dict[str, dict]:
+class ReplayState(dict):
+    """``{session_id: replay-entry}`` plus the journal's
+    :class:`~repro.core.storage.RecoveryReport` as ``.report`` — resume
+    paths can tell a pristine journal from a recovered one."""
+
+    report = None
+
+
+def replay_log(path: str | Path) -> ReplayState:
     """Parse a session event log into per-session replay state.
 
     Returns ``{session_id: {"meta": register-record | None,
     "state": last-logged-state | None, "reason": last failure/pause
-    reason, "evals": [(step, index, runtime), ...]}}`` where ``evals``
-    is the deduplicated contiguous prefix from step 0.  Unreadable or
-    truncated tails are tolerated (crash recovery); a malformed event
-    that *did* fully land raises :class:`SessionError`.
+    reason, "evals": [(step, index, runtime), ...]}}`` (a
+    :class:`ReplayState` carrying the journal's recovery report) where
+    ``evals`` is the deduplicated contiguous prefix from step 0.
+    Unreadable, torn, or checksum-failing tails are tolerated and
+    truncated at the first gap (crash recovery — the storage layer
+    quarantines and reports whatever was dropped); a malformed event
+    that *did* durably land raises :class:`SessionError`.
     """
-    sessions: dict[str, dict] = {}
-    for event in load_events_jsonl(
-        path, kind=EVENT_KIND, tolerate_partial=True
-    ):
+    sessions: ReplayState = ReplayState()
+    events = load_events_jsonl(path, kind=EVENT_KIND, tolerate_partial=True)
+    sessions.report = events.report
+    if not events.report.clean:
+        logger.warning(
+            "session journal recovered: %s", events.report.summary()
+        )
+    for event in events:
         kind = event.get("event")
         sid = event.get("session")
         if not isinstance(sid, str) or not sid:

@@ -141,11 +141,16 @@ class SessionManager:
         self._executor: ThreadPoolExecutor | None = None
         self._log = SessionEventLog(log_path) if log_path else None
         self._replayed: dict[str, dict] = {}
+        #: :class:`~repro.core.storage.RecoveryReport` of the journal
+        #: this manager resumed from (``None`` for a fresh start) — lets
+        #: operators distinguish a pristine resume from a recovered one.
+        self.resume_report = None
         if resume:
             if self._log is None:
                 raise SessionError("resume=True requires a log_path")
             if self._log.path.exists():
                 self._replayed = replay_log(self._log.path)
+                self.resume_report = self._replayed.report
         #: session_id -> (future, proposal index, dispatch timestamp)
         self._inflight: dict[str, tuple[Future, int, float]] = {}
         #: sessions paused by a stop limit (not by the user); the next

@@ -47,4 +47,10 @@ def collect_session_metrics(
         snap["admission"]["total_inflight"]
     )
     registry.gauge("sessions.fairness_jain").set(snap["fairness_jain"])
+
+    # Journal durability: every resume should be a clean one; surface
+    # the storage-integrity counters beside the session dashboard.
+    from repro.obs.metrics import collect_storage_metrics
+
+    collect_storage_metrics(registry)
     return registry

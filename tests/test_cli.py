@@ -219,3 +219,67 @@ class TestSessionsCommand:
         out = capsys.readouterr().out
         assert "campaign completion: 100.00%" in out
         assert "no lost or duplicated evaluations" in out
+
+
+class TestFsckCommand:
+    def events_file(self, tmp_path, n=4):
+        from repro.core.storage import append_events_jsonl
+
+        path = tmp_path / "events.jsonl"
+        append_events_jsonl(
+            [{"event": "eval", "step": i} for i in range(n)],
+            path, kind="fsck-test",
+        )
+        return path
+
+    def test_parser_accepts_fsck(self):
+        args = build_parser().parse_args(
+            ["fsck", "--repair", "--strict", "--kind", "events", "x.jsonl"]
+        )
+        assert args.command == "fsck"
+        assert args.repair and args.strict
+        assert args.paths == ["x.jsonl"]
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = self.events_file(tmp_path)
+        assert main(["fsck", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_damaged_file_exits_one(self, tmp_path, capsys):
+        path = self.events_file(tmp_path)
+        with path.open("a") as fh:
+            fh.write("garbage\n")
+        assert main(["fsck", str(path)]) == 1
+        assert "CORRUPTION FOUND" in capsys.readouterr().out
+
+    def test_repair_fixes_and_exits_zero(self, tmp_path, capsys):
+        path = self.events_file(tmp_path)
+        with path.open("a") as fh:
+            fh.write("garbage\n")
+        assert main(["fsck", "--repair", str(path)]) == 0
+        assert "repaired" in capsys.readouterr().out
+        assert main(["fsck", str(path)]) == 0
+        assert (tmp_path / "events.jsonl.quarantine").exists()
+
+    def test_repair_strict_reports_damage(self, tmp_path):
+        path = self.events_file(tmp_path)
+        with path.open("a") as fh:
+            fh.write("garbage\n")
+        assert main(["fsck", "--repair", "--strict", str(path)]) == 1
+
+    def test_unrecoverable_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("????\n")
+        assert main(["fsck", str(path)]) == 2
+        assert "unrecoverable" in capsys.readouterr().out
+
+    def test_multiple_paths_worst_exit_wins(self, tmp_path):
+        good = self.events_file(tmp_path)
+        bad = tmp_path / "junk.jsonl"
+        bad.write_text("????\n")
+        assert main(["fsck", str(good), str(bad)]) == 2
+
+    def test_parser_accepts_chaos_disk(self):
+        args = build_parser().parse_args(["chaos", "--disk"])
+        assert args.disk

@@ -142,3 +142,121 @@ class TestFaultInjector:
         out = injector.stats.render()
         assert "transient worker errors" in out
         assert "queue stalls" in out
+
+
+class TestDiskFaults:
+    """FaultyFile: torn writes, bitflips-after-ack, ENOSPC, fsync failure."""
+
+    @pytest.mark.parametrize("field", [
+        "torn_write_rate", "bitflip_rate", "enospc_rate", "fsync_fail_rate",
+    ])
+    def test_disk_rates_must_be_probabilities(self, field):
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: 1.5})
+
+    def test_disk_active_is_disk_specific(self):
+        from repro.faults import DISK_FAULT_PLAN
+
+        assert DISK_FAULT_PLAN.disk_active
+        assert DISK_FAULT_PLAN.active
+        assert not DEFAULT_FAULT_PLAN.disk_active
+        assert not FaultPlan(seed=1, transient_error_rate=0.5).disk_active
+
+    def test_wrap_file_passthrough_without_disk_faults(self, tmp_path):
+        injector = FaultInjector(DEFAULT_FAULT_PLAN)
+        with (tmp_path / "f.txt").open("w") as fh:
+            assert injector.wrap_file(fh, "site", "f.txt") is fh
+
+    def test_torn_write_lands_prefix_then_raises(self, tmp_path):
+        injector = FaultInjector(FaultPlan(seed=3, torn_write_rate=1.0))
+        path = tmp_path / "f.txt"
+        with path.open("w") as fh:
+            wrapped = injector.wrap_file(fh, "site", "f.txt")
+            with pytest.raises(InjectedFaultError):
+                wrapped.write("0123456789\n")
+        text = path.read_text()
+        assert "0123456789\n".startswith(text)
+        assert len(text) < 11  # a strict prefix: the write really tore
+        assert injector.stats.snapshot()["torn_writes"] == 1
+
+    def test_enospc_lands_nothing(self, tmp_path):
+        import errno
+
+        injector = FaultInjector(FaultPlan(seed=3, enospc_rate=1.0))
+        path = tmp_path / "f.txt"
+        with path.open("w") as fh:
+            wrapped = injector.wrap_file(fh, "site", "f.txt")
+            with pytest.raises(OSError) as err:
+                wrapped.write("payload\n")
+        assert err.value.errno == errno.ENOSPC
+        assert path.read_text() == ""
+        assert injector.stats.snapshot()["enospc"] == 1
+
+    def test_bitflip_corrupts_one_char_but_write_succeeds(self, tmp_path):
+        injector = FaultInjector(FaultPlan(seed=3, bitflip_rate=1.0))
+        path = tmp_path / "f.txt"
+        payload = "abcdefghij\n"
+        with path.open("w") as fh:
+            wrapped = injector.wrap_file(fh, "site", "f.txt")
+            wrapped.write(payload)  # no exception: fault is silent
+        text = path.read_text()
+        assert len(text) == len(payload)
+        diffs = [i for i, (a, b) in enumerate(zip(payload, text)) if a != b]
+        assert len(diffs) == 1
+        assert "\n" not in text[:-1]  # never splits the record
+        assert injector.stats.snapshot()["bitflips"] == 1
+
+    def test_fsync_failure_raises_eio(self, tmp_path):
+        import errno
+
+        injector = FaultInjector(FaultPlan(seed=3, fsync_fail_rate=1.0))
+        with (tmp_path / "f.txt").open("w") as fh:
+            wrapped = injector.wrap_file(fh, "site", "f.txt")
+            wrapped.write("safe\n")
+            with pytest.raises(OSError) as err:
+                wrapped.fsync()
+        assert err.value.errno == errno.EIO
+        assert injector.stats.snapshot()["fsync_failures"] == 1
+
+    def test_fsync_passes_through_when_quiet(self, tmp_path):
+        injector = FaultInjector(FaultPlan(seed=3, torn_write_rate=0.001))
+        path = tmp_path / "f.txt"
+        with path.open("w") as fh:
+            wrapped = injector.wrap_file(fh, "site", "f.txt")
+            wrapped.write("durable\n")
+            wrapped.flush()
+            wrapped.fsync()
+        assert path.read_text() == "durable\n"
+
+    def test_disk_fault_sequence_is_deterministic(self, tmp_path):
+        """Same plan + same write sequence -> identical fault schedule."""
+        def run():
+            injector = FaultInjector(FaultPlan(
+                seed=7, torn_write_rate=0.3, bitflip_rate=0.3,
+                enospc_rate=0.1,
+            ))
+            path = tmp_path / "det.txt"
+            outcomes = []
+            with path.open("w") as fh:
+                wrapped = injector.wrap_file(fh, "site", "det.txt")
+                for i in range(30):
+                    try:
+                        wrapped.write(f"record-{i:04d}\n")
+                        outcomes.append("ok")
+                    except InjectedFaultError:
+                        outcomes.append("torn")
+                    except OSError:
+                        outcomes.append("enospc")
+            path.unlink()
+            return outcomes, injector.stats.snapshot()
+
+        assert run() == run()
+
+    def test_default_plan_unchanged_by_disk_fields(self):
+        """DEFAULT_FAULT_PLAN keeps its pre-disk-fault decisions: the
+        chaos availability baselines must not shift."""
+        assert DEFAULT_FAULT_PLAN.torn_write_rate == 0.0
+        assert DEFAULT_FAULT_PLAN.seed == 20250806
+        assert DEFAULT_FAULT_PLAN.transient_error(("probe", 3)) == FaultPlan(
+            seed=20250806, transient_error_rate=0.08
+        ).transient_error(("probe", 3))
