@@ -29,6 +29,7 @@ GATED_BENCHMARKS = (
     "benchmarks/test_serve_throughput.py",
     "benchmarks/test_llm_prefix_cache.py",
     "benchmarks/test_sessions_throughput.py",
+    "benchmarks/test_shard_throughput.py",
 )
 
 

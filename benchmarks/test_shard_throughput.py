@@ -1,0 +1,116 @@
+"""Sharded serving: determinism across shard counts, scale-out speedup.
+
+Two acceptance bars for ``repro.serve.shard``:
+
+* **Determinism** — the same workload must produce bit-identical
+  predictions whether it runs in-process (``shards=0``) or behind 1 or 4
+  worker replicas.  Routing and transport may change *where* a prompt is
+  served, never *what* it answers (runs on any host).
+* **Scale-out** — on a host with >= 4 cores, 4 shards must at least
+  double requests/sec over the single-process thread backend on a
+  generation-bound workload (every request unique, so caches cannot
+  help).  Skipped on smaller hosts: with fewer cores than shards the
+  replicas time-slice one CPU and the comparison measures the scheduler,
+  not the architecture.
+
+Run explicitly (deselected from tier-1 by the ``slow`` marker):
+
+    PYTHONPATH=src python -m pytest benchmarks/test_shard_throughput.py -m slow -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.dataset import generate_dataset
+from repro.dataset.splits import disjoint_example_sets
+from repro.serve import Request, make_service
+from repro.utils.tables import Table
+from repro.utils.timing import Timer
+
+pytestmark = pytest.mark.slow
+
+N_ICL = 5
+N_QUERIES = 8
+
+
+def _requests(n: int, seed_base: int) -> list[Request]:
+    """``n`` unique requests (distinct seeds defeat the result cache)."""
+    dataset = generate_dataset("SM")
+    sets, queries = disjoint_example_sets(
+        dataset, 1, N_ICL, seed=1, n_queries=N_QUERIES
+    )
+    examples = [
+        (dataset.config(int(r)), float(dataset.runtimes[int(r)]))
+        for r in sets[0]
+    ]
+    return [
+        Request(
+            examples=examples,
+            query_config=dataset.config(int(queries[i % N_QUERIES])),
+            seed=seed_base + i,
+            size="SM",
+        )
+        for i in range(n)
+    ]
+
+
+def _canonical(responses) -> list[str]:
+    return [repr(r.prediction) for r in responses]
+
+
+def test_bit_identical_across_shard_counts():
+    workload = _requests(16, seed_base=100)
+    expect = None
+    for shards in (0, 1, 4):
+        with make_service(
+            shards=shards, max_batch_size=8, max_wait_s=0.002
+        ) as service:
+            got = _canonical(service.submit_many(workload))
+        if expect is None:
+            expect = got
+        else:
+            assert got == expect, f"shards={shards} diverged from shards=0"
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="scale-out measurement needs >= 4 cores",
+)
+def test_four_shards_double_throughput(emit):
+    workload = _requests(48, seed_base=1000)
+    warmup = _requests(8, seed_base=9000)
+
+    def run(shards: int):
+        with make_service(
+            shards=shards, max_batch_size=8, max_wait_s=0.002
+        ) as service:
+            # Boot the replicas and warm the per-size surrogate before
+            # the timed window; warmup seeds are disjoint so no timed
+            # request can hit the result cache.
+            service.submit_many(warmup)
+            with Timer() as timer:
+                responses = service.submit_many(workload)
+        return responses, len(workload) / max(timer.elapsed, 1e-9)
+
+    single_resps, single_rps = run(shards=0)
+    shard_resps, shard_rps = run(shards=4)
+
+    # Scale-out must not change results (the determinism contract).
+    assert _canonical(shard_resps) == _canonical(single_resps)
+
+    speedup = shard_rps / single_rps
+    t = Table(
+        ["config", "req/s"],
+        title=f"shard throughput ({len(workload)} unique requests)",
+    )
+    t.add_row(["single process", round(single_rps, 1)])
+    t.add_row(["4 shards", round(shard_rps, 1)])
+    emit("shard_throughput", t.render() + f"\nspeedup: {speedup:.1f}x")
+
+    assert speedup >= 2.0, (
+        f"4-shard speedup {speedup:.2f}x below the 2x acceptance bar "
+        f"({shard_rps:.0f} vs {single_rps:.0f} req/s)"
+    )

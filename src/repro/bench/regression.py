@@ -73,6 +73,15 @@ REPORT_SOURCES: dict[str, tuple[str, Callable[[str], float]]] = {
     "sessions_throughput": ("sessions_throughput.txt", parse_ratio),
 }
 
+#: Metrics whose benchmarks legitimately skip on some hosts (the
+#: shard-throughput speedup needs >= 4 cores), so a missing report is
+#: tolerated and the metric simply omitted.  Pair these with
+#: ``"gate": false`` baseline entries: :func:`compare` treats a *gated*
+#: baseline metric absent from the report as a regression.
+OPTIONAL_REPORT_SOURCES: dict[str, tuple[str, Callable[[str], float]]] = {
+    "shard_throughput_speedup": ("shard_throughput.txt", parse_ratio),
+}
+
 
 def collect_metrics(results_dir: str | Path) -> dict[str, float]:
     """Harvest every gated metric from a ``benchmarks/results`` directory."""
@@ -86,6 +95,10 @@ def collect_metrics(results_dir: str | Path) -> dict[str, float]:
                 "(run the slow benchmarks first)"
             )
         metrics[name] = extract(path.read_text())
+    for name, (filename, extract) in OPTIONAL_REPORT_SOURCES.items():
+        path = results_dir / filename
+        if path.exists():
+            metrics[name] = extract(path.read_text())
     return metrics
 
 

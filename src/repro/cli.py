@@ -107,6 +107,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(microbatching + caches) instead of the process pool",
     )
     p.add_argument(
+        "--shards", type=int, default=0,
+        help="serve through N worker processes (implies --serve; "
+        "0 keeps the in-process backend — bit-identical results "
+        "either way)",
+    )
+    p.add_argument(
         "--save", default=None, metavar="PATH",
         help="also save the probes as JSONL for later `repro report`",
     )
@@ -187,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=_positive_int, default=8)
     p.add_argument("--workers", type=int, default=None)
     p.add_argument(
+        "--shards", type=int, default=0,
+        help="host campaigns on a sharded multi-process backend "
+        "(0 = in-process)",
+    )
+    p.add_argument(
         "--max-evaluations", type=_positive_int, default=None,
         help="stop after this many completed evaluations (campaigns "
         "are PAUSED and can be resumed from --log)",
@@ -223,6 +234,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="microbatch flush deadline in seconds",
     )
     p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "--shards", type=int, default=0,
+        help="benchmark the sharded multi-process backend with N "
+        "worker replicas (0 = in-process default)",
+    )
     p.add_argument("--seed", type=int, default=1)
     p.add_argument(
         "--prefix-cache", action=argparse.BooleanOptionalAction,
@@ -283,6 +299,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--stall-s", type=float, default=0.005,
         help="queue-stall duration in seconds",
+    )
+    p.add_argument(
+        "--shards", type=int, default=0,
+        help="drill the sharded multi-process backend with N worker "
+        "replicas (0 = in-process)",
+    )
+    p.add_argument(
+        "--kill-rate", type=float, default=0.0,
+        help="per-dispatch probability of SIGKILLing the target shard "
+        "before enqueue (requires --shards > 0; killed tickets fail "
+        "with ShardCrashError and are retried on the respawned shard)",
     )
     p.add_argument(
         "--max-attempts", type=_positive_int, default=4,
@@ -422,11 +449,13 @@ def _cmd_grid(args) -> int:
         resume=args.resume,
         prefix_cache=args.prefix_cache,
     )
-    if args.serve:
-        from repro.serve import PredictionService
+    if args.serve or args.shards:
+        from repro.serve import make_service
 
-        with PredictionService(
-            workers=args.workers, enable_prefix_cache=args.prefix_cache
+        with make_service(
+            shards=args.shards,
+            workers=args.workers,
+            enable_prefix_cache=args.prefix_cache,
         ) as service:
             probes = run_grid(specs, service=service, **grid_kwargs)
             stats = service.stats()
@@ -611,7 +640,7 @@ def _cmd_sessions(args) -> int:
         print(_render_sessions_table(rows, f"session log {args.log}"))
         return 0
 
-    from repro.serve import PredictionService, ResilientService
+    from repro.serve import ResilientService, make_service
     from repro.sessions import (
         FAILED,
         AdmissionController,
@@ -638,8 +667,10 @@ def _cmd_sessions(args) -> int:
         f"({args.tenants} tenants, size {args.size})",
         file=sys.stderr,
     )
-    with PredictionService(
-        max_batch_size=args.batch_size, workers=args.workers
+    with make_service(
+        shards=args.shards,
+        max_batch_size=args.batch_size,
+        workers=args.workers,
     ) as service:
         driver = ResilientService(service) if args.resilient else service
         with SessionManager(
@@ -723,13 +754,14 @@ def _serve_bench_workload(args):
 
 def _cmd_serve_bench(args) -> int:
     from repro.obs import Tracer, collect_service_metrics, use_tracer
-    from repro.serve import PredictionService
+    from repro.serve import make_service
     from repro.utils.timing import Timer
 
     workload = _serve_bench_workload(args)
 
     def run(caches_enabled: bool, tracer=None, metrics=False):
-        with PredictionService(
+        with make_service(
+            shards=args.shards,
             max_batch_size=args.batch_size,
             max_wait_s=args.max_wait,
             workers=args.workers,
@@ -815,7 +847,7 @@ def _chaos_workload(args):
 def _run_chaos_once(args, workload, cache_probes: bool = False):
     from repro.errors import ServiceError
     from repro.faults import FaultPlan
-    from repro.serve import PredictionService, ResilientService, RetryPolicy
+    from repro.serve import ResilientService, RetryPolicy, make_service
 
     plan = FaultPlan(
         seed=args.seed,
@@ -825,10 +857,15 @@ def _run_chaos_once(args, workload, cache_probes: bool = False):
         eviction_storm_rate=args.evict_rate,
         queue_stall_rate=args.stall_rate,
         queue_stall_s=args.stall_s,
+        shard_kill_rate=args.kill_rate if args.shards else 0.0,
     )
     unhandled = 0
     values: list[float | None] = []
-    with PredictionService(fault_plan=plan) as service:
+    # Retries absorb shard kills; give the drill enough respawn budget
+    # that repeated kills of one shard don't exhaust it mid-run.
+    with make_service(
+        shards=args.shards, max_restarts=args.requests, fault_plan=plan
+    ) as service:
         resilient = ResilientService(
             service,
             retry_policy=RetryPolicy(

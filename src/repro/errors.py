@@ -30,6 +30,9 @@ __all__ = [
     "RequestTimeoutError",
     "InjectedFaultError",
     "CircuitOpenError",
+    "ShardError",
+    "ShardCrashError",
+    "ShardFailedError",
 ]
 
 
@@ -123,6 +126,14 @@ class ServiceOverloadedError(ServiceError):
             f"request queue full ({queued}/{capacity} queued); retry later"
         )
 
+    def __reduce__(self):
+        # Default exception pickling replays ``cls(*args)`` with args set
+        # to the rendered message, which would rebuild this error with a
+        # string capacity (or crash for multi-field errors).  The sharded
+        # backend ships typed errors across process boundaries, so every
+        # structured ServiceError pickles by its real constructor fields.
+        return (type(self), (self.capacity, self.depth))
+
 
 class ServiceClosedError(ServiceError):
     """A request was submitted to a service that is draining or shut down."""
@@ -138,6 +149,9 @@ class RequestTimeoutError(ServiceError, TimeoutError):
     def __init__(self, timeout_s: float):
         self.timeout_s = timeout_s
         super().__init__(f"request timed out after {timeout_s:.3f}s")
+
+    def __reduce__(self):
+        return (type(self), (self.timeout_s,))
 
 
 class InjectedFaultError(ServiceError):
@@ -155,6 +169,9 @@ class InjectedFaultError(ServiceError):
             f"injected transient fault at {site!r} (key {key!r})"
         )
 
+    def __reduce__(self):
+        return (type(self), (self.site, self.key))
+
 
 class CircuitOpenError(ServiceError):
     """A route's circuit breaker is open: the service is failing fast.
@@ -168,3 +185,49 @@ class CircuitOpenError(ServiceError):
         super().__init__(
             f"circuit breaker open for route {route!r}; failing fast"
         )
+
+    def __reduce__(self):
+        return (type(self), (self.route,))
+
+
+class ShardError(ServiceError):
+    """Base class for failures of the sharded multi-process backend."""
+
+
+class ShardCrashError(ShardError):
+    """A shard worker process died while requests were in flight.
+
+    The in-flight tickets are failed with this error; the shard itself is
+    respawned (up to the restart cap) so subsequent requests routed to it
+    succeed.  Retryable: the retry policy treats a crashed shard like any
+    other transient worker fault.
+    """
+
+    def __init__(self, shard: int, exitcode: int | None = None):
+        self.shard = shard
+        self.exitcode = exitcode
+        detail = "" if exitcode is None else f" (exit code {exitcode})"
+        super().__init__(
+            f"shard {shard} died with requests in flight{detail}"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.shard, self.exitcode))
+
+
+class ShardFailedError(ShardError):
+    """A shard exhausted its restart budget and is permanently down.
+
+    Not retryable within the same service: requests whose prompt keys
+    route to a failed shard keep failing until the service is rebuilt.
+    """
+
+    def __init__(self, shard: int, restarts: int):
+        self.shard = shard
+        self.restarts = restarts
+        super().__init__(
+            f"shard {shard} failed permanently after {restarts} restarts"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.shard, self.restarts))

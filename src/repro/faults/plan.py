@@ -47,6 +47,7 @@ _RATE_FIELDS = (
     "eviction_storm_rate",
     "queue_stall_rate",
     "cell_error_rate",
+    "shard_kill_rate",
     "torn_write_rate",
     "bitflip_rate",
     "enospc_rate",
@@ -84,6 +85,12 @@ class FaultPlan:
     cell_error_rate:
         Per-cell probability that :func:`repro.core.runner.run_spec`
         fails before running any probes (grid-level crash simulation).
+    shard_kill_rate:
+        Per-dispatch probability that the sharded backend SIGKILLs the
+        target worker process *before* enqueueing the ticket — the
+        abrupt-shard-death drill (the ticket and any in-flight peers
+        fail with :class:`~repro.errors.ShardCrashError`, then the
+        shard respawns).  Ignored by the in-process backend.
     torn_write_rate:
         Per-write probability that a storage write lands only a prefix
         of its payload and then "crashes" (raises
@@ -109,6 +116,7 @@ class FaultPlan:
     queue_stall_rate: float = 0.0
     queue_stall_s: float = 0.005
     cell_error_rate: float = 0.0
+    shard_kill_rate: float = 0.0
     torn_write_rate: float = 0.0
     bitflip_rate: float = 0.0
     enospc_rate: float = 0.0
@@ -151,6 +159,9 @@ class FaultPlan:
 
     def cell_fault(self, key: object) -> bool:
         return self.fires("cell-error", key, self.cell_error_rate)
+
+    def shard_kill(self, key: object) -> bool:
+        return self.fires("shard-kill", key, self.shard_kill_rate)
 
     def torn_write(self, key: object) -> bool:
         return self.fires("torn-write", key, self.torn_write_rate)
@@ -225,6 +236,7 @@ class FaultStats:
         "evictions",
         "stalls",
         "cell_faults",
+        "shard_kills",
         "torn_writes",
         "bitflips",
         "enospc",
@@ -240,6 +252,15 @@ class FaultStats:
             raise ValueError(f"unknown fault kind {kind!r}")
         with self._lock:
             self._counts[kind] += 1
+
+    def add(self, kind: str, n: int) -> None:
+        """Bulk-add ``n`` faults of one kind (merging shard snapshots)."""
+        if kind not in self._counts:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        if n < 0:
+            raise ValueError(f"fault counts only go up; got add({n})")
+        with self._lock:
+            self._counts[kind] += n
 
     def snapshot(self) -> dict[str, int]:
         """Copy of the current counters."""
@@ -260,6 +281,7 @@ class FaultStats:
         t.add_row(["cache-eviction storms", snap["evictions"]])
         t.add_row(["queue stalls", snap["stalls"]])
         t.add_row(["grid-cell faults", snap["cell_faults"]])
+        t.add_row(["shard kills", snap["shard_kills"]])
         t.add_row(["torn writes", snap["torn_writes"]])
         t.add_row(["bitflips after ack", snap["bitflips"]])
         t.add_row(["ENOSPC writes", snap["enospc"]])

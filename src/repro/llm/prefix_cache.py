@@ -124,6 +124,16 @@ class PrefixCache:
         with self._lock:
             return self._misses
 
+    def snapshot(self) -> tuple[int, int]:
+        """Consistent ``(hits, misses)`` pair taken under one lock.
+
+        The separate ``hits``/``misses`` properties each lock, but reading
+        them back-to-back can tear around a concurrent lookup; stats
+        snapshots use this to keep hit totals internally consistent.
+        """
+        with self._lock:
+            return (self._hits, self._misses)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

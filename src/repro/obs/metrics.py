@@ -257,13 +257,17 @@ def collect_service_metrics(
     ):
         if cache is None:
             continue
+        # One locked snapshot per level: reading hits and misses as two
+        # separate calls can tear around a concurrent lookup and report
+        # a hit rate above 1.0.
+        hits, misses, size = cache.snapshot()
         registry.counter("cache.lookups", level=level, outcome="hit").inc(
-            cache.hits
+            hits
         )
         registry.counter("cache.lookups", level=level, outcome="miss").inc(
-            cache.misses
+            misses
         )
-        registry.gauge("cache.entries", level=level).set(len(cache))
+        registry.gauge("cache.entries", level=level).set(size)
         registry.gauge("cache.capacity", level=level).set(cache.capacity)
 
     # Prefix-reuse layer: snapshot cache hit/miss plus decode grouping.
@@ -282,6 +286,17 @@ def collect_service_metrics(
     if service.faults is not None:
         for kind, count in service.faults.stats.snapshot().items():
             registry.counter("faults.injected", kind=kind).inc(count)
+
+    # Sharded backend: topology and worker-death accounting (duck-typed;
+    # the single-process service has no shard_info attribute).
+    shard_info = getattr(service, "shard_info", None)
+    if shard_info is not None:
+        registry.gauge("serve.shards").set(shard_info["n_shards"])
+        registry.gauge("serve.shards_failed").set(shard_info["failed"])
+        registry.counter("serve.shard_respawns").inc(shard_info["respawns"])
+        registry.counter("serve.shard_crashed_tickets").inc(
+            shard_info["crashed_tickets"]
+        )
 
     for name, count in (
         ("logical", stats.n_logical),

@@ -32,12 +32,16 @@ from repro.serve.request import Request, Response
 from repro.serve.resilience import CircuitBreaker, ResilientService, RetryPolicy
 from repro.serve.scheduler import MicroBatcher
 from repro.serve.service import PredictionService
+from repro.serve.shard import ShardedPredictionService, make_service, route_shard
 from repro.serve.stats import ServiceStats, StatsRecorder
 
 __all__ = [
     "Request",
     "Response",
     "PredictionService",
+    "ShardedPredictionService",
+    "make_service",
+    "route_shard",
     "MicroBatcher",
     "LRUCache",
     "prompt_fingerprint",

@@ -61,17 +61,17 @@ class LRUCache:
         self.capacity = int(capacity)
         self._data: OrderedDict[Hashable, object] = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self._hits = 0
+        self._misses = 0
 
     def get(self, key: Hashable) -> object:
         """Return the cached value or :data:`MISS`, updating recency."""
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
-                self.hits += 1
+                self._hits += 1
                 return self._data[key]
-            self.misses += 1
+            self._misses += 1
             return MISS
 
     def put(self, key: Hashable, value: object) -> None:
@@ -94,10 +94,32 @@ class LRUCache:
             return self._data.get(key, MISS)
 
     @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
+
+    def snapshot(self) -> tuple[int, int, int]:
+        """Consistent ``(hits, misses, size)`` taken under one lock.
+
+        Reading ``hits`` and ``misses`` as two separate property calls can
+        tear around a concurrent :meth:`get` (hit counted in one read but
+        not the other), which is how a metrics scrape once reported a hit
+        rate above 1.0.  Metrics collectors must use this instead.
+        """
+        with self._lock:
+            return (self._hits, self._misses, len(self._data))
+
+    @property
     def hit_rate(self) -> float:
         """Hits over lookups (0.0 before any lookup)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        hits, misses, _ = self.snapshot()
+        total = hits + misses
+        return hits / total if total else 0.0
 
     def clear(self) -> None:
         """Drop all entries (counters are preserved)."""

@@ -35,6 +35,7 @@ from repro.errors import (
     RequestTimeoutError,
     ServiceClosedError,
     ServiceOverloadedError,
+    ShardCrashError,
 )
 from repro.obs import get_tracer
 from repro.serve.fallback import FallbackChain
@@ -47,10 +48,17 @@ __all__ = ["RetryPolicy", "CircuitBreaker", "ResilientService"]
 _SCALE = float(1 << 63)
 
 #: Failure classes worth another attempt: transient by construction
-#: (injected faults), by backpressure semantics (overload), or by
-#: deadline (timeout — the retry may hit the result cache the late
-#: completion just filled).
-_RETRYABLE = (InjectedFaultError, ServiceOverloadedError, RequestTimeoutError)
+#: (injected faults), by backpressure semantics (overload), by deadline
+#: (timeout — the retry may hit the result cache the late completion
+#: just filled), or by shard death (the crashed shard respawns, so the
+#: retry lands on a fresh replica).  ShardFailedError is deliberately
+#: absent: a shard past its restart budget stays down.
+_RETRYABLE = (
+    InjectedFaultError,
+    ServiceOverloadedError,
+    RequestTimeoutError,
+    ShardCrashError,
+)
 
 
 @dataclass(frozen=True)

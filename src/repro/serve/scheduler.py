@@ -224,14 +224,19 @@ class MicroBatcher:
         batch: list[Ticket] = []
         deadline: float | None = None
         while True:
-            if batch:
-                timeout = max(deadline - time.monotonic(), 0.0)
-            else:
+            if deadline is None:
                 timeout = _POLL_S
+            else:
+                # Never let the poll granularity outlive the deadline: a
+                # partial batch with max_wait_s < _POLL_S must flush at
+                # its deadline, not at the next 0.5s poll tick.
+                timeout = min(
+                    _POLL_S, max(deadline - time.monotonic(), 0.0)
+                )
             try:
                 item = self._queue.get(timeout=timeout)
             except queue.Empty:
-                if batch:
+                if batch and time.monotonic() >= deadline:
                     self._flush(batch)
                     batch, deadline = [], None
                 continue
@@ -248,7 +253,12 @@ class MicroBatcher:
                             _fail_closed(ticket)
                 break
             if not batch:
-                deadline = time.monotonic() + self.max_wait_s
+                # Anchor the flush deadline at the ticket's *enqueue*
+                # time, not collector pickup: if the collector was parked
+                # in a flush (dispatch-slot wait), time already spent in
+                # the queue counts against max_wait_s instead of silently
+                # restarting the clock.
+                deadline = item.enqueued_at + self.max_wait_s
             batch.append(item)
             if len(batch) >= self.max_batch_size:
                 self._flush(batch)

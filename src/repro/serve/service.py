@@ -224,12 +224,14 @@ class PredictionService:
     def stats(self) -> ServiceStats:
         """Snapshot current service metrics (including cache counters)."""
         pc, rc = self.prepare_cache, self.result_cache
+        prepare_hits, prepare_misses, _ = pc.snapshot() if pc else (0, 0, 0)
+        result_hits, result_misses, _ = rc.snapshot() if rc else (0, 0, 0)
         prefix_hits, prefix_misses = self.prefix_cache_counts()
         return self._stats.snapshot(
-            prepare_hits=pc.hits if pc else 0,
-            prepare_misses=pc.misses if pc else 0,
-            result_hits=rc.hits if rc else 0,
-            result_misses=rc.misses if rc else 0,
+            prepare_hits=prepare_hits,
+            prepare_misses=prepare_misses,
+            result_hits=result_hits,
+            result_misses=result_misses,
             prefix_hits=prefix_hits,
             prefix_misses=prefix_misses,
         )
@@ -245,8 +247,9 @@ class PredictionService:
         for surrogate in surrogates:
             cache = surrogate.prefix_cache
             if cache is not None:
-                hits += cache.hits
-                misses += cache.misses
+                cache_hits, cache_misses = cache.snapshot()
+                hits += cache_hits
+                misses += cache_misses
         return hits, misses
 
     @property

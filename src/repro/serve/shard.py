@@ -1,0 +1,955 @@
+"""Sharded multi-process serving: N worker replicas behind one façade.
+
+Every layer below this one executes inside a single Python process, so
+the CPU-bound surrogate decode is GIL-serialized no matter how many
+cores the host has.  :class:`ShardedPredictionService` scales it out:
+``N`` worker processes, each hosting a **full replica** of the stack —
+a :class:`~repro.serve.service.PredictionService` with its own
+microbatcher, prepare/result caches, and per-surrogate prefix caches —
+behind the same submit/submit_many/stats/close API.
+
+Design points (DESIGN.md §12):
+
+* **Routing** is rendezvous (highest-random-weight) hashing on the
+  request's seed-independent ``prompt_key``
+  (:func:`route_shard`): same-prompt traffic always lands on the same
+  shard, so prefix-group/lockstep-decode and cache hit rates survive
+  sharding instead of being diluted ``1/N`` by round-robin.
+* **Transport** is pickled :class:`~repro.serve.request.Request` /
+  :class:`~repro.serve.request.Response` pairs: a bounded per-shard
+  inbox queue parent → worker, and a *private pipe* per shard worker →
+  parent (the collector multiplexes them with
+  ``multiprocessing.connection.wait``).  A full inbox raises
+  :class:`~repro.errors.ServiceOverloadedError` exactly like the
+  single-process admission queue (``block=True`` waits instead), so
+  backpressure semantics are unchanged.  Results deliberately do NOT
+  share one ``mp.Queue``: concurrent queue writers serialize on a
+  shared cross-process lock, and a worker SIGKILLed while holding it
+  (chaos drills do exactly this) would wedge every other shard's
+  replies forever.  One writer per pipe means a kill can only ever
+  sever that shard's own channel — the parent sees EOF, nothing else.
+* **Worker death** is detected by a watchdog thread: in-flight tickets
+  on the dead shard fail with the typed
+  :class:`~repro.errors.ShardCrashError` (retryable), the shard is
+  respawned with a capped restart budget, and beyond the cap submissions
+  routed to it raise :class:`~repro.errors.ShardFailedError`.
+  ``repro chaos`` kills shards deterministically through
+  ``FaultPlan.shard_kill_rate`` (keyed on the dispatch index) or
+  explicitly via :meth:`ShardedPredictionService.kill_shard`.
+* **Determinism**: a prediction is a pure function of (prompt, seed,
+  sampling params) — the engine's determinism contract — and routing
+  never changes those inputs, so predictions are bit-identical for any
+  shard count, including 0 (the in-process default;
+  :func:`make_service` selects the backend).  Serving *metadata*
+  (latency, batch size) reflects the actual execution and is excluded
+  from the contract.
+
+Workers are started from a clean interpreter
+(:func:`repro.utils.parallel.mp_context`: forkserver/spawn, never
+fork) — the parent runs collector and watchdog threads, and forking a
+threaded process copies locked locks into the child.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import itertools
+import pickle
+import queue
+import threading
+import time
+from multiprocessing import connection as mp_connection
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Iterable
+
+from repro.errors import (
+    RequestTimeoutError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ShardCrashError,
+    ShardFailedError,
+)
+from repro.faults import FaultInjector, FaultPlan, FaultStats
+from repro.serve.request import Request, Response
+from repro.serve.service import PredictionService
+from repro.serve.stats import ServiceStats, StatsRecorder
+from repro.utils.parallel import mp_context
+from repro.utils.rng import derive_seed
+
+__all__ = ["ShardedPredictionService", "make_service", "route_shard"]
+
+#: Watchdog poll period: how quickly a dead worker is noticed.
+_WATCHDOG_POLL_S = 0.05
+
+#: Per-attempt wait while cooperatively block-putting into a full inbox.
+_BLOCK_PUT_POLL_S = 0.05
+
+
+def route_shard(prompt_key: str, n_shards: int, route_seed: int = 0) -> int:
+    """Rendezvous-hash a prompt key onto one of ``n_shards`` shards.
+
+    Pure function of ``(route_seed, prompt_key, shard index)``: every
+    submitter computes the same owner for the same prompt, and changing
+    the shard count only remaps the keys whose winner changed (the
+    rendezvous property) — cache-affinity-friendly, seed-independent.
+    """
+    if n_shards < 1:
+        raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
+    return max(
+        range(n_shards),
+        key=lambda s: derive_seed(route_seed, "shard-route", prompt_key, s),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Worker side (runs in the shard process)
+# ---------------------------------------------------------------------- #
+def _portable_error(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it survives a pickle round-trip, else a wrapper.
+
+    Library errors define ``__reduce__`` for exactly this path; anything
+    exotic (a third-party error with unpicklable state) degrades to a
+    plain :class:`ServiceError` carrying the rendered message rather
+    than poisoning the results pipe.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return ServiceError(f"{type(exc).__name__}: {exc}")
+
+
+def _relay_result(reply, shard_id, generation, ticket_id, future) -> None:
+    """Done-callback shipping one worker-side outcome to the parent."""
+    try:
+        exc = future.exception()
+    except BaseException:  # cancelled during a non-drain close
+        exc = ServiceClosedError("request cancelled in shard worker")
+    if exc is None:
+        reply(("ok", shard_id, generation, ticket_id, future.result()))
+    else:
+        reply(
+            ("err", shard_id, generation, ticket_id, _portable_error(exc))
+        )
+
+
+def _shard_worker_main(
+    shard_id: int,
+    generation: int,
+    service_kwargs: dict,
+    fault_plan,
+    inbox,
+    results,
+) -> None:
+    """Shard worker entry point: host one full service replica.
+
+    Top-level by necessity (spawn/forkserver pickle the target by
+    qualified name).  Message protocol, parent → worker over ``inbox``::
+
+        ("req", ticket_id, Request)   submit; outcome goes to ``results``
+        ("stats", token)              reply with a stats/fault snapshot
+        ("stop", drain)               close the service, reply "bye", exit
+
+    and worker → parent over this shard's private ``results`` pipe::
+
+        ("ok"|"err", shard, gen, ticket_id, Response|error)
+        ("stats", shard, gen, token, ServiceStats, fault snapshot|None)
+        ("bye", shard, gen, ServiceStats, fault snapshot|None)
+
+    Every message carries the shard's spawn ``generation`` so the parent
+    can discard stragglers from an incarnation it already declared dead.
+    """
+    service = PredictionService(fault_plan=fault_plan, **service_kwargs)
+    # The done callbacks fire on executor threads concurrently with this
+    # loop's stats/bye replies; Connection.send is not thread-safe, so
+    # every write to the results pipe goes through one in-process lock.
+    send_lock = threading.Lock()
+
+    def reply(msg) -> None:
+        try:
+            with send_lock:
+                results.send(msg)
+        except (BrokenPipeError, OSError):  # parent gone; nothing to tell
+            pass
+
+    def faults_snapshot():
+        if service.faults is None:
+            return None
+        return service.faults.stats.snapshot()
+
+    try:
+        while True:
+            msg = inbox.get()
+            kind = msg[0]
+            if kind == "req":
+                ticket_id, request = msg[1], msg[2]
+                try:
+                    # block=True: a saturated replica parks this loop,
+                    # the inbox fills, and the parent's put_nowait sees
+                    # queue.Full — backpressure propagates end to end.
+                    future = service.submit_async(request, block=True)
+                except Exception as exc:
+                    reply(
+                        (
+                            "err",
+                            shard_id,
+                            generation,
+                            ticket_id,
+                            _portable_error(exc),
+                        )
+                    )
+                    continue
+                future.add_done_callback(
+                    functools.partial(
+                        _relay_result, reply, shard_id, generation, ticket_id
+                    )
+                )
+            elif kind == "stats":
+                reply(
+                    (
+                        "stats",
+                        shard_id,
+                        generation,
+                        msg[1],
+                        service.stats(),
+                        faults_snapshot(),
+                    )
+                )
+            elif kind == "stop":
+                service.close(drain=bool(msg[1]))
+                reply(
+                    (
+                        "bye",
+                        shard_id,
+                        generation,
+                        service.stats(),
+                        faults_snapshot(),
+                    )
+                )
+                return
+    except (EOFError, KeyboardInterrupt):  # parent gone / interrupted
+        service.close(drain=False)
+
+
+# ---------------------------------------------------------------------- #
+# Parent side
+# ---------------------------------------------------------------------- #
+class _Inflight:
+    """Parent-side record of one ticket dispatched to a shard."""
+
+    __slots__ = ("future", "shard", "generation", "enqueued_at")
+
+    def __init__(self, shard: int, generation: int):
+        self.future: Future = Future()
+        self.shard = shard
+        self.generation = generation
+        self.enqueued_at = time.monotonic()
+
+
+class _ShardSlot:
+    """One shard's process, inbox, and per-incarnation bookkeeping."""
+
+    __slots__ = (
+        "index",
+        "process",
+        "inbox",
+        "generation",
+        "restarts",
+        "failed",
+        "last_stats",
+        "last_faults",
+        "retired_stats",
+        "retired_faults",
+    )
+
+    def __init__(self, index: int):
+        self.index = index
+        self.process = None
+        self.inbox = None
+        self.generation = 0
+        self.restarts = 0
+        self.failed = False
+        #: Latest snapshots from the *current* incarnation.
+        self.last_stats: ServiceStats | None = None
+        self.last_faults: dict | None = None
+        #: Final (last-known) snapshots of dead incarnations; counters
+        #: a shard accumulated after its last stats exchange die with it.
+        self.retired_stats: list[ServiceStats] = []
+        self.retired_faults: list[dict] = []
+
+
+class _ShardFaultView:
+    """Duck-typed ``service.faults`` for the sharded backend.
+
+    Exposes the same ``.plan`` / ``.stats`` surface the obs collectors
+    and the chaos CLI read from :class:`~repro.faults.FaultInjector`;
+    ``stats`` aggregates the parent's shard-kill counter with every
+    worker's injected-fault snapshot (refreshing live shards first).
+    """
+
+    def __init__(self, owner: "ShardedPredictionService", plan: FaultPlan):
+        self._owner = owner
+        self.plan = plan
+
+    @property
+    def stats(self) -> FaultStats:
+        self._owner._refresh_shard_stats()
+        return self._owner._aggregate_fault_stats()
+
+
+class ShardedPredictionService:
+    """N-process sharded drop-in for :class:`PredictionService`.
+
+    Parameters
+    ----------
+    shards:
+        Worker-process count (>= 1; use :func:`make_service` for the
+        "0 means in-process" convention).
+    shard_queue_capacity:
+        Bound on each shard's inbox (tickets dispatched but not yet
+        picked up by the worker).  A full inbox raises
+        :class:`~repro.errors.ServiceOverloadedError` on non-blocking
+        submits, mirroring the single-process admission queue.
+    max_restarts:
+        Per-shard respawn budget after crashes; beyond it the shard is
+        failed permanently and submissions routed to it raise
+        :class:`~repro.errors.ShardFailedError`.
+    default_timeout_s:
+        Fallback deadline for blocking :meth:`submit` calls, as on the
+        single-process service.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` (or injector, for
+        signature parity — only its plan is used).  Request-level
+        faults are injected *inside* each worker's replica from the
+        same plan; ``shard_kill_rate`` fires parent-side, keyed on the
+        dispatch index, SIGKILLing the target shard before the ticket
+        is enqueued.
+    route_seed:
+        Rendezvous-hash seed (fixed default keeps routing — and thus
+        per-shard cache populations — reproducible across runs).
+    **service_kwargs:
+        Forwarded verbatim to each worker's
+        :class:`PredictionService` (``max_batch_size``, ``workers``,
+        cache sizes/switches, ...).  Must be picklable; an explicit
+        ``surrogate`` is rejected — sharded workers build their
+        surrogates per size, lazily, like the default service.
+
+    The parent's :class:`~repro.serve.stats.StatsRecorder` is
+    authoritative for request outcomes and end-to-end latencies;
+    batch/cache/prefix-group counters are aggregated from the worker
+    replicas (fetched on :meth:`stats`, finalized by the drain
+    handshake on :meth:`close`).
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        *,
+        shard_queue_capacity: int = 64,
+        max_restarts: int = 2,
+        default_timeout_s: float | None = None,
+        fault_plan: FaultPlan | FaultInjector | None = None,
+        route_seed: int = 0,
+        **service_kwargs,
+    ):
+        if shards < 1:
+            raise ServiceError(f"shards must be >= 1, got {shards}")
+        if shard_queue_capacity < 1:
+            raise ServiceError(
+                "shard_queue_capacity must be >= 1, "
+                f"got {shard_queue_capacity}"
+            )
+        if max_restarts < 0:
+            raise ServiceError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        if service_kwargs.get("surrogate") is not None:
+            raise ServiceError(
+                "the sharded backend builds surrogates inside each worker; "
+                "route by Request.size instead of passing a surrogate"
+            )
+        service_kwargs.pop("surrogate", None)
+        self.n_shards = int(shards)
+        self.default_timeout_s = default_timeout_s
+        self.route_seed = int(route_seed)
+        self._service_kwargs = dict(service_kwargs)
+        self._shard_queue_capacity = int(shard_queue_capacity)
+        self._max_restarts = int(max_restarts)
+        if isinstance(fault_plan, FaultInjector):
+            fault_plan = fault_plan.plan
+        self._plan = fault_plan
+        self._fault_view = (
+            _ShardFaultView(self, fault_plan) if fault_plan is not None else None
+        )
+        self._kill_stats = FaultStats()
+        self._stats = StatsRecorder(
+            max_batch_size=service_kwargs.get("max_batch_size", 8)
+        )
+        #: The caches live inside the worker replicas; the façade keeps
+        #: the attributes for API parity (obs collectors skip None).
+        self.prepare_cache = None
+        self.result_cache = None
+        self._ids = itertools.count()
+        self._dispatches = itertools.count()
+        self._stats_tokens = itertools.count()
+        self._lock = threading.Lock()
+        self._inflight: dict[int, _Inflight] = {}
+        self._stats_pending: dict[int, dict] = {}
+        self._closed = threading.Event()
+        self._respawns = 0
+        self._crashed_tickets = 0
+        self._ctx = mp_context()
+        #: Open read ends of the per-shard result pipes.  A dead
+        #: incarnation's pipe stays here until the collector has drained
+        #: its buffered replies and seen EOF — late results are filtered
+        #: by ticket/generation, not by dropping the channel early.
+        self._result_conns: set = set()
+        self._shards = [_ShardSlot(i) for i in range(self.n_shards)]
+        for slot in self._shards:
+            self._spawn(slot)
+        self._collector_stop = threading.Event()
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-shard-collector", daemon=True
+        )
+        self._collector.start()
+        self._watchdog_stop = threading.Event()
+        self._watchdog = threading.Thread(
+            target=self._watch, name="repro-shard-watchdog", daemon=True
+        )
+        self._watchdog.start()
+
+    # ------------------------------------------------------------------ #
+    # Submission API (mirrors PredictionService)
+    # ------------------------------------------------------------------ #
+    def submit_async(self, request: Request, *, block: bool = False) -> Future:
+        """Dispatch a request to its shard; the future yields a Response.
+
+        Raises :class:`~repro.errors.ServiceOverloadedError` when the
+        target shard's inbox is full, unless ``block=True`` (cooperative
+        backpressure).  A request routed to a permanently failed shard
+        raises :class:`~repro.errors.ShardFailedError` — rerouting it
+        would silently break the cache-affinity contract.
+        """
+        if self._closed.is_set():
+            self._stats.record_closed_reject()
+            raise ServiceClosedError("service is shut down")
+        shard_idx = route_shard(
+            request.prompt_key, self.n_shards, self.route_seed
+        )
+        dispatch = next(self._dispatches)
+        ticket_id = next(self._ids)
+        with self._lock:
+            slot = self._shards[shard_idx]
+            if slot.failed:
+                raise ShardFailedError(shard_idx, slot.restarts)
+            entry = _Inflight(shard_idx, slot.generation)
+            self._inflight[ticket_id] = entry
+            inbox = slot.inbox
+        if self._plan is not None and self._plan.shard_kill(dispatch):
+            # Register-then-kill: the triggering ticket is already
+            # in flight on the victim shard, so it deterministically
+            # fails with ShardCrashError regardless of watchdog timing.
+            self._kill_stats.record("shard_kills")
+            self.kill_shard(shard_idx)
+        msg = ("req", ticket_id, request)
+        if block:
+            self._blocking_put(slot, entry, ticket_id, msg)
+        else:
+            try:
+                inbox.put_nowait(msg)
+            except queue.Full:
+                with self._lock:
+                    self._inflight.pop(ticket_id, None)
+                self._stats.record_reject()
+                raise ServiceOverloadedError(
+                    self._shard_queue_capacity,
+                    depth=_inbox_depth(inbox, self._shard_queue_capacity),
+                ) from None
+        self._stats.record_submit()
+        return entry.future
+
+    def _blocking_put(self, slot, entry, ticket_id, msg) -> None:
+        """Cooperatively wait for inbox space, tracking shard liveness.
+
+        If the target shard dies mid-wait, the watchdog has already
+        failed ``entry.future`` with :class:`ShardCrashError` — the
+        caller gets the failed future instead of blocking forever.
+        """
+        while True:
+            if entry.future.done():
+                return
+            if self._closed.is_set():
+                with self._lock:
+                    self._inflight.pop(ticket_id, None)
+                entry.future.cancel()
+                self._stats.record_closed_reject()
+                raise ServiceClosedError(
+                    "service shut down during submission"
+                )
+            with self._lock:
+                inbox = slot.inbox
+            if inbox is None:  # shard being respawned / failed
+                time.sleep(_BLOCK_PUT_POLL_S)
+                continue
+            try:
+                inbox.put(msg, timeout=_BLOCK_PUT_POLL_S)
+                return
+            except queue.Full:
+                continue
+
+    def submit(self, request: Request) -> Response:
+        """Serve one request synchronously (same timeout semantics as
+        the single-process service)."""
+        future = self.submit_async(request)
+        timeout = (
+            request.timeout_s
+            if request.timeout_s is not None
+            else self.default_timeout_s
+        )
+        try:
+            return future.result(timeout=timeout)
+        except FuturesTimeoutError:
+            if not future.cancel():
+                future.add_done_callback(self._note_late_discard)
+            self._stats.record_timeout()
+            raise RequestTimeoutError(float(timeout)) from None
+
+    def _note_late_discard(self, future: Future) -> None:
+        if not future.cancelled() and future.exception() is None:
+            self._stats.record_late_discard()
+
+    def submit_many(self, requests: Iterable[Request]) -> list[Response]:
+        """Serve a bulk workload, preserving input order."""
+        futures = [self.submit_async(r, block=True) for r in requests]
+        return [f.result() for f in futures]
+
+    def cached_response(self, request: Request) -> Response | None:
+        """Always ``None``: result caches live inside the shard workers.
+
+        The fallback chain's result-cache rung is therefore a no-op on
+        the sharded backend (it degrades straight to the GBT rung); a
+        cross-process cache peek would cost a round-trip to a shard
+        that may itself be the thing that just failed.
+        """
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Chaos / failure handling
+    # ------------------------------------------------------------------ #
+    def kill_shard(self, index: int) -> None:
+        """SIGKILL one shard worker (chaos drills and tests).
+
+        In-flight tickets on the shard fail with
+        :class:`ShardCrashError`; the watchdog respawns it within its
+        restart budget.
+        """
+        with self._lock:
+            proc = self._shards[index].process
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5)
+
+    def _watch(self) -> None:
+        while not self._watchdog_stop.wait(_WATCHDOG_POLL_S):
+            for slot in self._shards:
+                proc = slot.process
+                if proc is not None and not proc.is_alive():
+                    self._handle_death(slot)
+
+    def _handle_death(self, slot: _ShardSlot) -> None:
+        with self._lock:
+            proc = slot.process
+            if proc is None or proc.is_alive():
+                return
+            exitcode = proc.exitcode
+            dead_gen = slot.generation
+            slot.generation += 1
+            slot.process = None
+            slot.inbox = None
+            # The incarnation's counters survive only as their last
+            # exchanged snapshot; anything accumulated since is lost
+            # with the process (documented in DESIGN §12).
+            if slot.last_stats is not None:
+                slot.retired_stats.append(slot.last_stats)
+                slot.last_stats = None
+            if slot.last_faults is not None:
+                slot.retired_faults.append(slot.last_faults)
+                slot.last_faults = None
+            stale_ids = [
+                tid
+                for tid, entry in self._inflight.items()
+                if entry.shard == slot.index and entry.generation <= dead_gen
+            ]
+            entries = [self._inflight.pop(tid) for tid in stale_ids]
+            self._crashed_tickets += len(entries)
+            if slot.restarts < self._max_restarts and not self._closed.is_set():
+                slot.restarts += 1
+                self._respawns += 1
+                self._spawn(slot)
+            else:
+                slot.failed = True
+        error = ShardCrashError(slot.index, exitcode)
+        for entry in entries:
+            self._stats.record_failed()
+            if entry.future.set_running_or_notify_cancel():
+                entry.future.set_exception(error)
+
+    def _spawn(self, slot: _ShardSlot) -> None:
+        inbox = self._ctx.Queue(maxsize=self._shard_queue_capacity)
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                slot.index,
+                slot.generation,
+                self._service_kwargs,
+                self._worker_plan(),
+                inbox,
+                send_conn,
+            ),
+            name=f"repro-shard-{slot.index}",
+            daemon=True,
+        )
+        process.start()
+        # Drop the parent's copy of the write end: the worker must be
+        # the pipe's only writer, or its death never reads as EOF.
+        send_conn.close()
+        slot.process = process
+        slot.inbox = inbox
+        self._result_conns.add(recv_conn)
+
+    def _worker_plan(self):
+        """The fault plan forwarded to workers (shard kills stay parent-side)."""
+        if self._plan is None or self._plan.shard_kill_rate == 0.0:
+            return self._plan
+        return dataclasses.replace(self._plan, shard_kill_rate=0.0)
+
+    # ------------------------------------------------------------------ #
+    # Result collection
+    # ------------------------------------------------------------------ #
+    def _collect(self) -> None:
+        """Multiplex every shard's result pipe until told to stop.
+
+        EOF on a pipe (worker exited or was killed; a kill mid-``send``
+        surfaces as EOF too, since a partial frame can never complete)
+        retires just that channel; the watchdog owns declaring the
+        shard dead.  On stop, one final sweep drains replies still
+        buffered in the pipes — :meth:`close` joins the workers before
+        setting the stop flag, so the "bye" snapshots are all there.
+        """
+        while True:
+            with self._lock:
+                conns = list(self._result_conns)
+            if self._collector_stop.is_set():
+                self._drain_conns(conns)
+                return
+            if not conns:
+                time.sleep(_WATCHDOG_POLL_S)
+                continue
+            for conn in mp_connection.wait(conns, timeout=0.1):
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    self._retire_conn(conn)
+                    continue
+                self._dispatch(msg)
+
+    def _drain_conns(self, conns) -> None:
+        for conn in conns:
+            while True:
+                try:
+                    if not conn.poll(0):
+                        break
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    break
+                self._dispatch(msg)
+            self._retire_conn(conn)
+
+    def _retire_conn(self, conn) -> None:
+        with self._lock:
+            self._result_conns.discard(conn)
+        conn.close()
+
+    def _dispatch(self, msg: tuple) -> None:
+        kind = msg[0]
+        if kind in ("ok", "err"):
+            self._resolve(kind, msg)
+        elif kind in ("stats", "bye"):
+            self._absorb_snapshot(kind, msg)
+
+    def _resolve(self, kind: str, msg: tuple) -> None:
+        _, _shard_id, _gen, ticket_id, payload = msg
+        with self._lock:
+            entry = self._inflight.pop(ticket_id, None)
+        if entry is None:
+            # Already failed by the watchdog (the shard was declared
+            # dead) or swept by close(); a late success is dropped — the
+            # caller was told the truth it had at the time.
+            return
+        future = entry.future
+        if not future.set_running_or_notify_cancel():
+            # The caller timed out and cancelled: completed work with
+            # nobody left to read it is a late discard, same as the
+            # single-process path.
+            if kind == "ok":
+                self._stats.record_late_discard()
+            return
+        if kind == "ok":
+            response = dataclasses.replace(
+                payload,
+                request_id=ticket_id,
+                latency_s=time.monotonic() - entry.enqueued_at,
+            )
+            self._stats.record_done(response.latency_s)
+            future.set_result(response)
+        else:
+            self._stats.record_failed()
+            future.set_exception(payload)
+
+    def _absorb_snapshot(self, kind: str, msg: tuple) -> None:
+        shard_id, gen = msg[1], msg[2]
+        stats, faults = msg[-2], msg[-1]
+        with self._lock:
+            slot = self._shards[shard_id]
+            if gen == slot.generation:
+                slot.last_stats = stats
+                slot.last_faults = faults
+            if kind == "stats":
+                pending = self._stats_pending.get(msg[3])
+                if pending is not None:
+                    pending["got"].add(shard_id)
+                    if pending["got"] >= pending["want"]:
+                        pending["event"].set()
+
+    # ------------------------------------------------------------------ #
+    # Stats & introspection
+    # ------------------------------------------------------------------ #
+    def _refresh_shard_stats(self, timeout: float = 2.0) -> None:
+        """Round-trip a stats request to every live shard (best effort).
+
+        Shards that do not answer within ``timeout`` (e.g. mid-drain
+        behind a deep backlog) keep their previous snapshot; after
+        :meth:`close` the drain handshake has already delivered final
+        snapshots, so no round-trip is needed.
+        """
+        if self._closed.is_set():
+            return
+        token = next(self._stats_tokens)
+        event = threading.Event()
+        with self._lock:
+            want = set()
+            for slot in self._shards:
+                if slot.failed or slot.inbox is None:
+                    continue
+                try:
+                    slot.inbox.put_nowait(("stats", token))
+                except queue.Full:
+                    continue
+                want.add(slot.index)
+            if not want:
+                return
+            self._stats_pending[token] = {
+                "want": want,
+                "got": set(),
+                "event": event,
+            }
+        event.wait(timeout)
+        with self._lock:
+            self._stats_pending.pop(token, None)
+
+    def _worker_stats(self) -> list[ServiceStats]:
+        with self._lock:
+            out: list[ServiceStats] = []
+            for slot in self._shards:
+                out.extend(slot.retired_stats)
+                if slot.last_stats is not None:
+                    out.append(slot.last_stats)
+            return out
+
+    def stats(self) -> ServiceStats:
+        """Aggregate snapshot: parent request accounting + shard counters.
+
+        The parent recorder is authoritative for submissions, outcomes,
+        end-to-end latencies, and throughput; batching, cache, and
+        prefix-group counters are summed across every shard incarnation
+        (live shards are polled first).
+        """
+        self._refresh_shard_stats()
+        worker = self._worker_stats()
+        base = self._stats.snapshot()
+        n_batches = sum(s.n_batches for s in worker)
+        batch_total = sum(s.mean_batch_size * s.n_batches for s in worker)
+        n_groups = sum(s.n_groups for s in worker)
+        n_group_served = sum(s.n_group_served for s in worker)
+        return dataclasses.replace(
+            base,
+            n_batches=n_batches,
+            mean_batch_size=(batch_total / n_batches) if n_batches else 0.0,
+            prepare_hits=sum(s.prepare_hits for s in worker),
+            prepare_misses=sum(s.prepare_misses for s in worker),
+            result_hits=sum(s.result_hits for s in worker),
+            result_misses=sum(s.result_misses for s in worker),
+            prefix_hits=sum(s.prefix_hits for s in worker),
+            prefix_misses=sum(s.prefix_misses for s in worker),
+            n_groups=n_groups,
+            n_group_served=n_group_served,
+            mean_group_width=(
+                n_group_served / n_groups if n_groups else 0.0
+            ),
+        )
+
+    def prefix_cache_counts(self) -> tuple[int, int]:
+        """(hits, misses) summed over every shard's prefix caches."""
+        stats = self.stats()
+        return stats.prefix_hits, stats.prefix_misses
+
+    def _aggregate_fault_stats(self) -> FaultStats:
+        aggregate = FaultStats()
+        for kind, count in self._kill_stats.snapshot().items():
+            if count:
+                aggregate.add(kind, count)
+        with self._lock:
+            snapshots = []
+            for slot in self._shards:
+                snapshots.extend(slot.retired_faults)
+                if slot.last_faults is not None:
+                    snapshots.append(slot.last_faults)
+        for snapshot in snapshots:
+            for kind, count in snapshot.items():
+                if count:
+                    aggregate.add(kind, count)
+        return aggregate
+
+    @property
+    def faults(self):
+        """Aggregated fault view (``None`` when no plan was given)."""
+        return self._fault_view
+
+    @property
+    def stats_recorder(self) -> StatsRecorder:
+        """The parent-side accumulator (shared with ResilientService)."""
+        return self._stats
+
+    @property
+    def shard_info(self) -> dict:
+        """Point-in-time shard topology/health (obs collectors read this)."""
+        with self._lock:
+            return {
+                "n_shards": self.n_shards,
+                "respawns": self._respawns,
+                "failed": sum(1 for s in self._shards if s.failed),
+                "crashed_tickets": self._crashed_tickets,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self, drain: bool = True) -> None:
+        """Shut down every shard (draining admitted requests by default).
+
+        The drain handshake delivers each worker's final stats/fault
+        snapshot, so post-close :meth:`stats` aggregation is exact.
+        """
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        # Stop the watchdog first: an orderly worker exit must not be
+        # mistaken for a crash and respawned mid-shutdown.
+        self._watchdog_stop.set()
+        self._watchdog.join()
+        if not drain:
+            with self._lock:
+                entries = list(self._inflight.values())
+                self._inflight.clear()
+            for entry in entries:
+                if entry.future.set_running_or_notify_cancel():
+                    entry.future.set_exception(
+                        ServiceClosedError(
+                            "service shut down before execution"
+                        )
+                    )
+        with self._lock:
+            live = [
+                slot
+                for slot in self._shards
+                if slot.process is not None and not slot.failed
+            ]
+        for slot in live:
+            try:
+                slot.inbox.put(("stop", drain), timeout=1.0)
+            except queue.Full:
+                slot.process.terminate()
+        for slot in live:
+            slot.process.join(timeout=60.0 if drain else 5.0)
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join(timeout=5.0)
+            if slot.process.is_alive():
+                slot.process.kill()
+                slot.process.join()
+        # Workers have exited, so their final "bye" snapshots are
+        # buffered in the result pipes; the collector's stop-sweep
+        # drains them before it returns.
+        self._collector_stop.set()
+        self._collector.join()
+        with self._lock:
+            entries = list(self._inflight.values())
+            self._inflight.clear()
+        for entry in entries:
+            if entry.future.set_running_or_notify_cancel():
+                entry.future.set_exception(
+                    ServiceClosedError("service shut down before execution")
+                )
+
+    def __enter__(self) -> "ShardedPredictionService":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        self.close(drain=exc_type is None)
+
+
+def _inbox_depth(inbox, capacity: int) -> int | None:
+    """Best-effort queue depth (qsize is unimplemented on some platforms)."""
+    try:
+        return inbox.qsize()
+    except (NotImplementedError, OSError):
+        return capacity
+
+
+def make_service(
+    *,
+    shards: int = 0,
+    shard_queue_capacity: int = 64,
+    max_restarts: int = 2,
+    route_seed: int = 0,
+    surrogate=None,
+    **kwargs,
+):
+    """Build the serving backend for a shard count (0 = in-process).
+
+    The single switch the CLI / sessions / runner layers use:
+    ``shards == 0`` returns the default single-process
+    :class:`PredictionService` (bit-identical predictions either way —
+    the engine's determinism contract is per-request, and routing never
+    changes a request's inputs).
+    """
+    if shards < 0:
+        raise ServiceError(f"shards must be >= 0, got {shards}")
+    if shards == 0:
+        return PredictionService(surrogate, **kwargs)
+    if surrogate is not None:
+        raise ServiceError(
+            "the sharded backend builds surrogates inside each worker; "
+            "route by Request.size instead of passing a surrogate"
+        )
+    return ShardedPredictionService(
+        shards,
+        shard_queue_capacity=shard_queue_capacity,
+        max_restarts=max_restarts,
+        route_seed=route_seed,
+        **kwargs,
+    )

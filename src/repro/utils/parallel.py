@@ -16,11 +16,17 @@ core-count clamp (oversubscription).
 from __future__ import annotations
 
 import logging
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
-__all__ = ["effective_workers", "parallel_map", "DEFAULT_WORKER_CAP"]
+__all__ = [
+    "effective_workers",
+    "mp_context",
+    "parallel_map",
+    "DEFAULT_WORKER_CAP",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -77,6 +83,23 @@ def effective_workers(
     return limit
 
 
+def mp_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing start method safe to use alongside threads.
+
+    The POSIX default (``fork``) snapshots the parent mid-flight: any lock
+    held by another thread — a logging handler, a cache lock, the serve
+    collector's queue mutex — is copied locked into the child with no
+    owner to release it, and the child deadlocks.  Every pool in this
+    package therefore starts workers from a clean interpreter:
+    ``forkserver`` where the platform offers it (cheaper after the first
+    spawn), plain ``spawn`` otherwise.
+    """
+    try:
+        return multiprocessing.get_context("forkserver")
+    except ValueError:
+        return multiprocessing.get_context("spawn")
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -121,5 +144,7 @@ def parallel_map(
             return list(pool.map(fn, items))
     if chunksize is None:
         chunksize = max(1, n // (nworkers * 4))
-    with ProcessPoolExecutor(max_workers=nworkers) as pool:
+    with ProcessPoolExecutor(
+        max_workers=nworkers, mp_context=mp_context()
+    ) as pool:
         return list(pool.map(fn, items, chunksize=chunksize))

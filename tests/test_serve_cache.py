@@ -91,6 +91,62 @@ class TestLRUCache:
         c.put("c", 3)
         assert c.peek("a") is MISS
 
+    def test_snapshot_matches_properties(self):
+        c = LRUCache(4)
+        c.put("a", 1)
+        c.get("a")
+        c.get("b")
+        assert c.snapshot() == (1, 1, 1)
+        assert c.snapshot() == (c.hits, c.misses, len(c))
+
+    def test_snapshot_consistent_under_contention(self):
+        """``snapshot()`` must be one locked read: hits + misses can
+        never exceed the number of reads issued so far, and together
+        with size must never tear (separate property reads around a
+        concurrent lookup can report a hit rate above 1.0)."""
+        c = LRUCache(16)
+        stop = threading.Event()
+        reads_issued = [0]
+        errors = []
+
+        def mutate():
+            i = 0
+            while not stop.is_set():
+                c.put(i % 24, i)
+                reads_issued[0] += 1
+                c.get((i * 7) % 24)
+                i += 1
+
+        def observe():
+            try:
+                while not stop.is_set():
+                    hits, misses, size = c.snapshot()
+                    if hits < 0 or misses < 0:
+                        raise AssertionError("negative counter")
+                    if not 0 <= size <= 16:
+                        raise AssertionError(f"size {size} out of bounds")
+                    # reads_issued is sampled *after* the snapshot, so it
+                    # is always >= the reads the snapshot could have seen.
+                    if hits + misses > reads_issued[0]:
+                        raise AssertionError(
+                            f"torn snapshot: {hits}+{misses} reads "
+                            f"recorded, only {reads_issued[0]} issued"
+                        )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        writer = threading.Thread(target=mutate)
+        readers = [threading.Thread(target=observe) for _ in range(2)]
+        writer.start()
+        for r in readers:
+            r.start()
+        writer.join(0.5)
+        stop.set()
+        writer.join()
+        for r in readers:
+            r.join()
+        assert not errors
+
     def test_thread_safety_smoke(self):
         c = LRUCache(64)
         errors = []

@@ -259,6 +259,41 @@ class TestRobustness:
         assert stats.n_rejected == 0  # overload counter stays clean
 
 
+class TestMicroBatcherDeadline:
+    def test_queue_wait_p95_tracks_max_wait_not_poll_tick(self):
+        """Regression: the collector polled at a fixed 0.5 s granularity,
+        so a lone ticket under ``max_wait_s=0.05`` sat in hand until the
+        next poll tick — up to 10x its deadline.  The poll now sleeps
+        ``min(_POLL_S, remaining deadline)``; queue wait must track the
+        configured deadline, not the tick."""
+        from repro.serve.scheduler import _POLL_S, MicroBatcher, Ticket
+
+        waits = []
+
+        def execute(batch):
+            now = time.monotonic()
+            for t in batch:
+                waits.append(now - t.enqueued_at)
+                if t.future.set_running_or_notify_cancel():
+                    t.future.set_result("ran")
+
+        # Batch threshold unreachable: every flush is deadline-driven.
+        mb = MicroBatcher(
+            execute, max_batch_size=64, max_wait_s=0.05, workers=1
+        )
+        try:
+            for i in range(20):
+                ticket = Ticket(request_id=i, request=None)
+                mb.submit(ticket)
+                ticket.future.result(timeout=5)
+        finally:
+            mb.close()
+        waits.sort()
+        p95 = waits[int(0.95 * (len(waits) - 1))]
+        # Well under the old tick; generous headroom for a loaded box.
+        assert p95 < _POLL_S / 2, waits
+
+
 class TestCachedResponseIds:
     def test_cached_response_ids_negative_and_isolated(
         self, sm_dataset, examples

@@ -1,0 +1,327 @@
+"""Tests for the sharded multi-process serving backend.
+
+Covers the pure routing function, cross-process error transport, the
+``make_service`` backend switch, bit-identical predictions across shard
+counts, aggregated stats, and — under the ``chaos`` marker — worker
+death: kill → typed ``ShardCrashError`` → respawn → permanent
+``ShardFailedError`` at the restart cap, plus checkpointed-grid
+recovery to a bit-identical unsharded baseline.
+
+Worker processes boot a full replica each (~seconds on small hosts), so
+the live-service tests share one module-scoped 2-shard service; tests
+that destroy shard state build their own.
+"""
+
+import pickle
+import time
+
+import pytest
+
+from repro.core import load_probes_jsonl, quick_grid, run_grid
+from repro.errors import (
+    CircuitOpenError,
+    InjectedFaultError,
+    RequestTimeoutError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ShardCrashError,
+    ShardError,
+    ShardFailedError,
+)
+from repro.serve import (
+    PredictionService,
+    Request,
+    ShardedPredictionService,
+    make_service,
+    route_shard,
+)
+
+
+@pytest.fixture(scope="module")
+def examples(sm_dataset):
+    return [
+        (sm_dataset.config(i), float(sm_dataset.runtimes[i]))
+        for i in range(4)
+    ]
+
+
+def make_request(sm_dataset, examples, query=42, seed=0, **kw):
+    return Request(
+        examples=examples,
+        query_config=sm_dataset.config(query),
+        seed=seed,
+        size="SM",
+        **kw,
+    )
+
+
+def canonical(responses):
+    """Strip serving metadata: the determinism contract covers the
+    prediction payload, not latency/batch shape (DESIGN §12)."""
+    return [repr(r.prediction) for r in responses]
+
+
+def probe_key(probe):
+    """Identity of a probe for bit-identity checks (mirrors the
+    checkpoint tests): spec cell, query, and the exact decode."""
+    return (
+        probe.spec.cell_key,
+        probe.query_index,
+        probe.predicted,
+        probe.generated_text,
+    )
+
+
+class TestRouteShard:
+    def test_in_range_and_deterministic(self):
+        keys = [f"prompt-{i}" for i in range(64)]
+        for n in (1, 2, 3, 5, 8):
+            owners = [route_shard(k, n) for k in keys]
+            assert all(0 <= s < n for s in owners)
+            assert owners == [route_shard(k, n) for k in keys]
+
+    def test_single_shard_owns_everything(self):
+        assert route_shard("anything", 1) == 0
+
+    def test_spreads_load(self):
+        owners = {route_shard(f"p{i}", 4) for i in range(256)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_route_seed_remaps(self):
+        keys = [f"prompt-{i}" for i in range(64)]
+        a = [route_shard(k, 4, route_seed=0) for k in keys]
+        b = [route_shard(k, 4, route_seed=1) for k in keys]
+        assert a != b
+
+    def test_rendezvous_stability(self):
+        """Growing the shard count only remaps keys whose winner is the
+        new shard — everything else keeps its owner."""
+        keys = [f"prompt-{i}" for i in range(256)]
+        before = {k: route_shard(k, 4) for k in keys}
+        after = {k: route_shard(k, 5) for k in keys}
+        for k in keys:
+            assert after[k] == before[k] or after[k] == 4
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ServiceError):
+            route_shard("p", 0)
+
+
+class TestErrorTransport:
+    """Structured errors must survive the worker → parent pickle hop."""
+
+    CASES = [
+        (ServiceOverloadedError(8, depth=8), ("capacity", "depth")),
+        (RequestTimeoutError(1.5), ("timeout_s",)),
+        (InjectedFaultError("worker", "k"), ("site", "key")),
+        (CircuitOpenError("SM"), ("route",)),
+        (ShardCrashError(3, exitcode=-9), ("shard", "exitcode")),
+        (ShardFailedError(2, restarts=4), ("shard", "restarts")),
+    ]
+
+    @pytest.mark.parametrize(
+        "exc,attrs", CASES, ids=[type(e).__name__ for e, _ in CASES]
+    )
+    def test_roundtrip(self, exc, attrs):
+        clone = pickle.loads(pickle.dumps(exc))
+        assert type(clone) is type(exc)
+        assert str(clone) == str(exc)
+        for attr in attrs:
+            assert getattr(clone, attr) == getattr(exc, attr)
+
+    def test_shard_errors_are_service_errors(self):
+        assert issubclass(ShardCrashError, ShardError)
+        assert issubclass(ShardFailedError, ShardError)
+        assert issubclass(ShardError, ServiceError)
+
+
+class TestMakeService:
+    def test_zero_shards_is_in_process(self):
+        service = make_service(shards=0)
+        try:
+            assert isinstance(service, PredictionService)
+        finally:
+            service.close()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ServiceError):
+            make_service(shards=-1)
+
+    def test_sharded_rejects_surrogate(self, sm_task):
+        from repro.core.surrogate import DiscriminativeSurrogate
+
+        with pytest.raises(ServiceError):
+            make_service(shards=2, surrogate=DiscriminativeSurrogate(sm_task))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ServiceError):
+            ShardedPredictionService(0)
+        with pytest.raises(ServiceError):
+            ShardedPredictionService(2, shard_queue_capacity=0)
+        with pytest.raises(ServiceError):
+            ShardedPredictionService(2, max_restarts=-1)
+
+
+@pytest.fixture(scope="module")
+def sharded(request):
+    service = make_service(shards=2, max_batch_size=4)
+    request.addfinalizer(service.close)
+    return service
+
+
+class TestShardedServing:
+    """Live 2-shard service: parity with the in-process backend."""
+
+    def workload(self, sm_dataset, examples):
+        return [
+            make_request(sm_dataset, examples, query=q, seed=s)
+            for s in range(2)
+            for q in (40, 41, 42)
+        ]
+
+    def test_bit_identical_with_unsharded(
+        self, sharded, sm_dataset, examples
+    ):
+        requests = self.workload(sm_dataset, examples)
+        with PredictionService(max_batch_size=4) as baseline:
+            expect = canonical(baseline.submit_many(requests))
+        got = canonical(sharded.submit_many(requests))
+        assert got == expect
+
+    def test_request_ids_follow_admission_order(
+        self, sharded, sm_dataset, examples
+    ):
+        requests = self.workload(sm_dataset, examples)
+        responses = sharded.submit_many(requests)
+        ids = [r.request_id for r in responses]
+        assert ids == sorted(ids)
+
+    def test_stats_aggregate_outcomes(self, sharded, sm_dataset, examples):
+        stats = sharded.stats()
+        assert stats.n_submitted == stats.n_completed
+        assert stats.n_submitted >= 12
+        assert stats.n_batches >= 2
+        assert stats.n_failed == 0
+
+    def test_single_submit(self, sharded, sm_dataset, examples):
+        response = sharded.submit(make_request(sm_dataset, examples))
+        assert response.prediction is not None
+        assert response.latency_s >= 0.0
+
+    def test_cached_response_is_none(self, sharded, sm_dataset, examples):
+        assert sharded.cached_response(
+            make_request(sm_dataset, examples)
+        ) is None
+
+    def test_shard_info(self, sharded):
+        info = sharded.shard_info
+        assert info["n_shards"] == 2
+        assert info["failed"] == 0
+        assert set(info) == {
+            "n_shards", "respawns", "failed", "crashed_tickets",
+        }
+
+    def test_facade_has_no_local_caches(self, sharded):
+        assert sharded.prepare_cache is None
+        assert sharded.result_cache is None
+
+
+@pytest.mark.chaos
+class TestShardDeath:
+    def test_kill_crash_respawn_then_fail_permanently(
+        self, sm_dataset, examples
+    ):
+        with make_service(shards=2, max_restarts=1) as service:
+            # Find a query routed to shard 0 so the kill provably hits
+            # the request in flight.
+            victim = next(
+                q for q in range(100)
+                if route_shard(
+                    make_request(sm_dataset, examples, query=q).prompt_key, 2
+                ) == 0
+            )
+            request = make_request(sm_dataset, examples, query=victim)
+            future = service.submit_async(request)
+            service.kill_shard(0)
+            with pytest.raises(ShardCrashError) as err:
+                future.result(timeout=30)
+            assert err.value.shard == 0
+            # The restart budget covers the first death: the respawned
+            # shard serves the same prompt again.
+            response = service.submit(request)
+            assert response.prediction is not None
+            assert service.shard_info["respawns"] == 1
+            # Second death exhausts max_restarts=1 → permanent failure.
+            future = service.submit_async(request)
+            service.kill_shard(0)
+            with pytest.raises(ShardCrashError):
+                future.result(timeout=30)
+            deadline = time.monotonic() + 10
+            while (
+                service.shard_info["failed"] == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            with pytest.raises(ShardFailedError):
+                service.submit(request)
+            # The sibling shard is unaffected.
+            other = next(
+                q for q in range(100)
+                if route_shard(
+                    make_request(sm_dataset, examples, query=q).prompt_key, 2
+                ) == 1
+            )
+            assert service.submit(
+                make_request(sm_dataset, examples, query=other)
+            ).prediction is not None
+        with pytest.raises(ServiceClosedError):
+            service.submit(request)
+
+    def test_grid_resumes_bit_identical_after_shard_kill(self, tmp_path):
+        """Satellite: kill every shard mid-grid, assert the typed
+        failure, then resume the checkpoint on a fresh sharded service —
+        the probes must be bit-identical to an unsharded serial run."""
+        specs = quick_grid(
+            sizes=("SM",), icl_counts=(1, 2, 3), n_sets=1, seeds=(1,),
+            selections=("random",), n_queries=1,
+        )
+        baseline = run_grid(specs, workers=1)
+        checkpoint = tmp_path / "grid.jsonl"
+
+        class KillAfterFirstCell:
+            """Service proxy: SIGKILL both shards before the 2nd cell."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self._cells = 0
+
+            def submit_many(self, requests):
+                self._cells += 1
+                if self._cells == 2:
+                    self._inner.kill_shard(0)
+                    self._inner.kill_shard(1)
+                return self._inner.submit_many(requests)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        with make_service(shards=2, max_restarts=0) as service:
+            with pytest.raises((ShardCrashError, ShardFailedError)):
+                run_grid(
+                    specs,
+                    service=KillAfterFirstCell(service),
+                    checkpoint=checkpoint,
+                )
+        partial = load_probes_jsonl(checkpoint)
+        assert 0 < len(partial) < len(baseline)
+        with make_service(shards=2) as service:
+            resumed = run_grid(
+                specs,
+                service=service,
+                checkpoint=checkpoint,
+                resume=True,
+            )
+        assert [probe_key(p) for p in resumed] == [
+            probe_key(p) for p in baseline
+        ]

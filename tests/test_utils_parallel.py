@@ -9,6 +9,7 @@ from repro.utils.parallel import (
     _SERIAL_THRESHOLD,
     DEFAULT_WORKER_CAP,
     effective_workers,
+    mp_context,
     parallel_map,
 )
 
@@ -102,6 +103,36 @@ class TestParallelMap:
         out = parallel_map(
             _square, items, workers=8, executor="thread", oversubscribe=True
         )
+        assert out == [x * x for x in items]
+
+
+class TestMpContext:
+    def test_never_fork(self):
+        """Pools must start workers from a clean interpreter: fork would
+        copy locks held by other threads into the child, locked forever."""
+        assert mp_context().get_start_method() in {"forkserver", "spawn"}
+
+    def test_stable_across_calls(self):
+        assert (
+            mp_context().get_start_method()
+            == mp_context().get_start_method()
+        )
+
+    def test_pool_fans_out_beside_live_service(self, monkeypatch):
+        """Regression: a process pool spawned while a threaded
+        PredictionService is live must not inherit its held locks.
+        Under ``fork`` the scheduler/cache mutexes are copied locked
+        into the children and the pool hangs; spawn/forkserver boots
+        clean interpreters.  (cpu_count is patched so the pool engages
+        even on a single-core host.)"""
+        from repro.serve import PredictionService
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+        with PredictionService(max_batch_size=2):
+            items = list(range(8))
+            out = parallel_map(
+                _square, items, workers=2, executor="process"
+            )
         assert out == [x * x for x in items]
 
 
