@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Shared SLO-soak entry point for CI.
+#
+# The nightly-soak workflow and the PR loadtest-smoke job run THIS SAME
+# script with different env knobs, so a PR exercises exactly the command
+# the nightly gate will run — only shorter.  Every knob has a default
+# matching the nightly profile; override via environment:
+#
+#   SOAK_ARRIVAL   arrival process            (default: poisson)
+#   SOAK_RPS       mean offered rate          (default: 120)
+#   SOAK_DURATION  schedule horizon, seconds  (default: 60)
+#   SOAK_SHARDS    shard worker replicas      (default: 2)
+#   SOAK_SESSIONS  ride-along campaigns       (default: 3)
+#   SOAK_SEED      root seed                  (default: 7)
+#   SOAK_REPORT    SLO report output path     (default: loadtest_report.json)
+#
+# Exit code is the SLO verdict: non-zero on any policy violation or
+# determinism divergence.
+set -euo pipefail
+
+SOAK_ARRIVAL="${SOAK_ARRIVAL:-poisson}"
+SOAK_RPS="${SOAK_RPS:-120}"
+SOAK_DURATION="${SOAK_DURATION:-60}"
+SOAK_SHARDS="${SOAK_SHARDS:-2}"
+SOAK_SESSIONS="${SOAK_SESSIONS:-3}"
+SOAK_SEED="${SOAK_SEED:-7}"
+SOAK_REPORT="${SOAK_REPORT:-loadtest_report.json}"
+
+exec python -m repro loadtest \
+  --arrival "${SOAK_ARRIVAL}" \
+  --rps "${SOAK_RPS}" \
+  --duration "${SOAK_DURATION}" \
+  --shards "${SOAK_SHARDS}" \
+  --sessions "${SOAK_SESSIONS}" \
+  --seed "${SOAK_SEED}" \
+  --check-determinism \
+  --slo default \
+  --report-json "${SOAK_REPORT}"

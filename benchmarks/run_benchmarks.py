@@ -30,6 +30,7 @@ GATED_BENCHMARKS = (
     "benchmarks/test_llm_prefix_cache.py",
     "benchmarks/test_sessions_throughput.py",
     "benchmarks/test_shard_throughput.py",
+    "benchmarks/test_loadgen_slo.py",
 )
 
 

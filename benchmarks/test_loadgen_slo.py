@@ -1,0 +1,63 @@
+"""Load-generation SLO conformance: the bench-lane twin of the CI soak.
+
+Drives a short seeded open-loop Poisson schedule against the in-process
+service and gates on the default :class:`~repro.loadgen.slo.SLOPolicy`.
+Two artifacts feed the regression machinery:
+
+* ``benchmarks/results/loadtest_report.json`` — the canonical SLO
+  report; ``repro.bench.regression`` harvests its ``goodput`` as the
+  (record-only) ``loadtest_goodput`` metric.
+* ``benchmarks/results/loadtest_slo.txt`` — the human-readable table
+  for the job log.
+
+The target stays in-process (``shards=0``): the bench lane gates on the
+serving stack's conformance under load, and shard scale-out already has
+its own core-count-guarded benchmark.  Absolute latencies vary with the
+runner, which is why only the dimensionless goodput is harvested.
+
+Run explicitly (deselected from tier-1 by the ``slow`` marker):
+
+    PYTHONPATH=src python -m pytest benchmarks/test_loadgen_slo.py -m slow -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen import DEFAULT_SLO, LoadDriver, LoadSpec, WorkloadMix
+from repro.serve import PredictionService
+
+from conftest import RESULTS_DIR
+
+pytestmark = pytest.mark.slow
+
+SPEC = LoadSpec(
+    arrival="poisson",
+    rps=120.0,
+    duration_s=3.0,
+    seed=7,
+    mode="open",
+    mix=WorkloadMix(size="SM", n_icl=4, n_unique=8, n_tenants=3),
+)
+
+
+def test_loadtest_meets_default_slo(emit):
+    driver = LoadDriver(SPEC)
+    with PredictionService() as service:
+        report = driver.run(service)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "loadtest_report.json").write_text(report.to_json())
+    emit("loadtest_slo", report.render(title="loadtest SLO conformance"))
+
+    violations = report.check(DEFAULT_SLO)
+    assert not violations, "; ".join(v.describe() for v in violations)
+
+    # The schedule layer must be reproducible on any host: a second
+    # driver over the same spec replays bit-identical traffic.
+    twin = LoadDriver(SPEC)
+    assert driver.schedule().tobytes() == twin.schedule().tobytes()
+    from repro.loadgen import schedule_digest, workload_digest
+
+    assert report.schedule_digest == schedule_digest(twin.schedule())
+    assert report.workload_digest == workload_digest(twin.workload())

@@ -7,6 +7,7 @@ from repro.bench.regression import (
     compare,
     load_baseline,
     load_report,
+    parse_loadtest_goodput,
     parse_percent,
     parse_ratio,
     render_report,
@@ -20,6 +21,7 @@ __all__ = [
     "compare",
     "load_baseline",
     "load_report",
+    "parse_loadtest_goodput",
     "parse_percent",
     "parse_ratio",
     "render_report",

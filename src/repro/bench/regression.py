@@ -39,6 +39,7 @@ __all__ = [
     "compare",
     "load_baseline",
     "load_report",
+    "parse_loadtest_goodput",
     "parse_percent",
     "parse_ratio",
     "render_report",
@@ -64,6 +65,22 @@ def parse_percent(text: str, label: str = "overhead") -> float:
     return float(match.group(1)) / 100.0
 
 
+def parse_loadtest_goodput(text: str) -> float:
+    """Goodput fraction from a ``repro loadtest --report-json`` file.
+
+    The loadtest report is canonical JSON, not a trailer-line text
+    report; goodput (ok / offered) is its dimensionless health ratio.
+    """
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"loadtest report is not valid JSON: {exc}")
+    try:
+        return float(obj["goodput"])
+    except (KeyError, TypeError, ValueError):
+        raise ExperimentError("loadtest report has no numeric 'goodput'")
+
+
 #: Gated metric -> (results file, extractor).  Only dimensionless ratios:
 #: absolute throughputs depend on the runner and would gate on hardware.
 REPORT_SOURCES: dict[str, tuple[str, Callable[[str], float]]] = {
@@ -80,6 +97,7 @@ REPORT_SOURCES: dict[str, tuple[str, Callable[[str], float]]] = {
 #: baseline metric absent from the report as a regression.
 OPTIONAL_REPORT_SOURCES: dict[str, tuple[str, Callable[[str], float]]] = {
     "shard_throughput_speedup": ("shard_throughput.txt", parse_ratio),
+    "loadtest_goodput": ("loadtest_report.json", parse_loadtest_goodput),
 }
 
 

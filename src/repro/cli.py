@@ -14,6 +14,11 @@ Subcommands:
 ``serve-bench``  drive a repeated-prompt workload through the
               :mod:`repro.serve` inference service and print its
               :class:`~repro.serve.ServiceStats` with and without caching;
+``loadtest``  replay a seeded arrival schedule (:mod:`repro.loadgen`)
+              open- or closed-loop against the service and gate the
+              resulting SLO report (latency quantiles, goodput, shed /
+              error / degraded rates, per-tenant slices) on a
+              declarative policy — the CI nightly-soak entry point;
 ``chaos``     run a seeded fault schedule (:mod:`repro.faults`) against a
               live resilient service and print the availability /
               p95-under-faults report; ``--disk`` drills the durability
@@ -50,6 +55,7 @@ from repro.gbt import (
     GradientBoostingRegressor,
     TargetTransform,
 )
+from repro.loadgen.arrivals import ARRIVAL_KINDS
 from repro.utils.tables import Table
 
 __all__ = ["build_parser", "main"]
@@ -260,6 +266,111 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="also print the unified metrics-registry snapshot "
         "(repro.obs) for the caches-on run",
+    )
+
+    p = sub.add_parser(
+        "loadtest",
+        help="deterministic load generation + SLO conformance check",
+    )
+    p.add_argument(
+        "--arrival", choices=list(ARRIVAL_KINDS), default="poisson",
+        help="arrival process shaping when requests are offered",
+    )
+    p.add_argument(
+        "--rps", type=float, default=50.0,
+        help="mean offered rate in requests/second",
+    )
+    p.add_argument(
+        "--duration", type=float, default=5.0,
+        help="schedule horizon in seconds",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--mode", choices=["open", "closed"], default="open",
+        help="open loop (arrival-clocked, coordinated-omission-free "
+        "latency) or closed loop (fixed virtual-client pool)",
+    )
+    p.add_argument(
+        "--concurrency", type=_positive_int, default=8,
+        help="closed-loop virtual clients (ignored open-loop)",
+    )
+    p.add_argument(
+        "--on-fraction", type=float, default=0.5,
+        help="onoff arrivals: fraction of each period that bursts",
+    )
+    p.add_argument(
+        "--period", type=float, default=2.0,
+        help="onoff arrivals: burst cycle length in seconds",
+    )
+    p.add_argument("--size", choices=SIZE_NAMES, default="SM")
+    p.add_argument("--n-icl", type=_positive_int, default=4)
+    p.add_argument(
+        "--unique", type=_positive_int, default=8,
+        help="distinct prompts in the workload population",
+    )
+    p.add_argument(
+        "--skew", type=float, default=1.1,
+        help="Zipf exponent over prompt popularity (0 = uniform)",
+    )
+    p.add_argument(
+        "--tenants", type=_positive_int, default=3,
+        help="tenants arrivals are attributed to (per-tenant SLO slice)",
+    )
+    p.add_argument(
+        "--seed-lanes", type=_positive_int, default=4,
+        help="distinct sampling seeds each prompt is replayed under",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request deadline in seconds (missed = SLO timeout)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=0,
+        help="target the sharded multi-process backend with N worker "
+        "replicas (0 = in-process service)",
+    )
+    p.add_argument("--batch-size", type=_positive_int, default=8)
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "--sessions", type=int, default=0, metavar="N",
+        help="also host N autotuning campaigns (one per tenant, "
+        "round-robin) on the same service while the load runs — the "
+        "report gains a sessions section with completions + fairness",
+    )
+    p.add_argument(
+        "--session-budget", type=_positive_int, default=8,
+        help="evaluations per ride-along campaign (with --sessions)",
+    )
+    p.add_argument(
+        "--slo", default="default", metavar="POLICY",
+        help="SLO policy: 'default' (committed gate), 'off' (report "
+        "only), or a JSON file of SLOPolicy fields; violations exit 1",
+    )
+    p.add_argument(
+        "--report-json", default=None, metavar="PATH",
+        help="write the full SLO report as canonical JSON to PATH "
+        "(the bench report-source consumed by repro.bench.regression)",
+    )
+    p.add_argument(
+        "--warmup", action=argparse.BooleanOptionalAction, default=True,
+        help="serve one unmeasured request per distinct prompt before "
+        "the clock starts, so shard spawn / model warm / prefix "
+        "preparation costs do not flood the measured window "
+        "(--no-warmup measures cold-start conformance instead)",
+    )
+    p.add_argument(
+        "--check-determinism", action="store_true",
+        help="run the identical spec twice against fresh services and "
+        "exit 1 unless schedules, workloads and the reports' "
+        "deterministic payloads match byte-for-byte",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="also print the loadgen metrics-registry snapshot",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record loadgen + serving spans and export JSONL to PATH",
     )
 
     p = sub.add_parser(
@@ -811,6 +922,169 @@ def _cmd_serve_bench(args) -> int:
             f"caching speedup: {speedup:.1f}x "
             f"({n / cached_t:.1f} vs {n / uncached_t:.1f} req/s)"
         )
+    return 0
+
+
+def _loadtest_spec(args):
+    from repro.loadgen import LoadSpec, WorkloadMix
+
+    return LoadSpec(
+        arrival=args.arrival,
+        rps=args.rps,
+        duration_s=args.duration,
+        seed=args.seed,
+        mode=args.mode,
+        concurrency=args.concurrency,
+        mix=WorkloadMix(
+            size=args.size,
+            n_icl=args.n_icl,
+            n_unique=args.unique,
+            skew=args.skew,
+            n_tenants=args.tenants,
+            seed_lanes=args.seed_lanes,
+            timeout_s=args.timeout,
+        ),
+        on_fraction=args.on_fraction,
+        period_s=args.period,
+        warmup=args.warmup,
+    )
+
+
+def _loadtest_sessions(args):
+    """Ride-along campaigns for ``repro loadtest --sessions N``."""
+    from repro.dataset import Syr2kPerformanceModel
+    from repro.sessions import TuningSession
+    from repro.tuning import RandomSearchTuner
+    from repro.utils.rng import derive_seed
+
+    task = Syr2kTask(args.size)
+    return [
+        TuningSession(
+            f"tenant-{i % args.tenants}/load-{i}",
+            f"tenant-{i % args.tenants}",
+            RandomSearchTuner(
+                syr2k_space(),
+                seed=derive_seed(args.seed, "loadtest", "tuner", i),
+            ),
+            Syr2kPerformanceModel(task),
+            args.session_budget,
+            seed=derive_seed(args.seed, "loadtest", "session", i),
+        )
+        for i in range(args.sessions)
+    ]
+
+
+def _run_loadtest(args, tracer=None):
+    """One full load test: fresh service (+ optional campaigns), report."""
+    import threading
+
+    from repro.loadgen import LoadDriver
+    from repro.obs import use_tracer
+    from repro.serve import make_service
+
+    driver = LoadDriver(_loadtest_spec(args))
+    with make_service(
+        shards=args.shards,
+        max_batch_size=args.batch_size,
+        workers=args.workers,
+    ) as service:
+        ctx = use_tracer(tracer) if tracer is not None else None
+        if ctx is not None:
+            ctx.__enter__()
+        try:
+            if args.sessions > 0:
+                from repro.sessions import SessionManager
+
+                with SessionManager(
+                    service, sessions=_loadtest_sessions(args)
+                ) as manager:
+                    box = {}
+                    rider = threading.Thread(
+                        target=lambda: box.update(manager.run()),
+                        name="repro-loadtest-sessions",
+                        daemon=True,
+                    )
+                    rider.start()
+                    report = driver.run(service)
+                    rider.join()
+                report = report.with_sessions({
+                    "n_sessions": args.sessions,
+                    "completed": box.get("completed", 0),
+                    "fairness_jain": box.get("fairness_jain", 1.0),
+                })
+            else:
+                report = driver.run(service)
+        finally:
+            if ctx is not None:
+                ctx.__exit__(None, None, None)
+    return report
+
+
+def _cmd_loadtest(args) -> int:
+    import json as _json
+
+    from repro.loadgen import (
+        DEFAULT_SLO,
+        SLOPolicy,
+        collect_loadgen_metrics,
+    )
+    from repro.obs import Tracer
+
+    if args.slo == "default":
+        policy = DEFAULT_SLO
+    elif args.slo == "off":
+        policy = None
+    else:
+        policy = SLOPolicy.from_file(args.slo)
+
+    print(
+        f"offering {args.arrival} arrivals at {args.rps:g} req/s for "
+        f"{args.duration:g}s ({args.mode} loop, seed {args.seed}, "
+        f"{args.shards or 'no'} shards)",
+        file=sys.stderr,
+    )
+    tracer = Tracer() if args.trace else None
+    report = _run_loadtest(args, tracer=tracer)
+
+    if args.check_determinism:
+        rerun = _run_loadtest(args)
+        first = _json.dumps(report.deterministic_payload(), sort_keys=True)
+        second = _json.dumps(rerun.deterministic_payload(), sort_keys=True)
+        if first != second:
+            print("DETERMINISM VIOLATION between identical runs:",
+                  file=sys.stderr)
+            print(f"  run 1: {first}", file=sys.stderr)
+            print(f"  run 2: {second}", file=sys.stderr)
+            return 1
+        print(
+            "determinism check passed: schedules, workloads and outcome "
+            "counts identical across runs",
+            file=sys.stderr,
+        )
+
+    print(report.render(title=f"loadtest ({args.mode}/{args.arrival})"))
+    if args.report_json:
+        with open(args.report_json, "w") as fh:
+            fh.write(report.to_json())
+        print(f"wrote SLO report to {args.report_json}", file=sys.stderr)
+    if tracer is not None:
+        n_spans = tracer.export_jsonl(args.trace)
+        print(
+            f"exported {n_spans} spans to {args.trace} "
+            f"(`repro trace summarize {args.trace}`)",
+            file=sys.stderr,
+        )
+    if args.metrics:
+        print()
+        print(collect_loadgen_metrics(report).render(title="loadgen"))
+
+    if policy is not None:
+        violations = report.check(policy)
+        for v in violations:
+            print(f"SLO VIOLATION {v.describe()}", file=sys.stderr)
+        if violations:
+            return 1
+        print("SLO check passed", file=sys.stderr)
     return 0
 
 
@@ -1393,6 +1667,7 @@ _COMMANDS = {
     "sessions": _cmd_sessions,
     "table1": _cmd_table1,
     "serve-bench": _cmd_serve_bench,
+    "loadtest": _cmd_loadtest,
     "chaos": _cmd_chaos,
     "fsck": _cmd_fsck,
     "trace": _cmd_trace,

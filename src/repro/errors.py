@@ -24,6 +24,7 @@ __all__ = [
     "AnalysisError",
     "TuningError",
     "SessionError",
+    "LoadgenError",
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceClosedError",
@@ -104,6 +105,11 @@ class SessionError(ReproError, RuntimeError):
     """A tuning session or session manager was configured or driven
     inconsistently (invalid lifecycle transition, duplicate session id,
     corrupt or diverging event log)."""
+
+
+class LoadgenError(ReproError, ValueError):
+    """A load-generation spec (arrival process, workload mix, SLO policy)
+    was invalid or internally inconsistent."""
 
 
 class ServiceError(ReproError, RuntimeError):

@@ -1,0 +1,143 @@
+"""Seeded arrival processes: when each load-test request is offered.
+
+An arrival schedule is the *timeline* half of a workload: a sorted array
+of offsets (seconds from test start) at which the driver offers one
+request to the service.  Every process here is a **pure function of
+``(seed, kind, rps, duration_s, shape params)``** via
+:func:`repro.utils.rng.derive_seed` — no global RNG, no wall clock — so
+two hosts given the same spec produce byte-identical schedules, and a CI
+latency regression can never hide behind "the load was different today".
+
+Three processes cover the shapes that matter for SLO work:
+
+``constant``
+    Evenly spaced arrivals (``i / rps``) — the baseline closed-form
+    timeline, useful for pinning driver math.
+``poisson``
+    Exponential inter-arrival gaps at rate ``rps`` — memoryless open-loop
+    traffic, the standard model for independent users.
+``onoff``
+    Bursty on/off modulation: a Poisson process at burst rate
+    ``rps / on_fraction`` confined to the "on" windows of a fixed
+    ``period_s`` cycle, preserving the requested *mean* rate while
+    stressing queue drain during bursts (the classic MMPP-style stressor
+    that exposes backlog-sensitive p99s a constant-rate test never sees).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import LoadgenError
+from repro.utils.rng import derive_seed
+
+__all__ = ["ARRIVAL_KINDS", "arrival_schedule", "schedule_digest"]
+
+#: Supported arrival-process names (the CLI's ``--arrival`` choices).
+ARRIVAL_KINDS = ("constant", "poisson", "onoff")
+
+#: Exponential gaps are drawn in chunks of this many until the horizon
+#: is covered (chunking is deterministic: one generator, fixed order).
+_CHUNK = 1024
+
+
+def _check_spec(kind: str, rps: float, duration_s: float) -> None:
+    if kind not in ARRIVAL_KINDS:
+        raise LoadgenError(
+            f"unknown arrival kind {kind!r}; expected one of {ARRIVAL_KINDS}"
+        )
+    if not rps > 0:
+        raise LoadgenError(f"rps must be > 0, got {rps}")
+    if not duration_s > 0:
+        raise LoadgenError(f"duration_s must be > 0, got {duration_s}")
+
+
+def _poisson_offsets(
+    rng: np.random.Generator, rate: float, horizon_s: float
+) -> np.ndarray:
+    """Cumulative exponential gaps at ``rate`` cut to ``[0, horizon_s)``."""
+    gaps: list[np.ndarray] = []
+    total = 0.0
+    while total < horizon_s:
+        chunk = rng.exponential(1.0 / rate, size=_CHUNK)
+        gaps.append(chunk)
+        total += float(chunk.sum())
+    times = np.cumsum(np.concatenate(gaps))
+    return times[times < horizon_s]
+
+
+def arrival_schedule(
+    kind: str,
+    rps: float,
+    duration_s: float,
+    seed: int,
+    *,
+    on_fraction: float = 0.5,
+    period_s: float = 2.0,
+) -> np.ndarray:
+    """Build a sorted float64 array of arrival offsets in ``[0, duration_s)``.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`ARRIVAL_KINDS`.
+    rps:
+        Mean offered rate (requests/second) — for ``onoff`` this is the
+        *long-run* mean; the instantaneous rate inside a burst window is
+        ``rps / on_fraction``.
+    duration_s:
+        Schedule horizon in seconds.
+    seed:
+        Root seed; the generator is derived through
+        ``derive_seed(seed, "loadgen", "arrivals", kind, rps, duration_s)``
+        so the schedule is a pure function of the full spec (changing any
+        knob yields an unrelated, equally deterministic timeline).
+    on_fraction, period_s:
+        ``onoff`` shape: each ``period_s`` cycle spends
+        ``on_fraction * period_s`` seconds accepting arrivals, the rest
+        silent.  Ignored by the other kinds.
+    """
+    _check_spec(kind, rps, duration_s)
+    rps = float(rps)
+    duration_s = float(duration_s)
+    if kind == "constant":
+        n = int(np.floor(rps * duration_s))
+        return np.arange(n, dtype=np.float64) / rps
+
+    child = derive_seed(seed, "loadgen", "arrivals", kind, rps, duration_s)
+    rng = np.random.default_rng(child)
+    if kind == "poisson":
+        return _poisson_offsets(rng, rps, duration_s)
+
+    # onoff: draw a Poisson process on the *compressed* on-time axis at
+    # the burst rate, then splice the off gaps back in.  The mapping
+    # u -> wall time is affine per window, so ordering and determinism
+    # are preserved exactly.
+    if not 0.0 < on_fraction <= 1.0:
+        raise LoadgenError(
+            f"on_fraction must be in (0, 1], got {on_fraction}"
+        )
+    if not period_s > 0:
+        raise LoadgenError(f"period_s must be > 0, got {period_s}")
+    on_s = on_fraction * period_s
+    burst_rate = rps / on_fraction
+    # Total on-time inside the horizon: whole cycles plus the (possibly
+    # clipped) on-window of the trailing partial cycle.
+    whole = np.floor(duration_s / period_s)
+    on_budget = whole * on_s + min(duration_s - whole * period_s, on_s)
+    compressed = _poisson_offsets(rng, burst_rate, on_budget)
+    window = np.floor(compressed / on_s)
+    times = window * period_s + (compressed - window * on_s)
+    return times[times < duration_s]
+
+
+def schedule_digest(times: np.ndarray) -> str:
+    """Byte-exact fingerprint of a schedule (blake2b over the raw float64s).
+
+    Two schedules with equal digests are *bit-identical* timelines — the
+    pin the determinism tests and the loadtest report rely on.
+    """
+    arr = np.ascontiguousarray(np.asarray(times, dtype=np.float64))
+    return hashlib.blake2b(arr.tobytes(), digest_size=12).hexdigest()

@@ -1,0 +1,63 @@
+"""Map a finished :class:`~repro.loadgen.slo.SLOReport` onto obs metrics.
+
+The loadgen driver records into its own streaming histograms while the
+test runs (per-request registry updates would perturb the latencies it
+is measuring); this module publishes the finished report into a
+:class:`~repro.obs.metrics.MetricsRegistry` after the fact, in the same
+instrument vocabulary :func:`~repro.obs.metrics.collect_service_metrics`
+uses for the service side — so one registry render shows offered load,
+conformance, and the service's internal counters side by side.
+"""
+
+from __future__ import annotations
+
+from repro.loadgen.slo import SLOReport
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["collect_loadgen_metrics"]
+
+
+def collect_loadgen_metrics(
+    report: SLOReport, registry: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Publish ``report`` onto labelled instruments.
+
+    Point-in-time like the other collectors: pass a fresh registry (the
+    default) or accept double-counting across repeated calls.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+
+    for outcome, count in (
+        ("offered", report.offered),
+        ("ok", report.ok),
+        ("degraded", report.degraded),
+        ("shed", report.shed),
+        ("timeout", report.timeouts),
+        ("error", report.errors),
+    ):
+        registry.counter("loadgen.requests", outcome=outcome).inc(count)
+
+    registry.gauge("loadgen.goodput").set(report.goodput)
+    registry.gauge("loadgen.error_rate").set(report.error_rate)
+    registry.gauge("loadgen.shed_rate").set(report.shed_rate)
+    registry.gauge("loadgen.degraded_rate").set(report.degraded_rate)
+    registry.gauge("loadgen.offered_rps").set(report.rps)
+    registry.gauge("loadgen.achieved_rps").set(report.achieved_rps)
+    for quantile, value in (
+        ("p50", report.p50_ms),
+        ("p95", report.p95_ms),
+        ("p99", report.p99_ms),
+        ("mean", report.mean_ms),
+        ("max", report.max_ms),
+    ):
+        registry.gauge("loadgen.latency_ms", quantile=quantile).set(value)
+
+    for tenant, ts in sorted(report.tenants.items()):
+        for outcome, count in ts.counts().items():
+            registry.counter(
+                "loadgen.tenant_requests", tenant=tenant, outcome=outcome
+            ).inc(count)
+        registry.gauge(
+            "loadgen.tenant_latency_ms", tenant=tenant, quantile="p95"
+        ).set(ts.p95_ms)
+    return registry

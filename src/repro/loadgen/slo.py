@@ -1,0 +1,489 @@
+"""Streaming latency histograms, declarative SLO policies, SLO reports.
+
+The driver records every request outcome into a
+:class:`StreamingHistogram` — fixed log-spaced buckets, O(1) per
+observation, mergeable — rather than keeping raw samples: a nightly soak
+at hundreds of requests per second would otherwise accumulate millions
+of floats for no benefit, and fixed bucket *edges* make quantile
+estimates deterministic functions of the counts (pinned by
+``tests/test_loadgen_slo.py``).
+
+An :class:`SLOPolicy` is the declarative conformance contract: latency
+ceilings per quantile, a goodput floor, and ceilings on the error /
+shed / degraded fractions.  :meth:`SLOReport.check` evaluates a report
+against a policy and returns typed :class:`SLOViolation`\\ s — the CI
+soak gate is exactly "``check`` returned an empty list".
+
+Accounting vocabulary (used consistently everywhere):
+
+``offered``
+    Arrivals the schedule produced (the denominator of every rate).
+``ok``
+    Requests answered by the live path, un-degraded.
+``degraded``
+    Answered, but by the resilience layer's fallback chain.
+``shed``
+    Rejected at admission (:class:`~repro.errors.ServiceOverloadedError`)
+    — the open-loop driver does *not* retry them; shedding under load is
+    the signal being measured.
+``errors`` / ``timeouts``
+    Failed with any other service error / missed their deadline.
+``goodput``
+    ``ok / offered`` — degraded and shed responses explicitly do **not**
+    count toward goodput, so a service cannot hit its SLO by degrading
+    or refusing traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import LoadgenError
+from repro.utils.tables import Table
+
+__all__ = [
+    "DEFAULT_SLO",
+    "SLOPolicy",
+    "SLOReport",
+    "SLOViolation",
+    "StreamingHistogram",
+    "TenantSlice",
+]
+
+
+class StreamingHistogram:
+    """Log-spaced latency histogram with deterministic quantile edges.
+
+    Buckets span ``[lo, hi)`` with ``buckets_per_decade`` geometric
+    steps per factor of ten; observations outside the span clamp into
+    the first/last bucket.  Quantiles interpolate linearly *inside* the
+    owning bucket, so the estimate is a pure function of the counts —
+    identical counts give identical quantiles on every host.
+
+    Not thread-safe by itself; the driver serializes writes through its
+    own bookkeeping lock.
+    """
+
+    __slots__ = ("lo", "bpd", "edges", "counts", "n", "total", "min", "max")
+
+    def __init__(
+        self,
+        lo: float = 1e-5,
+        hi: float = 1e3,
+        buckets_per_decade: int = 16,
+    ):
+        if not 0 < lo < hi:
+            raise LoadgenError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+        if buckets_per_decade < 1:
+            raise LoadgenError(
+                f"buckets_per_decade must be >= 1, got {buckets_per_decade}"
+            )
+        self.lo = float(lo)
+        self.bpd = int(buckets_per_decade)
+        n_buckets = int(
+            math.ceil(round(math.log10(hi / lo), 9) * self.bpd)
+        )
+        #: ``edges[k]`` is the lower bound of bucket ``k``; bucket ``k``
+        #: covers ``[edges[k], edges[k + 1])``.
+        self.edges = self.lo * np.power(
+            10.0, np.arange(n_buckets + 1, dtype=np.float64) / self.bpd
+        )
+        self.counts = np.zeros(n_buckets, dtype=np.int64)
+        self.n = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def _bucket(self, value: float) -> int:
+        if value <= self.lo:
+            return 0
+        k = int(math.floor(round(math.log10(value / self.lo), 9) * self.bpd))
+        return min(k, len(self.counts) - 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if value < 0:
+            raise LoadgenError(f"latencies are non-negative, got {value}")
+        self.counts[self._bucket(value)] += 1
+        self.n += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold ``other`` into this histogram (bucket layouts must match)."""
+        if (
+            other.lo != self.lo
+            or other.bpd != self.bpd
+            or len(other.counts) != len(self.counts)
+        ):
+            raise LoadgenError("cannot merge histograms with different buckets")
+        self.counts += other.counts
+        self.n += other.n
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]); 0.0 when empty.
+
+        The target rank is ``ceil(q * n)`` (nearest-rank), located in
+        its bucket, then interpolated linearly between the bucket's
+        edges by fractional position — deterministic given the counts.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise LoadgenError(f"q must be in [0, 1], got {q}")
+        if self.n == 0:
+            return 0.0
+        target = max(1, math.ceil(q * self.n))
+        cum = 0
+        for k, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if cum + count >= target:
+                frac = (target - cum) / count
+                lower, upper = self.edges[k], self.edges[k + 1]
+                return float(lower + frac * (upper - lower))
+            cum += count
+        return float(self.edges[-1])  # pragma: no cover - unreachable
+
+    def snapshot(self) -> dict:
+        """JSON-friendly counts + exact moments (for report payloads)."""
+        return {
+            "n": self.n,
+            "mean_s": self.mean,
+            "min_s": self.min if self.n else 0.0,
+            "max_s": self.max if self.n else 0.0,
+        }
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Declarative conformance thresholds for one load test.
+
+    Latency ceilings are milliseconds over the *client-observed* latency
+    distribution (open loop: completion minus scheduled arrival, so
+    coordinated omission cannot flatter a backlogged service).  A
+    ``None`` ceiling leaves that quantile ungated.  Rates are fractions
+    of offered requests.
+    """
+
+    max_p50_ms: float | None = 50.0
+    max_p95_ms: float | None = 500.0
+    max_p99_ms: float | None = 2000.0
+    min_goodput: float = 0.98
+    max_error_rate: float = 0.0
+    max_shed_rate: float = 0.01
+    max_degraded_rate: float = 0.05
+
+    def __post_init__(self):
+        for name in ("max_p50_ms", "max_p95_ms", "max_p99_ms"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise LoadgenError(f"{name} must be positive, got {value}")
+        for name in (
+            "min_goodput",
+            "max_error_rate",
+            "max_shed_rate",
+            "max_degraded_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise LoadgenError(f"{name} must be in [0, 1], got {value}")
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "SLOPolicy":
+        known = set(cls.__dataclass_fields__)
+        unknown = set(obj) - known
+        if unknown:
+            raise LoadgenError(
+                f"unknown SLO policy fields: {sorted(unknown)}"
+            )
+        return cls(**obj)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "SLOPolicy":
+        try:
+            obj = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LoadgenError(f"cannot load SLO policy {path}: {exc}")
+        return cls.from_json(obj)
+
+
+#: The committed default gate (what ``repro loadtest --slo default`` and
+#: the nightly soak check against).
+DEFAULT_SLO = SLOPolicy()
+
+
+@dataclass(frozen=True)
+class SLOViolation:
+    """One threshold the measured report crossed."""
+
+    name: str
+    limit: float
+    actual: float
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.actual:.6g} violates limit {self.limit:.6g}"
+
+
+@dataclass(frozen=True)
+class TenantSlice:
+    """Per-tenant outcome counts plus that tenant's latency quantiles."""
+
+    offered: int
+    ok: int
+    errors: int
+    shed: int
+    timeouts: int
+    degraded: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+
+    def counts(self) -> dict:
+        """The deterministic (wall-clock-free) part of the slice."""
+        return {
+            "offered": self.offered,
+            "ok": self.ok,
+            "errors": self.errors,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
+            "degraded": self.degraded,
+        }
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """The complete result of one load test.
+
+    Two layers with different determinism guarantees:
+
+    * the **schedule layer** (spec echo, digests, outcome counts,
+      per-tenant counts, goodput) is a pure function of the seed on a
+      healthy run — :meth:`deterministic_payload` extracts exactly this
+      slice and the CLI determinism check compares it byte-for-byte;
+    * the **measured layer** (latency quantiles, achieved rps, elapsed
+      wall time) reflects the actual execution and differs run to run.
+    """
+
+    mode: str
+    arrival: str
+    rps: float
+    duration_s: float
+    seed: int
+    schedule_digest: str
+    workload_digest: str
+    offered: int
+    ok: int
+    errors: int
+    shed: int
+    timeouts: int
+    degraded: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    elapsed_s: float
+    achieved_rps: float
+    tenants: dict[str, TenantSlice] = field(default_factory=dict)
+    #: Optional ride-along campaign summary (``repro loadtest
+    #: --sessions``): completed evaluations + fairness, or ``None``.
+    sessions: dict | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def completed(self) -> int:
+        """Requests that received *some* answer (live or degraded)."""
+        return self.ok + self.degraded
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of offered requests answered live and un-degraded."""
+        return self.ok / self.offered if self.offered else 1.0
+
+    @property
+    def error_rate(self) -> float:
+        return (
+            (self.errors + self.timeouts) / self.offered
+            if self.offered
+            else 0.0
+        )
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def degraded_rate(self) -> float:
+        return self.degraded / self.offered if self.offered else 0.0
+
+    # ------------------------------------------------------------------ #
+    def check(self, policy: SLOPolicy) -> list[SLOViolation]:
+        """Evaluate this report against ``policy`` (empty list = pass)."""
+        violations: list[SLOViolation] = []
+
+        def over(name: str, actual: float, limit: float | None) -> None:
+            if limit is not None and actual > limit:
+                violations.append(SLOViolation(name, limit, actual))
+
+        over("p50_ms", self.p50_ms, policy.max_p50_ms)
+        over("p95_ms", self.p95_ms, policy.max_p95_ms)
+        over("p99_ms", self.p99_ms, policy.max_p99_ms)
+        if self.goodput < policy.min_goodput:
+            violations.append(
+                SLOViolation("goodput", policy.min_goodput, self.goodput)
+            )
+        over("error_rate", self.error_rate, policy.max_error_rate)
+        over("shed_rate", self.shed_rate, policy.max_shed_rate)
+        over("degraded_rate", self.degraded_rate, policy.max_degraded_rate)
+        return violations
+
+    # ------------------------------------------------------------------ #
+    def deterministic_payload(self) -> dict:
+        """The seed-determined slice: spec, digests, and outcome counts
+        (all wall-clock-derived fields dropped, including per-tenant
+        latency quantiles)."""
+        return {
+            "mode": self.mode,
+            "arrival": self.arrival,
+            "rps": self.rps,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "schedule_digest": self.schedule_digest,
+            "workload_digest": self.workload_digest,
+            "outcomes": {
+                "offered": self.offered,
+                "ok": self.ok,
+                "errors": self.errors,
+                "shed": self.shed,
+                "timeouts": self.timeouts,
+                "degraded": self.degraded,
+            },
+            "goodput": self.goodput,
+            "tenants": {
+                tenant: slice_.counts()
+                for tenant, slice_ in sorted(self.tenants.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, trailing newline) for
+        ``--report-json`` and the bench report-source mechanism."""
+        payload = self.deterministic_payload()
+        payload["latency_ms"] = {
+            "p50": self.p50_ms,
+            "p95": self.p95_ms,
+            "p99": self.p99_ms,
+            "mean": self.mean_ms,
+            "max": self.max_ms,
+        }
+        payload["measured"] = {
+            "elapsed_s": self.elapsed_s,
+            "achieved_rps": self.achieved_rps,
+        }
+        payload["tenant_latency_ms"] = {
+            tenant: {
+                "p50": s.p50_ms, "p95": s.p95_ms, "p99": s.p99_ms,
+            }
+            for tenant, s in sorted(self.tenants.items())
+        }
+        payload["sessions"] = self.sessions
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def with_sessions(self, summary: dict) -> "SLOReport":
+        return replace(self, sessions=dict(summary))
+
+    def render(self, title: str = "load test") -> str:
+        """ASCII report body (the ``repro loadtest`` stdout)."""
+        t = Table(["metric", "value"], title=title)
+        t.add_row(["mode / arrival", f"{self.mode} / {self.arrival}"])
+        t.add_row(["target rate", f"{self.rps:g} req/s"])
+        t.add_row(["duration", f"{self.duration_s:g} s"])
+        t.add_row(["offered", self.offered])
+        t.add_row(["ok", self.ok])
+        t.add_row(["degraded", self.degraded])
+        t.add_row(["shed (overload)", self.shed])
+        t.add_row(["errors", self.errors])
+        t.add_row(["timeouts", self.timeouts])
+        t.add_row(["goodput", f"{self.goodput:.2%}"])
+        t.add_row(["p50 latency", f"{self.p50_ms:.2f} ms"])
+        t.add_row(["p95 latency", f"{self.p95_ms:.2f} ms"])
+        t.add_row(["p99 latency", f"{self.p99_ms:.2f} ms"])
+        t.add_row(["achieved rate", f"{self.achieved_rps:.1f} req/s"])
+        t.add_row(["schedule digest", self.schedule_digest])
+        t.add_row(["workload digest", self.workload_digest])
+        lines = [t.render()]
+        if self.tenants:
+            tt = Table(
+                ["tenant", "offered", "ok", "shed", "err", "p95 ms"],
+                title="per-tenant breakdown",
+            )
+            for tenant, s in sorted(self.tenants.items()):
+                tt.add_row([
+                    tenant, s.offered, s.ok, s.shed,
+                    s.errors + s.timeouts, round(s.p95_ms, 2),
+                ])
+            lines.append("")
+            lines.append(tt.render())
+        if self.sessions is not None:
+            lines.append("")
+            lines.append(
+                f"sessions: {self.sessions.get('completed', 0)} evaluations "
+                f"across {self.sessions.get('n_sessions', 0)} campaigns, "
+                f"fairness (Jain) {self.sessions.get('fairness_jain', 1.0):.3f}"
+            )
+        return "\n".join(lines)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SLOReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        obj = json.loads(text)
+        out = obj["outcomes"]
+        lat = obj["latency_ms"]
+        tenants = {}
+        for tenant, counts in obj.get("tenants", {}).items():
+            tlat = obj.get("tenant_latency_ms", {}).get(tenant, {})
+            tenants[tenant] = TenantSlice(
+                p50_ms=float(tlat.get("p50", 0.0)),
+                p95_ms=float(tlat.get("p95", 0.0)),
+                p99_ms=float(tlat.get("p99", 0.0)),
+                **{k: int(v) for k, v in counts.items()},
+            )
+        return cls(
+            mode=obj["mode"],
+            arrival=obj["arrival"],
+            rps=float(obj["rps"]),
+            duration_s=float(obj["duration_s"]),
+            seed=int(obj["seed"]),
+            schedule_digest=obj["schedule_digest"],
+            workload_digest=obj["workload_digest"],
+            offered=int(out["offered"]),
+            ok=int(out["ok"]),
+            errors=int(out["errors"]),
+            shed=int(out["shed"]),
+            timeouts=int(out["timeouts"]),
+            degraded=int(out["degraded"]),
+            p50_ms=float(lat["p50"]),
+            p95_ms=float(lat["p95"]),
+            p99_ms=float(lat["p99"]),
+            mean_ms=float(lat["mean"]),
+            max_ms=float(lat["max"]),
+            elapsed_s=float(obj["measured"]["elapsed_s"]),
+            achieved_rps=float(obj["measured"]["achieved_rps"]),
+            tenants=tenants,
+            sessions=obj.get("sessions"),
+        )

@@ -283,3 +283,68 @@ class TestFsckCommand:
     def test_parser_accepts_chaos_disk(self):
         args = build_parser().parse_args(["chaos", "--disk"])
         assert args.disk
+
+
+class TestLoadtestCommand:
+    FAST = [
+        "loadtest", "--arrival", "constant", "--rps", "30",
+        "--duration", "0.5", "--seed", "3", "--unique", "2",
+        "--seed-lanes", "1", "--no-warmup",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["loadtest"])
+        assert args.arrival == "poisson"
+        assert args.mode == "open"
+        assert args.slo == "default"
+        assert args.warmup is True
+
+    def test_parser_rejects_unknown_arrival(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadtest", "--arrival", "uniform"])
+
+    def test_open_loop_passes_default_slo(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert "schedule digest" in out
+
+    def test_report_json_round_trips(self, tmp_path, capsys):
+        from repro.loadgen import SLOReport
+
+        path = tmp_path / "report.json"
+        assert main(self.FAST + ["--report-json", str(path)]) == 0
+        report = SLOReport.from_json(path.read_text())
+        assert report.offered == 15
+        assert report.ok == 15
+        assert report.goodput == 1.0
+
+    def test_closed_loop_and_metrics(self, capsys):
+        assert main(self.FAST + ["--mode", "closed", "--concurrency", "2",
+                                 "--metrics"]) == 0
+        assert "loadgen.goodput" in capsys.readouterr().out
+
+    def test_check_determinism_passes(self, capsys):
+        assert main(self.FAST + ["--check-determinism"]) == 0
+        assert "determinism check passed" in capsys.readouterr().err
+
+    def test_slo_violation_exits_one(self, tmp_path, capsys):
+        policy = tmp_path / "strict.json"
+        policy.write_text('{"max_p50_ms": 0.0001}')
+        assert main(self.FAST + ["--slo", str(policy)]) == 1
+        assert "SLO VIOLATION" in capsys.readouterr().err
+
+    def test_slo_off_never_gates(self, tmp_path, capsys):
+        assert main(self.FAST + ["--slo", "off"]) == 0
+        assert "SLO check" not in capsys.readouterr().err
+
+    def test_sessions_ride_along(self, capsys):
+        assert main(self.FAST + ["--sessions", "2",
+                                 "--session-budget", "2"]) == 0
+        assert "campaigns" in capsys.readouterr().out
+
+    def test_trace_export(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self.FAST + ["--trace", str(trace)]) == 0
+        body = trace.read_text()
+        assert "loadgen.run" in body

@@ -1,0 +1,102 @@
+"""Arrival-process determinism and shape pins for repro.loadgen.arrivals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LoadgenError
+from repro.loadgen import ARRIVAL_KINDS, arrival_schedule, schedule_digest
+
+
+class TestConstant:
+    def test_exact_closed_form(self):
+        times = arrival_schedule("constant", 10.0, 2.0, seed=1)
+        assert np.array_equal(times, np.arange(20, dtype=np.float64) / 10.0)
+
+    def test_seed_is_irrelevant(self):
+        a = arrival_schedule("constant", 7.0, 3.0, seed=1)
+        b = arrival_schedule("constant", 7.0, 3.0, seed=999)
+        assert schedule_digest(a) == schedule_digest(b)
+
+
+class TestPoisson:
+    def test_bit_identical_across_calls(self):
+        a = arrival_schedule("poisson", 200.0, 5.0, seed=7)
+        b = arrival_schedule("poisson", 200.0, 5.0, seed=7)
+        assert a.tobytes() == b.tobytes()
+        assert schedule_digest(a) == schedule_digest(b)
+
+    def test_seed_sensitivity(self):
+        a = arrival_schedule("poisson", 50.0, 2.0, seed=1)
+        b = arrival_schedule("poisson", 50.0, 2.0, seed=2)
+        assert schedule_digest(a) != schedule_digest(b)
+
+    def test_spec_knobs_feed_the_derived_seed(self):
+        base = schedule_digest(arrival_schedule("poisson", 50.0, 2.0, seed=1))
+        other_rate = schedule_digest(
+            arrival_schedule("poisson", 60.0, 2.0, seed=1)
+        )
+        assert base != other_rate
+
+    def test_sorted_and_bounded(self):
+        times = arrival_schedule("poisson", 100.0, 3.0, seed=5)
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] >= 0.0
+        assert times[-1] < 3.0
+
+    def test_mean_rate_close_to_requested(self):
+        times = arrival_schedule("poisson", 500.0, 10.0, seed=11)
+        assert len(times) == pytest.approx(5000, rel=0.10)
+
+
+class TestOnOff:
+    def test_bit_identical_across_calls(self):
+        a = arrival_schedule("onoff", 40.0, 4.0, seed=3)
+        b = arrival_schedule("onoff", 40.0, 4.0, seed=3)
+        assert a.tobytes() == b.tobytes()
+
+    def test_arrivals_confined_to_on_windows(self):
+        times = arrival_schedule(
+            "onoff", 50.0, 6.0, seed=9, on_fraction=0.25, period_s=2.0
+        )
+        phase = np.mod(times, 2.0)
+        assert np.all(phase < 0.25 * 2.0 + 1e-9)
+
+    def test_mean_rate_preserved_despite_bursting(self):
+        times = arrival_schedule(
+            "onoff", 100.0, 20.0, seed=13, on_fraction=0.5, period_s=2.0
+        )
+        assert len(times) == pytest.approx(2000, rel=0.10)
+
+    def test_shape_params_change_the_schedule(self):
+        a = arrival_schedule("onoff", 40.0, 4.0, seed=3, on_fraction=0.5)
+        b = arrival_schedule("onoff", 40.0, 4.0, seed=3, on_fraction=0.25)
+        assert schedule_digest(a) != schedule_digest(b)
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(LoadgenError):
+            arrival_schedule("uniform", 10.0, 1.0, seed=1)
+
+    @pytest.mark.parametrize("rps,duration", [(0.0, 1.0), (-5.0, 1.0), (10.0, 0.0)])
+    def test_nonpositive_spec(self, rps, duration):
+        with pytest.raises(LoadgenError):
+            arrival_schedule("poisson", rps, duration, seed=1)
+
+    def test_bad_onoff_shape(self):
+        with pytest.raises(LoadgenError):
+            arrival_schedule("onoff", 10.0, 1.0, seed=1, on_fraction=0.0)
+        with pytest.raises(LoadgenError):
+            arrival_schedule("onoff", 10.0, 1.0, seed=1, period_s=-1.0)
+
+    def test_kinds_registry(self):
+        assert ARRIVAL_KINDS == ("constant", "poisson", "onoff")
+
+
+def test_digest_is_byte_exact():
+    times = np.array([0.0, 0.5, 1.0])
+    nudged = times.copy()
+    nudged[1] = np.nextafter(0.5, 1.0)
+    assert schedule_digest(times) != schedule_digest(nudged)

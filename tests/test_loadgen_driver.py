@@ -1,0 +1,138 @@
+"""Driver determinism pins: same seed, same traffic — any loop, any target.
+
+The acceptance bar for ``repro.loadgen``: a spec's schedule and workload
+are pure functions of the seed, so the *deterministic payload* of an SLO
+report (spec echo, digests, outcome counts, goodput) is bit-identical
+across repeated runs, across open vs closed loop, and across shard
+counts.  Wall-clock fields (latency quantiles, achieved rps) are the
+only thing allowed to differ.
+
+The multi-shard pin spawns worker processes and is marked ``slow``; the
+CI loadtest-smoke job runs this file with ``-m "not chaos"`` to include
+it, while tier-1 keeps the fast in-process pins only.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.loadgen import DEFAULT_SLO, LoadDriver, LoadSpec, WorkloadMix
+from repro.serve import PredictionService, make_service
+
+MIX = WorkloadMix(n_unique=4, n_tenants=2, seed_lanes=2)
+
+SPEC = LoadSpec(
+    arrival="poisson",
+    rps=60.0,
+    duration_s=1.0,
+    seed=7,
+    mix=MIX,
+    warmup=False,
+)
+
+
+def _canon(report) -> str:
+    return json.dumps(report.deterministic_payload(), sort_keys=True)
+
+
+def test_schedule_and_workload_cached_and_pure():
+    d1, d2 = LoadDriver(SPEC), LoadDriver(SPEC)
+    assert d1.schedule() is d1.schedule()
+    assert d1.schedule().tobytes() == d2.schedule().tobytes()
+    assert [i.request.seed for i in d1.workload()] == [
+        i.request.seed for i in d2.workload()
+    ]
+
+
+def test_open_loop_deterministic_across_runs():
+    with PredictionService() as service:
+        a = LoadDriver(SPEC).run(service)
+    with PredictionService() as service:
+        b = LoadDriver(SPEC).run(service)
+    assert _canon(a) == _canon(b)
+    assert a.offered == len(LoadDriver(SPEC).schedule())
+    assert a.ok == a.offered
+    assert a.check(DEFAULT_SLO) == []
+
+
+def test_closed_loop_matches_open_loop_payload():
+    closed = LoadSpec(
+        arrival=SPEC.arrival, rps=SPEC.rps, duration_s=SPEC.duration_s,
+        seed=SPEC.seed, mode="closed", concurrency=4, mix=MIX, warmup=False,
+    )
+    with PredictionService() as service:
+        a = LoadDriver(SPEC).run(service)
+    with PredictionService() as service:
+        b = LoadDriver(closed).run(service)
+    pa, pb = a.deterministic_payload(), b.deterministic_payload()
+    assert pa.pop("mode") == "open"
+    assert pb.pop("mode") == "closed"
+    assert json.dumps(pa, sort_keys=True) == json.dumps(pb, sort_keys=True)
+
+
+def test_per_tenant_counts_sum_to_totals():
+    with PredictionService() as service:
+        report = LoadDriver(SPEC).run(service)
+    assert sum(t.offered for t in report.tenants.values()) == report.offered
+    assert sum(t.ok for t in report.tenants.values()) == report.ok
+
+
+def test_request_timeouts_are_counted_not_raised():
+    spec = LoadSpec(
+        arrival="constant", rps=20.0, duration_s=0.25, seed=3, mode="closed",
+        concurrency=2,
+        mix=WorkloadMix(
+            n_unique=2, n_tenants=1, seed_lanes=1, timeout_s=1e-6
+        ),
+        warmup=False,
+    )
+    with PredictionService() as service:
+        report = LoadDriver(spec).run(service)
+    assert report.offered == 5
+    assert report.timeouts == 5
+    assert report.ok == 0
+    names = [v.name for v in report.check(DEFAULT_SLO)]
+    assert "error_rate" in names and "goodput" in names
+
+
+def test_warmup_leaves_measured_counts_unchanged():
+    warm = LoadSpec(
+        arrival=SPEC.arrival, rps=SPEC.rps, duration_s=SPEC.duration_s,
+        seed=SPEC.seed, mix=MIX, warmup=True,
+    )
+    with PredictionService() as service:
+        a = LoadDriver(warm).run(service)
+    with PredictionService() as service:
+        b = LoadDriver(SPEC).run(service)
+    assert _canon(a) == _canon(b)
+
+
+def test_sessions_ride_along_summary():
+    report_like = None
+    with PredictionService() as service:
+        report_like = LoadDriver(SPEC).run(service).with_sessions(
+            {"n_sessions": 2, "completed": 8, "fairness_jain": 0.99}
+        )
+    assert report_like.sessions["completed"] == 8
+    assert "campaigns" in report_like.render()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shards", [1, 4])
+def test_payload_invariant_across_shard_counts(shards):
+    """Routing traffic across worker processes may move *where* requests
+    are served, never what was offered or how outcomes count."""
+    with PredictionService() as service:
+        baseline = LoadDriver(SPEC).run(service)
+    with make_service(shards=shards) as service:
+        sharded = LoadDriver(
+            LoadSpec(
+                arrival=SPEC.arrival, rps=SPEC.rps,
+                duration_s=SPEC.duration_s, seed=SPEC.seed, mix=MIX,
+            )
+        ).run(service)
+    base = baseline.deterministic_payload()
+    shard = sharded.deterministic_payload()
+    assert json.dumps(base, sort_keys=True) == json.dumps(shard, sort_keys=True)
