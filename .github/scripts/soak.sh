@@ -13,9 +13,13 @@
 #   SOAK_SESSIONS  ride-along campaigns       (default: 3)
 #   SOAK_SEED      root seed                  (default: 7)
 #   SOAK_REPORT    SLO report output path     (default: loadtest_report.json)
+#   SOAK_TELEMETRY timeline output path       (default: telemetry.jsonl)
+#   SOAK_TELEMETRY_INTERVAL  sampler cadence  (default: 0.5)
 #
 # Exit code is the SLO verdict: non-zero on any policy violation or
-# determinism divergence.
+# determinism divergence.  The telemetry timeline is written regardless
+# and uploaded by the calling workflow; `repro top $SOAK_TELEMETRY`
+# replays the soak after the fact.
 set -euo pipefail
 
 SOAK_ARRIVAL="${SOAK_ARRIVAL:-poisson}"
@@ -25,6 +29,8 @@ SOAK_SHARDS="${SOAK_SHARDS:-2}"
 SOAK_SESSIONS="${SOAK_SESSIONS:-3}"
 SOAK_SEED="${SOAK_SEED:-7}"
 SOAK_REPORT="${SOAK_REPORT:-loadtest_report.json}"
+SOAK_TELEMETRY="${SOAK_TELEMETRY:-telemetry.jsonl}"
+SOAK_TELEMETRY_INTERVAL="${SOAK_TELEMETRY_INTERVAL:-0.5}"
 
 exec python -m repro loadtest \
   --arrival "${SOAK_ARRIVAL}" \
@@ -35,4 +41,6 @@ exec python -m repro loadtest \
   --seed "${SOAK_SEED}" \
   --check-determinism \
   --slo default \
-  --report-json "${SOAK_REPORT}"
+  --report-json "${SOAK_REPORT}" \
+  --telemetry "${SOAK_TELEMETRY}" \
+  --telemetry-interval "${SOAK_TELEMETRY_INTERVAL}"

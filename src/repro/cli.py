@@ -25,11 +25,18 @@ Subcommands:
               layer instead (kill -9 under torn writes / bitflips /
               ENOSPC, fsck, resume, bit-identical history);
 ``fsck``      verify or repair any persistent artifact (probe snapshots,
-              grid checkpoints, event journals): CRC + sequence check,
+              grid checkpoints, event journals — telemetry timelines and
+              trace files included): CRC + sequence check,
               salvage/quarantine rewrite with ``--repair``;
-``trace``     summarize a span trace written by ``serve-bench --trace``:
-              reconstruct the span tree and print the per-stage latency
-              breakdown.
+``trace``     analyze a span trace written by ``serve-bench --trace`` or
+              ``loadtest --trace``: ``summarize`` reconstructs the
+              (cross-process stitched) span tree and prints the
+              per-stage latency breakdown; ``flame`` exports folded
+              stacks and a speedscope JSON profile;
+``top``       render the operator dashboard from a telemetry timeline
+              (``loadtest --telemetry``): qps, latency and queue-wait
+              percentiles, hit rates, breaker/shard health, fairness,
+              SLO burn alerts — live refresh or ``--once``.
 
 Every command is deterministic given ``--seed`` — including ``chaos``,
 whose injected faults, retries, and degradations reproduce bit-for-bit.
@@ -38,6 +45,7 @@ whose injected faults, retries, and degradations reproduce bit-for-bit.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -372,6 +380,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="record loadgen + serving spans and export JSONL to PATH",
     )
+    p.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="run the continuous telemetry sampler during the load and "
+        "export the timeline as a CRC-framed JSONL artifact to PATH "
+        "(render with `repro top PATH`, check with `repro fsck PATH`)",
+    )
+    p.add_argument(
+        "--telemetry-interval", type=float, default=0.5,
+        help="telemetry sampler cadence in seconds",
+    )
 
     p = sub.add_parser(
         "chaos", help="fault-injection drill against the serving stack"
@@ -431,10 +449,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable graceful degradation (final failures then raise)",
     )
     p.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="also export the drill's telemetry timeline to PATH (the "
+        "sampler always runs during the service drill: the report "
+        "includes its liveness check — no sample gap over twice the "
+        "cadence, even while shards are being killed)",
+    )
+    p.add_argument(
+        "--telemetry-interval", type=float, default=0.25,
+        help="drill telemetry sampler cadence in seconds",
+    )
+    p.add_argument(
+        "--telemetry-drop-rate", type=float, default=0.0,
+        help="per-sample probability the exporter drops the sample "
+        "(the timeline must account for every gap)",
+    )
+    p.add_argument(
+        "--telemetry-dup-rate", type=float, default=0.0,
+        help="per-sample probability the exporter writes the sample "
+        "twice (loaders must dedupe by payload seq)",
+    )
+    p.add_argument(
         "--verify-determinism", action="store_true",
         help="re-run the schedule (plain, then with degraded cache "
-        "serves interleaved) and compare counters, fault schedules and "
-        "response values (exit 1 on any divergence)",
+        "serves interleaved) and compare counters, fault schedules, "
+        "response values and the telemetry timeline's deterministic "
+        "fields (exit 1 on any divergence)",
     )
     p.add_argument(
         "--sessions", action="store_true",
@@ -492,11 +532,44 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "trace", help="analyze a span trace (serve-bench --trace output)"
     )
-    p.add_argument("action", choices=["summarize"])
+    p.add_argument("action", choices=["summarize", "flame"])
     p.add_argument("path", help="JSONL trace file")
     p.add_argument(
         "--tree", type=int, default=0, metavar="N",
         help="also print the first N reconstructed span trees",
+    )
+    p.add_argument(
+        "--folded", default=None, metavar="PATH",
+        help="flame: folded-stacks output path "
+        "(default <trace>.folded; flamegraph.pl input format)",
+    )
+    p.add_argument(
+        "--speedscope", default=None, metavar="PATH",
+        help="flame: speedscope JSON output path "
+        "(default <trace>.speedscope.json; open at speedscope.app)",
+    )
+
+    p = sub.add_parser(
+        "top",
+        help="operator dashboard from a telemetry timeline "
+        "(loadtest --telemetry output)",
+    )
+    p.add_argument("path", help="telemetry timeline JSONL file")
+    p.add_argument(
+        "--once", action="store_true",
+        help="render the current state once and exit (CI mode)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=1.0,
+        help="live-mode refresh cadence in seconds",
+    )
+    p.add_argument(
+        "--window", type=float, default=10.0,
+        help="trailing window for rate computations in seconds",
+    )
+    p.add_argument(
+        "--refresh-limit", type=int, default=0, metavar="N",
+        help="live mode: exit after N refreshes (0 = until Ctrl-C)",
     )
 
     p = sub.add_parser("table1", help="GBT baseline metrics (Table I)")
@@ -974,7 +1047,7 @@ def _loadtest_sessions(args):
     ]
 
 
-def _run_loadtest(args, tracer=None):
+def _run_loadtest(args, tracer=None, sampler=None):
     """One full load test: fresh service (+ optional campaigns), report."""
     import threading
 
@@ -988,6 +1061,14 @@ def _run_loadtest(args, tracer=None):
         max_batch_size=args.batch_size,
         workers=args.workers,
     ) as service:
+        if sampler is not None:
+            from repro.obs import collect_service_metrics
+
+            sampler.add_collector(
+                "service",
+                lambda reg: collect_service_metrics(service, registry=reg),
+            )
+            sampler.start()
         ctx = use_tracer(tracer) if tracer is not None else None
         if ctx is not None:
             ctx.__enter__()
@@ -998,6 +1079,15 @@ def _run_loadtest(args, tracer=None):
                 with SessionManager(
                     service, sessions=_loadtest_sessions(args)
                 ) as manager:
+                    if sampler is not None:
+                        from repro.sessions import collect_session_metrics
+
+                        sampler.add_collector(
+                            "sessions",
+                            lambda reg: collect_session_metrics(
+                                manager, registry=reg
+                            ),
+                        )
                     box = {}
                     rider = threading.Thread(
                         target=lambda: box.update(manager.run()),
@@ -1014,9 +1104,24 @@ def _run_loadtest(args, tracer=None):
                 })
             else:
                 report = driver.run(service)
+            if sampler is not None:
+                from repro.loadgen import collect_loadgen_metrics
+
+                # The final sample lands while the service is still
+                # alive, so it carries both the end-state service view
+                # and the finished SLO report.
+                sampler.add_collector(
+                    "loadgen",
+                    lambda reg: collect_loadgen_metrics(
+                        report, registry=reg
+                    ),
+                )
+                sampler.stop(final_sample=True)
         finally:
             if ctx is not None:
                 ctx.__exit__(None, None, None)
+            if sampler is not None:
+                sampler.stop(final_sample=False)
     return report
 
 
@@ -1044,7 +1149,14 @@ def _cmd_loadtest(args) -> int:
         file=sys.stderr,
     )
     tracer = Tracer() if args.trace else None
-    report = _run_loadtest(args, tracer=tracer)
+    sampler = None
+    if args.telemetry:
+        from repro.obs import BurnRatePolicy, TelemetrySampler
+
+        sampler = TelemetrySampler(
+            args.telemetry_interval, policy=BurnRatePolicy()
+        )
+    report = _run_loadtest(args, tracer=tracer, sampler=sampler)
 
     if args.check_determinism:
         rerun = _run_loadtest(args)
@@ -1072,6 +1184,13 @@ def _cmd_loadtest(args) -> int:
         print(
             f"exported {n_spans} spans to {args.trace} "
             f"(`repro trace summarize {args.trace}`)",
+            file=sys.stderr,
+        )
+    if sampler is not None:
+        n_records = sampler.export_jsonl(args.telemetry)
+        print(
+            f"exported {n_records} telemetry records to {args.telemetry} "
+            f"(`repro top {args.telemetry} --once`)",
             file=sys.stderr,
         )
     if args.metrics:
@@ -1121,6 +1240,11 @@ def _chaos_workload(args):
 def _run_chaos_once(args, workload, cache_probes: bool = False):
     from repro.errors import ServiceError
     from repro.faults import FaultPlan
+    from repro.obs import (
+        BurnRatePolicy,
+        TelemetrySampler,
+        collect_service_metrics,
+    )
     from repro.serve import ResilientService, RetryPolicy, make_service
 
     plan = FaultPlan(
@@ -1132,14 +1256,30 @@ def _run_chaos_once(args, workload, cache_probes: bool = False):
         queue_stall_rate=args.stall_rate,
         queue_stall_s=args.stall_s,
         shard_kill_rate=args.kill_rate if args.shards else 0.0,
+        telemetry_drop_rate=args.telemetry_drop_rate,
+        telemetry_dup_rate=args.telemetry_dup_rate,
     )
     unhandled = 0
     values: list[float | None] = []
     # Retries absorb shard kills; give the drill enough respawn budget
-    # that repeated kills of one shard don't exhaust it mid-run.
+    # that repeated kills of one shard don't exhaust it mid-run.  The
+    # shard-stats timeout is tuned well under the sampler cadence (one
+    # scrape round-trips shard stats twice: service counters, then
+    # fault counters) so a mid-respawn shard cannot stall a scrape past
+    # the telemetry liveness bound of twice the cadence.
     with make_service(
-        shards=args.shards, max_restarts=args.requests, fault_plan=plan
+        shards=args.shards, max_restarts=args.requests, fault_plan=plan,
+        stats_timeout_s=min(2.0, max(args.telemetry_interval / 8, 0.02)),
     ) as service:
+        sampler = TelemetrySampler(
+            args.telemetry_interval,
+            policy=BurnRatePolicy(),
+            injector=service.faults,
+        )
+        sampler.add_collector(
+            "service",
+            lambda reg: collect_service_metrics(service, registry=reg),
+        )
         resilient = ResilientService(
             service,
             retry_policy=RetryPolicy(
@@ -1147,23 +1287,25 @@ def _run_chaos_once(args, workload, cache_probes: bool = False):
             ),
             fallback=False if args.no_fallback else None,
         )
-        for request in workload:
-            if cache_probes:
-                # Degraded cache serves interleaved with live traffic:
-                # these must not consume admission-ordered request ids,
-                # or the deterministic fault schedule shifts under them.
-                service.cached_response(request)
-            try:
-                response = resilient.submit(request)
-            except ServiceError:
-                unhandled += 1  # already counted as unavailable
-                values.append(None)
-            else:
-                values.append(response.prediction.value)
+        with sampler:
+            for request in workload:
+                if cache_probes:
+                    # Degraded cache serves interleaved with live
+                    # traffic: these must not consume admission-ordered
+                    # request ids, or the deterministic fault schedule
+                    # shifts under them.
+                    service.cached_response(request)
+                try:
+                    response = resilient.submit(request)
+                except ServiceError:
+                    unhandled += 1  # already counted as unavailable
+                    values.append(None)
+                else:
+                    values.append(response.prediction.value)
         stats = service.stats()
         fault_counts = service.faults.stats.snapshot()
         fault_report = service.faults.stats.render()
-    return stats, fault_counts, fault_report, unhandled, values
+    return stats, fault_counts, fault_report, unhandled, values, sampler
 
 
 def _run_sessions_chaos_once(args, log_path):
@@ -1557,14 +1699,18 @@ def _cmd_chaos(args) -> int:
         return _cmd_chaos_sessions(args)
     if args.disk:
         return _cmd_chaos_disk(args)
+    import json as _json
+
+    from repro.obs import deterministic_fields, max_sample_gap_s
+
     workload = _chaos_workload(args)
     print(
         f"driving {len(workload)} requests through a seeded fault plan "
         f"(size {args.size}, seed {args.seed})",
         file=sys.stderr,
     )
-    stats, faults, fault_report, unhandled, values = _run_chaos_once(
-        args, workload
+    stats, faults, fault_report, unhandled, values, sampler = (
+        _run_chaos_once(args, workload)
     )
     print(stats.render(title="chaos report (service under faults)"))
     print()
@@ -1575,19 +1721,57 @@ def _cmd_chaos(args) -> int:
         f"(p95 under faults {stats.p95_latency_s * 1000:.1f} ms, "
         f"{stats.n_degraded} degraded, {unhandled} unanswered)"
     )
+    ok = True
+    # Telemetry liveness: the sampler observed the whole drill, so a
+    # gap past twice its cadence means the faults it was watching also
+    # took the watcher down.
+    records = sampler.records()
+    gap = max_sample_gap_s(records)
+    bound = 2 * args.telemetry_interval
+    alive = gap <= bound
+    print(
+        f"telemetry liveness: {len(records)} records, max sample gap "
+        f"{gap * 1000:.0f} ms (bound {bound * 1000:.0f} ms): "
+        f"{'ok' if alive else 'VIOLATED'}"
+    )
+    ok &= alive
+    if args.telemetry:
+        n_records = sampler.export_jsonl(args.telemetry)
+        print(
+            f"exported {n_records} telemetry records to "
+            f"{args.telemetry} (`repro top {args.telemetry} --once`)",
+            file=sys.stderr,
+        )
     if args.verify_determinism:
         counters = ("n_retries", "n_breaker_trips", "n_degraded",
                     "n_unavailable", "n_logical")
 
-        def compare(label, stats2, faults2, unhandled2, values2) -> bool:
+        def service_faults(counts: dict) -> dict:
+            # Telemetry drop/dup decisions are seeded per sample seq,
+            # but how many samples a run takes is wall-clock — only the
+            # request-schedule faults are comparable across runs.
+            return {
+                k: v for k, v in counts.items()
+                if not k.startswith("telemetry")
+            }
+
+        def compare(label, stats2, faults2, unhandled2, values2,
+                    sampler2) -> bool:
+            fields = _json.dumps(
+                deterministic_fields(records), sort_keys=True
+            )
+            fields2 = _json.dumps(
+                deterministic_fields(sampler2.records()), sort_keys=True
+            )
             same = (
                 all(
                     getattr(stats, c) == getattr(stats2, c)
                     for c in counters
                 )
-                and faults == faults2
+                and service_faults(faults) == service_faults(faults2)
                 and unhandled == unhandled2
                 and values == values2
+                and fields == fields2
             )
             print(f"deterministic {label}: {'yes' if same else 'NO'}")
             if not same:
@@ -1601,34 +1785,87 @@ def _cmd_chaos(args) -> int:
                     a != b for a, b in zip(values, values2)
                 ) + abs(len(values) - len(values2))
                 print(f"  responses diverging: {diverged}/{len(values)}")
+                if fields != fields2:
+                    print(f"  telemetry fields: {fields} vs {fields2}")
             return same
 
-        s2, f2, _, u2, v2 = _run_chaos_once(args, workload)
-        ok = compare("across two identical runs", s2, f2, u2, v2)
+        s2, f2, _, u2, v2, t2 = _run_chaos_once(args, workload)
+        ok &= compare("across two identical runs", s2, f2, u2, v2, t2)
         # Third run with degraded cache serves interleaved: cached
         # responses must leave the admission-ordered fault schedule (and
         # hence every counter and response value) untouched.
-        s3, f3, _, u3, v3 = _run_chaos_once(args, workload,
-                                            cache_probes=True)
+        s3, f3, _, u3, v3, t3 = _run_chaos_once(args, workload,
+                                                cache_probes=True)
         ok &= compare("with degraded cache serves interleaved",
-                      s3, f3, u3, v3)
-        if not ok:
-            return 1
-    return 0
+                      s3, f3, u3, v3, t3)
+    return 0 if ok else 1
 
 
 def _cmd_trace(args) -> int:
-    from repro.obs import load_spans, render_span_tree, summarize_spans
+    from repro.obs import (
+        load_spans,
+        render_span_tree,
+        summarize_spans,
+        write_folded,
+        write_speedscope,
+    )
 
     spans = load_spans(args.path)
     if not spans:
         print(f"no spans in {args.path}", file=sys.stderr)
         return 1
+    if args.action == "flame":
+        folded = args.folded or f"{args.path}.folded"
+        speedscope = args.speedscope or f"{args.path}.speedscope.json"
+        n_paths = write_folded(spans, folded)
+        n_profiles = write_speedscope(spans, speedscope, name=args.path)
+        print(f"wrote {n_paths} folded call paths to {folded}")
+        print(
+            f"wrote {n_profiles} speedscope profiles to {speedscope} "
+            f"(open at https://www.speedscope.app)"
+        )
+        return 0
     print(summarize_spans(spans).render())
     if args.tree > 0:
         print()
         print(render_span_tree(spans, max_roots=args.tree))
     return 0
+
+
+def _cmd_top(args) -> int:
+    import time as _time
+
+    from repro.obs import load_telemetry, render_dashboard
+
+    def render() -> str:
+        timeline = load_telemetry(args.path, tolerate_partial=True)
+        rep = timeline.report
+        body = render_dashboard(
+            timeline, window_s=args.window,
+            title=f"repro top — {args.path}",
+        )
+        footer = (
+            f"timeline: {rep.n_samples} samples, {rep.n_alerts} alerts, "
+            f"{rep.n_dropped} dropped, {rep.n_duplicates} duplicates, "
+            f"max gap {rep.max_gap_s * 1000:.0f} ms"
+        )
+        return body + "\n" + footer
+
+    try:
+        if args.once:
+            print(render())
+            return 0
+        refreshes = 0
+        while True:
+            # Re-read the file each refresh: ANSI home+clear, not a
+            # scrollback flood.
+            print("\x1b[2J\x1b[H" + render(), flush=True)
+            refreshes += 1
+            if args.refresh_limit and refreshes >= args.refresh_limit:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_table1(args) -> int:
@@ -1671,13 +1908,21 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "fsck": _cmd_fsck,
     "trace": _cmd_trace,
+    "top": _cmd_top,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # `repro … | head` closing the pipe early is a normal exit, but
+        # the interpreter would still flush stdout at shutdown — hand
+        # it a pipe-less stdout so teardown stays quiet.
+        sys.stdout = open(os.devnull, "w")
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -65,6 +65,7 @@ __all__ = [
     "load_probes_jsonl",
     "load_checkpoint",
     "append_events_jsonl",
+    "save_events_jsonl",
     "load_events_jsonl",
     "verify_artifact",
     "repair_artifact",
@@ -912,6 +913,23 @@ def append_events_jsonl(
         site="storage.append_events",
         kind=kind,
     )
+
+
+def save_events_jsonl(
+    events: list[dict], path: str | Path, *, kind: str
+) -> None:
+    """Write events as an atomic v2 JSONL snapshot (header + frames).
+
+    The snapshot discipline matches :func:`save_probes_jsonl` — tmp file,
+    fsync, ``os.replace``, directory fsync — so a crash mid-save leaves
+    the previous file intact.  This is the export path for whole-run
+    artifacts produced in memory (trace files, telemetry timelines),
+    which are rewritten rather than appended to.
+    """
+    path = Path(path)
+    lines = [_header_line(_EVENTS_FORMAT, kind)]
+    lines.extend(_frame_line(rec, seq) for seq, rec in enumerate(events))
+    _atomic_write_text(path, "".join(lines), site="storage.save_events")
 
 
 def load_events_jsonl(

@@ -52,6 +52,8 @@ _RATE_FIELDS = (
     "bitflip_rate",
     "enospc_rate",
     "fsync_fail_rate",
+    "telemetry_drop_rate",
+    "telemetry_dup_rate",
 )
 _DURATION_FIELDS = ("latency_spike_s", "queue_stall_s")
 _DISK_RATE_FIELDS = (
@@ -106,6 +108,14 @@ class FaultPlan:
     fsync_fail_rate:
         Per-fsync probability of ``OSError(EIO)`` — durability was
         requested but the device refused.
+    telemetry_drop_rate:
+        Per-sample probability that the telemetry sampler loses a sample
+        before it reaches the timeline (a scrape thread dying or an
+        exporter crash) — downstream loaders must report the gap.
+    telemetry_dup_rate:
+        Per-sample probability that a sample is recorded twice (an
+        at-least-once exporter retry) — loaders must dedupe by payload
+        sequence number, not trust the file.
     """
 
     seed: int = 0
@@ -121,6 +131,8 @@ class FaultPlan:
     bitflip_rate: float = 0.0
     enospc_rate: float = 0.0
     fsync_fail_rate: float = 0.0
+    telemetry_drop_rate: float = 0.0
+    telemetry_dup_rate: float = 0.0
 
     def __post_init__(self):
         for name in _RATE_FIELDS:
@@ -187,6 +199,12 @@ class FaultPlan:
     def fsync_fails(self, key: object) -> bool:
         return self.fires("fsync-fail", key, self.fsync_fail_rate)
 
+    def telemetry_drop(self, key: object) -> bool:
+        return self.fires("telemetry-drop", key, self.telemetry_drop_rate)
+
+    def telemetry_dup(self, key: object) -> bool:
+        return self.fires("telemetry-dup", key, self.telemetry_dup_rate)
+
     @property
     def active(self) -> bool:
         """Whether any failure mode has a non-zero rate."""
@@ -241,6 +259,8 @@ class FaultStats:
         "bitflips",
         "enospc",
         "fsync_failures",
+        "telemetry_drops",
+        "telemetry_dups",
     )
 
     def __init__(self):
@@ -286,6 +306,8 @@ class FaultStats:
         t.add_row(["bitflips after ack", snap["bitflips"]])
         t.add_row(["ENOSPC writes", snap["enospc"]])
         t.add_row(["fsync failures", snap["fsync_failures"]])
+        t.add_row(["telemetry samples dropped", snap["telemetry_drops"]])
+        t.add_row(["telemetry samples duplicated", snap["telemetry_dups"]])
         return t.render()
 
 
@@ -399,6 +421,22 @@ class FaultInjector:
         if self.plan.cell_fault(key):
             self.stats.record("cell_faults")
             raise InjectedFaultError("run_spec", key)
+
+    def on_telemetry_sample(self, key: object) -> str:
+        """Telemetry-sampler hook: fate of one sample.
+
+        Returns ``"drop"`` (the sample never reaches the timeline),
+        ``"dup"`` (it is recorded twice), or ``"keep"``.  Drop wins when
+        both fire — a dropped sample cannot also be duplicated.
+        """
+        plan = self.plan
+        if plan.telemetry_drop(key):
+            self.stats.record("telemetry_drops")
+            return "drop"
+        if plan.telemetry_dup(key):
+            self.stats.record("telemetry_dups")
+            return "dup"
+        return "keep"
 
     def wrap_file(self, fh, site: str, name: str):
         """Storage-write hook: wrap a file handle in a :class:`FaultyFile`.

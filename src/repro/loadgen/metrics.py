@@ -22,8 +22,9 @@ def collect_loadgen_metrics(
 ) -> MetricsRegistry:
     """Publish ``report`` onto labelled instruments.
 
-    Point-in-time like the other collectors: pass a fresh registry (the
-    default) or accept double-counting across repeated calls.
+    Idempotent like the other collectors: counters are set to the
+    report's absolute totals, so re-publishing the same (or an updated)
+    report into one registry never compounds.
     """
     registry = registry if registry is not None else MetricsRegistry()
 
@@ -35,7 +36,9 @@ def collect_loadgen_metrics(
         ("timeout", report.timeouts),
         ("error", report.errors),
     ):
-        registry.counter("loadgen.requests", outcome=outcome).inc(count)
+        registry.counter("loadgen.requests", outcome=outcome).set_absolute(
+            count
+        )
 
     registry.gauge("loadgen.goodput").set(report.goodput)
     registry.gauge("loadgen.error_rate").set(report.error_rate)
@@ -56,7 +59,7 @@ def collect_loadgen_metrics(
         for outcome, count in ts.counts().items():
             registry.counter(
                 "loadgen.tenant_requests", tenant=tenant, outcome=outcome
-            ).inc(count)
+            ).set_absolute(count)
         registry.gauge(
             "loadgen.tenant_latency_ms", tenant=tenant, quantile="p95"
         ).set(ts.p95_ms)

@@ -1,0 +1,185 @@
+"""Flame-graph export: folded stacks and speedscope documents.
+
+``repro trace flame`` turns an exported trace into the two interchange
+formats profiler UIs actually read:
+
+* **folded stacks** — one line per unique call path,
+  ``root;child;grandchild <self-time-us>``, the input format of
+  Brendan Gregg's ``flamegraph.pl`` and most "paste your stacks here"
+  viewers.  Values are *self* time (span duration minus the time covered
+  by its children), so the totals the viewer re-derives by summation
+  match the trace instead of double-counting nested spans.
+* **speedscope** — an evented-profile JSON document for
+  https://www.speedscope.app, one profile per trace root, so a
+  multi-request trace opens as a profile-per-request picker.
+
+Spans within a parent may overlap or spill past the parent window (clock
+offsets across processes, spans recorded retroactively, cross-process
+parents like ``shard.worker`` that return before their subtree finishes);
+both exporters walk the same *sequenced* view of the tree — each span's
+window first widened to cover its whole subtree, then children sorted by
+start, clamped into the parent window, and begun no earlier than the
+previous sibling ended — which keeps the open/close event stream strictly
+nested, as both formats require, without truncating real work.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.summary import span_children
+from repro.obs.tracer import Span
+
+__all__ = [
+    "folded_stacks",
+    "speedscope_document",
+    "write_folded",
+    "write_speedscope",
+]
+
+
+def _effective_ends(children: dict) -> dict[int, float]:
+    """span_id → end time widened to cover the span's whole subtree.
+
+    A parent that returned before its children finished (the worker-side
+    ``shard.worker`` span closes at submit time while ``serve.request``
+    completes later on a batch thread) would otherwise clamp its subtree
+    to nothing.
+    """
+    ends: dict[int, float] = {}
+
+    def rec(span: Span) -> float:
+        got = ends.get(span.span_id)
+        if got is not None:
+            return got
+        # Pre-seed with the span's own end so a pathological self-cycle
+        # terminates instead of recursing forever.
+        end = ends[span.span_id] = span.start_s + span.duration_s
+        for child in children.get(span.span_id, []):
+            if child.span_id != span.span_id:
+                end = max(end, rec(child))
+        ends[span.span_id] = end
+        return end
+
+    for root in children.get(None, []):
+        rec(root)
+    return ends
+
+
+def _sequenced_children(
+    span: Span, start_s: float, end_s: float, children: dict, ends: dict
+) -> list[tuple[Span, float, float]]:
+    """Children of ``span`` clamped into ``[start_s, end_s]``, non-overlapping.
+
+    Each child is begun no earlier than its previous sibling ended and
+    truncated at the parent's (already subtree-widened) end, so the
+    resulting intervals nest strictly — a child rendered wider than its
+    parent is a rendering bug, not insight.
+    """
+    out: list[tuple[Span, float, float]] = []
+    cursor = start_s
+    for child in children.get(span.span_id, []):
+        s = max(child.start_s, cursor)
+        e = max(s, min(ends.get(child.span_id, s), end_s))
+        out.append((child, s, e))
+        cursor = e
+    return out
+
+
+def folded_stacks(spans: list[Span]) -> list[str]:
+    """Collapse a trace into folded-stack lines with self-time values.
+
+    Values are integer microseconds of *self* time; call paths that
+    occur more than once (every request walks the same taxonomy) are
+    merged by summing.  Zero-self-time paths are kept when the span
+    itself had zero duration but dropped when children covered the whole
+    window — a purely structural frame adds nothing to a flame graph.
+    """
+    children = span_children(spans)
+    ends = _effective_ends(children)
+    totals: dict[str, int] = {}
+
+    def walk(span: Span, start_s: float, end_s: float, path: str) -> None:
+        stacked = path + span.name if not path else f"{path};{span.name}"
+        seq = _sequenced_children(span, start_s, end_s, children, ends)
+        covered = sum(e - s for _, s, e in seq)
+        self_us = int(round(max((end_s - start_s) - covered, 0.0) * 1e6))
+        if self_us > 0 or not seq:
+            totals[stacked] = totals.get(stacked, 0) + self_us
+        for child, s, e in seq:
+            walk(child, s, e, stacked)
+
+    for root in children.get(None, []):
+        walk(root, root.start_s, ends[root.span_id], "")
+    return [f"{path} {value}" for path, value in sorted(totals.items())]
+
+
+def speedscope_document(
+    spans: list[Span], *, name: str = "repro trace"
+) -> dict:
+    """Build a speedscope evented-profile document, one profile per root."""
+    children = span_children(spans)
+    ends = _effective_ends(children)
+    frames: list[dict] = []
+    frame_index: dict[str, int] = {}
+
+    def frame(span_name: str) -> int:
+        idx = frame_index.get(span_name)
+        if idx is None:
+            idx = frame_index[span_name] = len(frames)
+            frames.append({"name": span_name})
+        return idx
+
+    profiles: list[dict] = []
+    for root in children.get(None, []):
+        events: list[dict] = []
+
+        def walk(span: Span, start_s: float, end_s: float) -> None:
+            idx = frame(span.name)
+            events.append({"type": "O", "frame": idx, "at": start_s})
+            for child, s, e in _sequenced_children(
+                span, start_s, end_s, children, ends
+            ):
+                walk(child, s, e)
+            events.append({"type": "C", "frame": idx, "at": end_s})
+
+        root_end = ends[root.span_id]
+        walk(root, root.start_s, root_end)
+        profiles.append({
+            "type": "evented",
+            "name": f"{root.name} #{root.span_id}",
+            "unit": "seconds",
+            "startValue": root.start_s,
+            "endValue": root_end,
+            "events": events,
+        })
+
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": profiles,
+        "name": name,
+        "exporter": "repro trace flame",
+    }
+
+
+def write_folded(spans: list[Span], path) -> int:
+    """Write folded stacks to ``path``; returns the line count."""
+    lines = folded_stacks(spans)
+    Path(path).write_text(
+        "".join(line + "\n" for line in lines), encoding="utf-8"
+    )
+    return len(lines)
+
+
+def write_speedscope(
+    spans: list[Span], path, *, name: str = "repro trace"
+) -> int:
+    """Write a speedscope document to ``path``; returns the profile count."""
+    doc = speedscope_document(spans, name=name)
+    Path(path).write_text(
+        json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n",
+        encoding="utf-8",
+    )
+    return len(doc["profiles"])

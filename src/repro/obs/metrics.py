@@ -70,6 +70,22 @@ class Counter(_Instrument):
         with self._lock:
             self._value += n
 
+    def set_absolute(self, value: int) -> None:
+        """Set the counter to an externally-maintained cumulative total.
+
+        Collectors scrape sources that own their own cumulative counts
+        (``ServiceStats``, ``FaultStats``, cache snapshots); ``inc``
+        would compound the source total on every scrape, so periodic
+        sampling writes the absolute value instead — scraping twice is
+        the same as scraping once.
+        """
+        if value < 0:
+            raise ValueError(
+                f"counters cannot be negative; got set_absolute({value})"
+            )
+        with self._lock:
+            self._value = int(value)
+
     @property
     def value(self) -> int:
         with self._lock:
@@ -229,8 +245,9 @@ def collect_service_metrics(
     :class:`~repro.serve.cache.LRUCache` levels, the fault injector's
     :class:`~repro.faults.FaultStats`, and — when the ``resilient``
     wrapper is given — per-route circuit-breaker state onto labelled
-    instruments.  Point-in-time: pass a fresh registry (the default) or
-    accept double-counting.
+    instruments.  Idempotent: counters are written as absolute values
+    from the sources' own cumulative counts, so the telemetry sampler
+    can scrape the same registry every interval without compounding.
     """
     registry = registry if registry is not None else MetricsRegistry()
     stats = service.stats()
@@ -244,12 +261,18 @@ def collect_service_metrics(
         ("timeout", stats.n_timeouts),
         ("late_discard", stats.n_late_discards),
     ):
-        registry.counter("serve.requests", event=event).inc(count)
-    registry.counter("serve.batches").inc(stats.n_batches)
+        registry.counter("serve.requests", event=event).set_absolute(count)
+    registry.counter("serve.batches").set_absolute(stats.n_batches)
     registry.gauge("serve.batch_occupancy").set(stats.batch_occupancy)
     registry.gauge("serve.throughput_rps").set(stats.throughput_rps)
     registry.gauge("serve.latency_s", quantile="p50").set(stats.p50_latency_s)
     registry.gauge("serve.latency_s", quantile="p95").set(stats.p95_latency_s)
+    registry.gauge("serve.queue_wait_s", quantile="p50").set(
+        stats.p50_queue_wait_s
+    )
+    registry.gauge("serve.queue_wait_s", quantile="p95").set(
+        stats.p95_queue_wait_s
+    )
 
     for level, cache in (
         ("prepare", service.prepare_cache),
@@ -261,31 +284,33 @@ def collect_service_metrics(
         # separate calls can tear around a concurrent lookup and report
         # a hit rate above 1.0.
         hits, misses, size = cache.snapshot()
-        registry.counter("cache.lookups", level=level, outcome="hit").inc(
-            hits
-        )
-        registry.counter("cache.lookups", level=level, outcome="miss").inc(
-            misses
-        )
+        registry.counter(
+            "cache.lookups", level=level, outcome="hit"
+        ).set_absolute(hits)
+        registry.counter(
+            "cache.lookups", level=level, outcome="miss"
+        ).set_absolute(misses)
         registry.gauge("cache.entries", level=level).set(size)
         registry.gauge("cache.capacity", level=level).set(cache.capacity)
 
     # Prefix-reuse layer: snapshot cache hit/miss plus decode grouping.
     if stats.prefix_hits or stats.prefix_misses:
-        registry.counter("cache.lookups", level="prefix", outcome="hit").inc(
-            stats.prefix_hits
-        )
+        registry.counter(
+            "cache.lookups", level="prefix", outcome="hit"
+        ).set_absolute(stats.prefix_hits)
         registry.counter(
             "cache.lookups", level="prefix", outcome="miss"
-        ).inc(stats.prefix_misses)
+        ).set_absolute(stats.prefix_misses)
     if stats.n_groups:
-        registry.counter("serve.prefix_groups").inc(stats.n_groups)
-        registry.counter("serve.grouped_requests").inc(stats.n_group_served)
+        registry.counter("serve.prefix_groups").set_absolute(stats.n_groups)
+        registry.counter("serve.grouped_requests").set_absolute(
+            stats.n_group_served
+        )
         registry.gauge("serve.mean_group_width").set(stats.mean_group_width)
 
     if service.faults is not None:
         for kind, count in service.faults.stats.snapshot().items():
-            registry.counter("faults.injected", kind=kind).inc(count)
+            registry.counter("faults.injected", kind=kind).set_absolute(count)
 
     # Sharded backend: topology and worker-death accounting (duck-typed;
     # the single-process service has no shard_info attribute).
@@ -293,8 +318,10 @@ def collect_service_metrics(
     if shard_info is not None:
         registry.gauge("serve.shards").set(shard_info["n_shards"])
         registry.gauge("serve.shards_failed").set(shard_info["failed"])
-        registry.counter("serve.shard_respawns").inc(shard_info["respawns"])
-        registry.counter("serve.shard_crashed_tickets").inc(
+        registry.counter("serve.shard_respawns").set_absolute(
+            shard_info["respawns"]
+        )
+        registry.counter("serve.shard_crashed_tickets").set_absolute(
             shard_info["crashed_tickets"]
         )
 
@@ -305,12 +332,14 @@ def collect_service_metrics(
         ("degraded", stats.n_degraded),
         ("unavailable", stats.n_unavailable),
     ):
-        registry.counter(f"resilience.{name}").inc(count)
+        registry.counter(f"resilience.{name}").set_absolute(count)
     registry.gauge("resilience.availability").set(stats.availability)
 
     if resilient is not None:
         for route, breaker in resilient.breakers.items():
-            registry.counter("breaker.trips", route=route).inc(breaker.trips)
+            registry.counter("breaker.trips", route=route).set_absolute(
+                breaker.trips
+            )
             registry.gauge("breaker.open", route=route).set(
                 1.0 if breaker.state == "open" else 0.0
             )
@@ -336,5 +365,5 @@ def collect_storage_metrics(
 
     registry = registry if registry is not None else MetricsRegistry()
     for name, count in integrity_counters().items():
-        registry.counter(f"storage.{name}").inc(count)
+        registry.counter(f"storage.{name}").set_absolute(count)
     return registry

@@ -29,13 +29,40 @@ __all__ = ["load_spans", "span_children", "span_depths", "TraceSummary",
            "summarize_spans", "render_span_tree"]
 
 
-def load_spans(path) -> list[Span]:
-    """Read a JSONL trace file back into :class:`Span` records.
+def _is_framed_trace(path) -> bool:
+    """True when the file opens with a storage-v2 events header."""
+    try:
+        with open(Path(path), "rb") as fh:
+            first = fh.readline(4096)
+        header = json.loads(first.decode("utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+        return False
+    return isinstance(header, dict) and "format" in header and "version" in header
 
-    Blank lines are skipped; a malformed line raises ``ValueError`` with
-    its line number (trace files are written atomically per line, so
-    damage means the file is not a trace, not a crashed run).
+
+def load_spans(path) -> list[Span]:
+    """Read a trace file back into :class:`Span` records.
+
+    Current exports are CRC-framed storage-v2 event snapshots (kind
+    ``"trace"``, detected from the header line and verified frame by
+    frame); legacy bare-line JSONL traces from earlier releases are
+    still read.  Blank lines are skipped; a malformed legacy line raises
+    ``ValueError`` with its line number (trace files are written
+    atomically per line, so damage means the file is not a trace, not a
+    crashed run).
     """
+    if _is_framed_trace(path):
+        # Lazy import: repro.core.storage imports repro.obs at module
+        # level, so the obs side must not import it back at import time.
+        from repro.core.storage import load_events_jsonl
+
+        from repro.obs.tracer import TRACE_EVENT_KIND
+
+        records = load_events_jsonl(Path(path), kind=TRACE_EVENT_KIND)
+        try:
+            return [Span.from_dict(rec) for rec in records]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"{path}: not a span record ({exc})") from None
     spans: list[Span] = []
     with open(Path(path), "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
@@ -166,6 +193,10 @@ def render_span_tree(spans: list[Span], max_roots: int = 1) -> str:
 
     A concrete sample to read alongside the aggregate table — e.g. one
     request's ``serve.request → queue_wait/prepare/generate`` breakdown.
+    An orphaned subtree — spans whose parent id never arrived, e.g. when
+    a SIGKILLed shard lost its buffered spans — still renders, rooted at
+    the orphan and marked ``!orphan(parent=N lost)`` instead of being
+    dropped or crashing the walk.
     """
     children = span_children(spans)
     lines: list[str] = []
@@ -176,9 +207,12 @@ def render_span_tree(spans: list[Span], max_roots: int = 1) -> str:
             attrs = " " + " ".join(
                 f"{k}={v}" for k, v in sorted(span.attributes.items())
             )
+        mark = ""
+        if depth == 0 and span.parent_id is not None:
+            mark = f" !orphan(parent={span.parent_id} lost)"
         lines.append(
             f"{'  ' * depth}{span.name} "
-            f"[{format_duration(span.duration_s)}]{attrs}"
+            f"[{format_duration(span.duration_s)}]{mark}{attrs}"
         )
         for child in children.get(span.span_id, []):
             walk(child, depth + 1)

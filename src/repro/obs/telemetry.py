@@ -1,0 +1,446 @@
+"""Continuous telemetry: a sampler thread, a ring-buffer timeline, alerts.
+
+Point-in-time collectors (:func:`~repro.obs.metrics.collect_service_metrics`
+and friends) answer "what is the system doing *now*"; this module answers
+"what has it been doing" — the question a nightly soak or a chaos drill
+actually asks.  A :class:`TelemetrySampler` scrapes every registered
+collector into a fresh :class:`~repro.obs.metrics.MetricsRegistry` at a
+fixed cadence and appends one **sample** record to a bounded in-memory
+ring buffer:
+
+    {"type": "sample", "seq": N, "t_wall": ..., "t_mono": ..., "metrics": {...}}
+
+``seq`` is the sampler's own contiguous payload sequence — distinct from
+the storage framing sequence — so a timeline loaded back from disk can
+prove it is complete (no dropped samples) and honest (duplicates from an
+at-least-once exporter are detected and deduped, see
+:func:`load_telemetry`).  The ``repro chaos`` telemetry drill drives both
+failure modes through the deterministic fault plan
+(``telemetry_drop_rate`` / ``telemetry_dup_rate``).
+
+Each sample also feeds a multi-window **SLO burn-rate** evaluation
+(:class:`BurnRatePolicy`): the error-budget burn is computed over a short
+and a long trailing window, and when *both* exceed the alert threshold an
+**alert** record lands in the same timeline on the rising edge — fast
+enough to catch a sudden cliff, slow enough not to page on one blip.
+
+Timelines export as CRC-framed storage-v2 JSONL (kind ``"telemetry"``),
+so ``repro fsck`` verifies and repairs them like every other artifact.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "TELEMETRY_EVENT_KIND",
+    "BurnRatePolicy",
+    "TimelineReport",
+    "TelemetrySampler",
+    "deterministic_fields",
+    "load_telemetry",
+    "max_sample_gap_s",
+]
+
+#: Event-journal kind tag for telemetry timelines (``repro fsck``).
+TELEMETRY_EVENT_KIND = "telemetry"
+
+#: Metric-key prefixes whose final values are pure functions of the run's
+#: seeds (fault plans, schedules) — the fields the chaos drill pins
+#: bit-identical across runs.  Availability is excluded (a ratio over
+#: wall-clock-dependent totals on some paths), and so are the telemetry
+#: drop/dup fault counts: each *decision* is seed-deterministic per
+#: sample seq, but how many samples a run takes is wall-clock.
+_DETERMINISTIC_PREFIXES = ("faults.injected", "resilience.")
+_DETERMINISTIC_EXCLUDE = (
+    "resilience.availability",
+    "faults.injected{kind=telemetry_drops}",
+    "faults.injected{kind=telemetry_dups}",
+)
+
+
+@dataclass(frozen=True)
+class BurnRatePolicy:
+    """Multi-window error-budget burn alerting (the SRE workbook shape).
+
+    ``objective`` is the error budget: the fraction of requests allowed
+    to fail (0.01 = a 99% availability objective).  The burn rate over a
+    window is ``(error rate in window) / objective`` — 1.0 means the
+    budget is being spent exactly as fast as it accrues.  An alert fires
+    when the burn exceeds ``threshold`` in **both** the short and the
+    long window: the long window proves the burn is sustained, the short
+    window makes the alert reset quickly once the incident ends.
+    """
+
+    objective: float = 0.01
+    short_window_s: float = 5.0
+    long_window_s: float = 60.0
+    threshold: float = 2.0
+    #: Counter key charged against the budget.
+    error_key: str = "resilience.unavailable"
+    #: Counter key of the request total the budget is a fraction of.
+    total_key: str = "serve.requests{event=submitted}"
+
+    def __post_init__(self):
+        if not 0.0 < self.objective <= 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1], got {self.objective}"
+            )
+        if self.short_window_s <= 0 or self.long_window_s <= 0:
+            raise ValueError("burn-rate windows must be positive")
+        if self.short_window_s > self.long_window_s:
+            raise ValueError(
+                "short_window_s must not exceed long_window_s "
+                f"({self.short_window_s} > {self.long_window_s})"
+            )
+        if self.threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {self.threshold}")
+
+
+class TelemetrySampler:
+    """Scrape registered collectors on a cadence into a ring of samples.
+
+    Parameters
+    ----------
+    interval_s:
+        Sampler cadence.  The background thread re-arms off a monotonic
+        deadline, so a slow scrape does not stretch the period.
+    capacity:
+        Ring-buffer bound (oldest samples fall off; the exported file
+        holds whatever the ring holds at export time).
+    policy:
+        Burn-rate alerting policy, or ``None`` to disable alerts.
+    injector:
+        Optional :class:`~repro.faults.FaultInjector` whose
+        ``on_telemetry_sample`` hook decides each sample's fate in
+        drills (keep / drop / duplicate).
+
+    Collectors are callables taking the scrape registry; bind sources
+    with closures::
+
+        sampler.add_collector(
+            "service", lambda reg: collect_service_metrics(s, registry=reg)
+        )
+    """
+
+    def __init__(
+        self,
+        interval_s: float = 1.0,
+        *,
+        capacity: int = 4096,
+        policy: BurnRatePolicy | None = None,
+        injector=None,
+    ):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.interval_s = float(interval_s)
+        self.capacity = int(capacity)
+        self.policy = policy
+        self._injector = injector
+        self._collectors: list[tuple[str, object]] = []
+        self._lock = threading.Lock()
+        self._records: list[dict] = []
+        self._seq = itertools.count()
+        self._scrape_errors = 0
+        self._burning = False
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- wiring --------------------------------------------------------- #
+    def add_collector(self, name: str, fn) -> None:
+        """Register ``fn(registry)`` to run on every scrape."""
+        with self._lock:
+            self._collectors.append((name, fn))
+
+    @property
+    def scrape_errors(self) -> int:
+        """Scrapes in which at least one collector raised."""
+        with self._lock:
+            return self._scrape_errors
+
+    # -- sampling ------------------------------------------------------- #
+    def sample(self) -> dict | None:
+        """Take one sample now; returns the record (None when dropped).
+
+        Runs every collector into a fresh registry (collectors are
+        idempotent absolute-value writers, but a fresh registry also
+        drops instruments that stopped being reported).  A collector
+        that raises is skipped and counted — one sick source must not
+        blind the whole timeline.
+        """
+        registry = MetricsRegistry()
+        with self._lock:
+            collectors = list(self._collectors)
+        failed = 0
+        for _name, fn in collectors:
+            try:
+                fn(registry)
+            except Exception:
+                failed += 1
+        seq = next(self._seq)
+        record = {
+            "type": "sample",
+            "seq": seq,
+            "t_wall": time.time(),
+            "t_mono": time.monotonic(),
+            "metrics": registry.snapshot(),
+        }
+        copies = 1
+        if self._injector is not None:
+            fate = self._injector.on_telemetry_sample(seq)
+            if fate == "drop":
+                # The payload seq is consumed: the timeline carries a
+                # provable gap instead of silently renumbering.
+                with self._lock:
+                    self._scrape_errors += failed
+                return None
+            if fate == "dup":
+                copies = 2
+        with self._lock:
+            self._scrape_errors += failed
+            for _ in range(copies):
+                self._records.append(record)
+            alert = self._evaluate_burn_locked(record)
+            if alert is not None:
+                self._records.append(alert)
+            del self._records[: -self.capacity]
+        return record
+
+    def _evaluate_burn_locked(self, sample: dict) -> dict | None:
+        """Burn-rate check against the ring; rising-edge alert record."""
+        policy = self.policy
+        if policy is None:
+            return None
+        short = self._window_burn_locked(policy, policy.short_window_s)
+        long_ = self._window_burn_locked(policy, policy.long_window_s)
+        burning = (
+            short is not None and long_ is not None
+            and short > policy.threshold and long_ > policy.threshold
+        )
+        was_burning, self._burning = self._burning, burning
+        if not burning or was_burning:
+            return None
+        return {
+            "type": "alert",
+            "seq": next(self._seq),
+            "t_wall": sample["t_wall"],
+            "t_mono": sample["t_mono"],
+            "alert": "slo-burn",
+            "short_burn": short,
+            "long_burn": long_,
+            "objective": policy.objective,
+            "threshold": policy.threshold,
+        }
+
+    def _window_burn_locked(
+        self, policy: BurnRatePolicy, window_s: float
+    ) -> float | None:
+        """Budget burn over the trailing window (None: not enough data)."""
+        samples = [r for r in self._records if r["type"] == "sample"]
+        if len(samples) < 2:
+            return None
+        newest = samples[-1]
+        cutoff = newest["t_mono"] - window_s
+        oldest = None
+        for rec in samples:
+            if rec["t_mono"] >= cutoff:
+                oldest = rec
+                break
+        if oldest is None or oldest is newest:
+            return None
+
+        def read(rec: dict, key: str) -> float:
+            value = rec["metrics"].get(key, 0)
+            return float(value) if isinstance(value, (int, float)) else 0.0
+
+        d_err = read(newest, policy.error_key) - read(oldest, policy.error_key)
+        d_total = (
+            read(newest, policy.total_key) - read(oldest, policy.total_key)
+        )
+        if d_total <= 0:
+            return 0.0
+        return (max(d_err, 0.0) / d_total) / policy.objective
+
+    # -- background thread ---------------------------------------------- #
+    def start(self) -> "TelemetrySampler":
+        """Start the background sampling thread (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-telemetry", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, *, final_sample: bool = True) -> None:
+        """Stop the thread; take one last sample so the end state lands."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join()
+            self._thread = None
+        if final_sample:
+            self.sample()
+
+    def _run(self) -> None:
+        deadline = time.monotonic()
+        while True:
+            self.sample()
+            deadline += self.interval_s
+            delay = deadline - time.monotonic()
+            if delay <= 0:
+                # Scrape overran the interval: re-anchor instead of
+                # bursting catch-up samples.
+                deadline = time.monotonic()
+                continue
+            if self._stop.wait(delay):
+                return
+
+    def __enter__(self) -> "TelemetrySampler":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # -- access & export ------------------------------------------------ #
+    def records(self) -> list[dict]:
+        """Snapshot of the ring (samples and alerts, in arrival order)."""
+        with self._lock:
+            return list(self._records)
+
+    def export_jsonl(self, path) -> int:
+        """Write the timeline as a CRC-framed v2 snapshot; record count."""
+        # Lazy import: repro.core.storage imports repro.obs at module
+        # level, so the obs side must not import it back at import time.
+        from repro.core.storage import save_events_jsonl
+
+        records = self.records()
+        save_events_jsonl(records, Path(path), kind=TELEMETRY_EVENT_KIND)
+        return len(records)
+
+
+# ---------------------------------------------------------------------- #
+# Loading & integrity accounting
+# ---------------------------------------------------------------------- #
+@dataclass
+class TimelineReport:
+    """What :func:`load_telemetry` found in one timeline file.
+
+    ``n_dropped`` counts payload-sequence gaps (samples that never made
+    it into the timeline); ``n_duplicates`` counts records that appeared
+    more than once and were deduped.  Both are judged on the sampler's
+    own ``seq`` field, independent of the storage framing — a timeline
+    that frames perfectly can still have lost samples.
+    """
+
+    n_samples: int = 0
+    n_alerts: int = 0
+    n_dropped: int = 0
+    n_duplicates: int = 0
+    max_gap_s: float = 0.0
+
+
+class Timeline(list):
+    """A loaded timeline; carries its :class:`TimelineReport` as ``.report``."""
+
+    report: TimelineReport
+
+
+def load_telemetry(path, *, tolerate_partial: bool = False) -> Timeline:
+    """Read a telemetry timeline; dedupe and account for lost samples.
+
+    Returns the records in payload-sequence order with duplicates
+    removed, carrying a :class:`TimelineReport` as ``.report``.
+    """
+    from repro.core.storage import load_events_jsonl
+
+    raw = load_events_jsonl(
+        Path(path),
+        kind=TELEMETRY_EVENT_KIND,
+        tolerate_partial=tolerate_partial,
+    )
+    report = TimelineReport()
+    by_seq: dict[int, dict] = {}
+    for rec in raw:
+        seq = int(rec.get("seq", -1))
+        if seq in by_seq:
+            report.n_duplicates += 1
+            continue
+        by_seq[seq] = rec
+    records = [by_seq[seq] for seq in sorted(by_seq)]
+    if by_seq:
+        expected = max(by_seq) - min(by_seq) + 1
+        report.n_dropped = expected - len(by_seq)
+    report.n_samples = sum(1 for r in records if r.get("type") == "sample")
+    report.n_alerts = sum(1 for r in records if r.get("type") == "alert")
+    report.max_gap_s = max_sample_gap_s(records)
+    out = Timeline(records)
+    out.report = report
+    return out
+
+
+def max_sample_gap_s(records: list[dict]) -> float:
+    """Largest per-tick monotonic gap between consecutive samples.
+
+    The chaos drill's liveness bound: with the sampler at interval ``i``,
+    a healthy timeline never gaps past ``2 * i`` even while shards are
+    being killed — telemetry must survive what it observes.
+
+    An *injected* drop consumes a payload seq, so the hole it leaves is
+    provable; the time gap across it is divided by the number of sampler
+    ticks it spans (seq distance, minus alert records, which also
+    consume seqs).  That keeps the metric about the sampler's own
+    cadence: a dropped export is the fault injector's doing, a stretched
+    tick is a stall.
+    """
+    samples = sorted(
+        (int(r.get("seq", -1)), float(r["t_mono"]))
+        for r in records
+        if r.get("type") == "sample"
+    )
+    if len(samples) < 2:
+        return 0.0
+    alert_seqs = [
+        int(r.get("seq", -1)) for r in records if r.get("type") == "alert"
+    ]
+    worst = 0.0
+    for (seq_a, t_a), (seq_b, t_b) in zip(samples, samples[1:]):
+        if seq_b == seq_a:  # duplicate delivery of the same sample
+            continue
+        alerts_between = sum(1 for s in alert_seqs if seq_a < s < seq_b)
+        ticks = max(seq_b - seq_a - alerts_between, 1)
+        worst = max(worst, (t_b - t_a) / ticks)
+    return worst
+
+
+def deterministic_fields(records: list[dict]) -> dict[str, float]:
+    """The final sample's seed-determined metric subset.
+
+    Chaos drills compare this dict bit-for-bit across runs: injected
+    fault counts and resilience outcomes are pure functions of the fault
+    plan and schedule seeds, while throughputs and latencies are not.
+    """
+    last: dict | None = None
+    for rec in records:
+        if rec.get("type") == "sample":
+            last = rec
+    if last is None:
+        return {}
+    out: dict[str, float] = {}
+    for key, value in last["metrics"].items():
+        if not isinstance(value, (int, float)):
+            continue
+        if key in _DETERMINISTIC_EXCLUDE:
+            continue
+        if any(key.startswith(prefix) for prefix in _DETERMINISTIC_PREFIXES):
+            out[key] = value
+    return out

@@ -2,11 +2,18 @@
 
 A :class:`Tracer` produces nested :class:`Span` records — monotonic start
 time, duration, span-id/parent-id, structured attributes — collected in a
-thread-safe in-memory buffer and exportable as JSONL (one span per line).
+thread-safe in-memory buffer and exportable as CRC-framed JSONL.
 Nesting is tracked per thread: spans opened on the same thread parent
 implicitly to the innermost open span; work that hops threads (the
 microbatcher hands tickets from the caller thread to batch workers)
 passes the parent id explicitly instead.
+
+Traces can span processes.  A shard worker runs its own tracer seeded
+with a disjoint ``id_start`` range, parents its spans to parent-process
+span ids carried in the request messages, and periodically
+:meth:`~Tracer.drain`\\ s its buffers back over the result pipe; the
+parent :meth:`~Tracer.absorb`\\ s them (with a clock-offset correction,
+since ``time.monotonic`` is per-process) into one coherent tree.
 
 Tracing is **off by default**.  The process-global tracer returned by
 :func:`get_tracer` starts as the disabled :data:`NULL_TRACER`, whose
@@ -24,7 +31,6 @@ Install a live tracer with :func:`set_tracer` or the scoped
 from __future__ import annotations
 
 import itertools
-import json
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -35,10 +41,26 @@ __all__ = [
     "Span",
     "Tracer",
     "NULL_TRACER",
+    "TRACE_EVENT_KIND",
     "get_tracer",
     "set_tracer",
     "use_tracer",
+    "worker_id_start",
 ]
+
+#: Event-journal kind tag for framed trace files (``repro fsck``).
+TRACE_EVENT_KIND = "trace"
+
+
+def worker_id_start(shard_id: int, generation: int) -> int:
+    """First span id for a shard worker's tracer.
+
+    Each (shard, spawn-generation) pair gets a disjoint 2^28-id block
+    well above any realistic parent-process allocation, so worker spans
+    can reference parent span ids directly and absorbed traces never
+    collide — including across respawns of the same shard.
+    """
+    return ((shard_id + 1) << 44) | (generation << 28)
 
 #: Sentinel distinguishing "no parent given: use the thread's innermost
 #: open span" from an explicit ``parent=None`` (force a root span).
@@ -175,11 +197,16 @@ class Tracer:
         nothing is recorded.  The process-global default tracer is a
         disabled singleton, so instrumentation costs ~nothing until a
         live tracer is installed.
+    id_start:
+        First span id this tracer allocates.  Cross-process stitching
+        gives each shard worker a disjoint id range (derived from its
+        shard id and spawn generation) so worker span ids can parent
+        directly to parent-process ids without remapping.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, id_start: int = 1):
         self.enabled = bool(enabled)
-        self._ids = itertools.count(1)
+        self._ids = itertools.count(id_start)
         self._lock = threading.Lock()
         # Finished spans land in per-thread tuple buffers (registered once
         # per thread under the lock, then appended to lock-free):
@@ -248,6 +275,45 @@ class Tracer:
             in merged
         ]
 
+    def drain(self) -> list[tuple]:
+        """Atomically snapshot and clear all finished-span buffers.
+
+        Returns the raw record tuples — the wire form a shard worker
+        ships back over its result pipe for the parent to
+        :meth:`absorb`.  Span ids keep counting up across drains.
+        """
+        with self._lock:
+            merged = [rec for buf in self._buffers for rec in buf]
+            for buf in self._buffers:
+                buf.clear()
+        merged.sort(key=lambda rec: rec[1])
+        return merged
+
+    def absorb(self, records, offset_s: float = 0.0) -> int:
+        """Merge span records drained from another tracer into this one.
+
+        ``records`` are the tuples (or lists, after pickling) returned
+        by :meth:`drain`; ``offset_s`` is added to each start time to
+        map the foreign process's monotonic clock onto this one.
+        Returns the number of spans absorbed.  Absorbed ids are taken
+        as-is — callers guarantee disjoint ``id_start`` ranges.
+        """
+        if not self.enabled:
+            return 0
+        cleaned = [
+            (str(name), int(span_id),
+             None if parent_id is None else int(parent_id),
+             float(start_s) + offset_s, float(duration_s),
+             dict(attributes or {}))
+            for name, span_id, parent_id, start_s, duration_s, attributes
+            in records
+        ]
+        with self._lock:
+            buf: list[tuple] = []
+            self._buffers.append(buf)
+            buf.extend(cleaned)
+        return len(cleaned)
+
     def clear(self) -> None:
         """Drop collected spans (span ids keep counting up)."""
         with self._lock:
@@ -259,11 +325,23 @@ class Tracer:
             return sum(len(buf) for buf in self._buffers)
 
     def export_jsonl(self, path) -> int:
-        """Write one JSON object per span; returns the span count."""
+        """Write the trace as CRC-framed JSONL; returns the span count.
+
+        The file is a storage-v2 event snapshot (kind ``"trace"``), so
+        ``repro fsck`` verifies and repairs it like any other artifact.
+        :func:`~repro.obs.summary.load_spans` reads both this framing
+        and the legacy bare-line format of earlier releases.
+        """
+        # Lazy import: repro.core.storage imports repro.obs at module
+        # level for its own tracing, so the obs side must not import it
+        # back at import time.
+        from repro.core.storage import save_events_jsonl
+
         spans = self.spans()
-        with open(Path(path), "w", encoding="utf-8") as fh:
-            for span in spans:
-                fh.write(json.dumps(span.to_dict()) + "\n")
+        save_events_jsonl(
+            [span.to_dict() for span in spans], Path(path),
+            kind=TRACE_EVENT_KIND,
+        )
         return len(spans)
 
     # -- internals ------------------------------------------------------ #

@@ -386,6 +386,7 @@ class PredictionService:
                 "serve.queue_wait", ticket.enqueued_at, serve_start,
                 parent=root.span_id,
             )
+            self._stats.record_queue_wait(serve_start - ticket.enqueued_at)
             if self.faults is not None:
                 # Deterministic per-request injection, keyed on the
                 # ticket's admission-ordered id: eviction storm / latency

@@ -28,6 +28,12 @@ Design points (DESIGN.md §12):
   (chaos drills do exactly this) would wedge every other shard's
   replies forever.  One writer per pipe means a kill can only ever
   sever that shard's own channel — the parent sees EOF, nothing else.
+* **Trace propagation** (DESIGN.md §14): when tracing is on, the parent
+  sends its ``shard.submit`` span id with each request; the worker runs
+  its own :class:`~repro.obs.Tracer` in a disjoint span-id block and
+  ships finished spans back over the result pipe (piggybacked on
+  replies, final sweep before ``bye``), so the parent stitches one
+  coherent cross-process span tree.
 * **Worker death** is detected by a watchdog thread: in-flight tickets
   on the dead shard fail with the typed
   :class:`~repro.errors.ShardCrashError` (retryable), the shard is
@@ -52,6 +58,7 @@ threaded process copies locked locks into the child.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import functools
 import itertools
@@ -73,6 +80,8 @@ from repro.errors import (
     ShardFailedError,
 )
 from repro.faults import FaultInjector, FaultPlan, FaultStats
+from repro.obs import Tracer, get_tracer, set_tracer
+from repro.obs.tracer import worker_id_start
 from repro.serve.request import Request, Response
 from repro.serve.service import PredictionService
 from repro.serve.stats import ServiceStats, StatsRecorder
@@ -122,7 +131,9 @@ def _portable_error(exc: BaseException) -> BaseException:
         return ServiceError(f"{type(exc).__name__}: {exc}")
 
 
-def _relay_result(reply, shard_id, generation, ticket_id, future) -> None:
+def _relay_result(
+    reply, ship_spans, shard_id, generation, ticket_id, future
+) -> None:
     """Done-callback shipping one worker-side outcome to the parent."""
     try:
         exc = future.exception()
@@ -134,6 +145,10 @@ def _relay_result(reply, shard_id, generation, ticket_id, future) -> None:
         reply(
             ("err", shard_id, generation, ticket_id, _portable_error(exc))
         )
+    # Piggyback finished spans on the reply: by the time the future
+    # resolves, the request's span tree in this worker is closed, so the
+    # parent can stitch it while the trace is still warm.
+    ship_spans()
 
 
 def _shard_worker_main(
@@ -149,15 +164,28 @@ def _shard_worker_main(
     Top-level by necessity (spawn/forkserver pickle the target by
     qualified name).  Message protocol, parent → worker over ``inbox``::
 
-        ("req", ticket_id, Request)   submit; outcome goes to ``results``
+        ("req", ticket_id, Request, trace_parent|None)
+                                      submit; outcome goes to ``results``
         ("stats", token)              reply with a stats/fault snapshot
         ("stop", drain)               close the service, reply "bye", exit
 
     and worker → parent over this shard's private ``results`` pipe::
 
         ("ok"|"err", shard, gen, ticket_id, Response|error)
+        ("spans", shard, gen, span records, worker monotonic now)
         ("stats", shard, gen, token, ServiceStats, fault snapshot|None)
         ("bye", shard, gen, ServiceStats, fault snapshot|None)
+
+    ``trace_parent`` is the parent process's ``shard.submit`` span id;
+    when present, a worker-side tracer (ids from a disjoint
+    per-(shard, generation) block, see
+    :func:`~repro.obs.tracer.worker_id_start`) wraps the replica submit
+    in a ``shard.worker`` span parented to it, and finished spans are
+    drained back as ``spans`` messages — piggybacked after each reply
+    and once more before ``bye``, so the parent stitches one coherent
+    cross-process tree.  A worker SIGKILLed with undrained spans loses
+    them; the parent's tree renders the surviving subtrees as marked
+    orphans.
 
     Every message carries the shard's spawn ``generation`` so the parent
     can discard stragglers from an incarnation it already declared dead.
@@ -180,17 +208,47 @@ def _shard_worker_main(
             return None
         return service.faults.stats.snapshot()
 
+    # Created on the first traced request; untraced runs never pay for
+    # a tracer (the global stays the disabled NULL_TRACER).
+    tracer: Tracer | None = None
+
+    def ship_spans() -> None:
+        if tracer is None:
+            return
+        records = tracer.drain()
+        if records:
+            reply(("spans", shard_id, generation, records, time.monotonic()))
+
     try:
         while True:
             msg = inbox.get()
             kind = msg[0]
             if kind == "req":
                 ticket_id, request = msg[1], msg[2]
+                trace_parent = msg[3] if len(msg) > 3 else None
+                if trace_parent is not None and tracer is None:
+                    tracer = Tracer(
+                        id_start=worker_id_start(shard_id, generation)
+                    )
+                    set_tracer(tracer)
+                if trace_parent is not None and tracer is not None:
+                    span = tracer.span(
+                        "shard.worker",
+                        parent=trace_parent,
+                        shard=shard_id,
+                        generation=generation,
+                    )
+                else:
+                    span = contextlib.nullcontext()
                 try:
                     # block=True: a saturated replica parks this loop,
                     # the inbox fills, and the parent's put_nowait sees
                     # queue.Full — backpressure propagates end to end.
-                    future = service.submit_async(request, block=True)
+                    # The shard.worker span is open across the submit, so
+                    # the replica's Ticket captures it as trace parent
+                    # and the in-process span chain hangs off it.
+                    with span:
+                        future = service.submit_async(request, block=True)
                 except Exception as exc:
                     reply(
                         (
@@ -204,7 +262,12 @@ def _shard_worker_main(
                     continue
                 future.add_done_callback(
                     functools.partial(
-                        _relay_result, reply, shard_id, generation, ticket_id
+                        _relay_result,
+                        reply,
+                        ship_spans,
+                        shard_id,
+                        generation,
+                        ticket_id,
                     )
                 )
             elif kind == "stats":
@@ -220,6 +283,10 @@ def _shard_worker_main(
                 )
             elif kind == "stop":
                 service.close(drain=bool(msg[1]))
+                # Final span drain before the goodbye: drained requests'
+                # done-callbacks have all fired by now, so this sweep
+                # catches spans whose piggyback raced the close.
+                ship_spans()
                 reply(
                     (
                         "bye",
@@ -240,13 +307,19 @@ def _shard_worker_main(
 class _Inflight:
     """Parent-side record of one ticket dispatched to a shard."""
 
-    __slots__ = ("future", "shard", "generation", "enqueued_at")
+    __slots__ = ("future", "shard", "generation", "enqueued_at",
+                 "trace_parent")
 
-    def __init__(self, shard: int, generation: int):
+    def __init__(
+        self, shard: int, generation: int, trace_parent: int | None = None
+    ):
         self.future: Future = Future()
         self.shard = shard
         self.generation = generation
         self.enqueued_at = time.monotonic()
+        #: Parent-side ``shard.submit`` span id (None when untraced);
+        #: the retroactive ``shard.roundtrip`` span parents to it.
+        self.trace_parent = trace_parent
 
 
 class _ShardSlot:
@@ -284,10 +357,12 @@ class _ShardSlot:
 class _ShardFaultView:
     """Duck-typed ``service.faults`` for the sharded backend.
 
-    Exposes the same ``.plan`` / ``.stats`` surface the obs collectors
-    and the chaos CLI read from :class:`~repro.faults.FaultInjector`;
-    ``stats`` aggregates the parent's shard-kill counter with every
-    worker's injected-fault snapshot (refreshing live shards first).
+    Exposes the same ``.plan`` / ``.stats`` /
+    ``.on_telemetry_sample`` surface the obs collectors, the telemetry
+    sampler, and the chaos CLI read from
+    :class:`~repro.faults.FaultInjector`; ``stats`` aggregates the
+    parent's shard-kill and telemetry counters with every worker's
+    injected-fault snapshot (refreshing live shards first).
     """
 
     def __init__(self, owner: "ShardedPredictionService", plan: FaultPlan):
@@ -298,6 +373,19 @@ class _ShardFaultView:
     def stats(self) -> FaultStats:
         self._owner._refresh_shard_stats()
         return self._owner._aggregate_fault_stats()
+
+    def on_telemetry_sample(self, key: object) -> str:
+        """Telemetry export faults are parent-side: the sampler lives in
+        the parent process, so the decision (and its accounting) does
+        too — mirrored from ``FaultInjector.on_telemetry_sample``."""
+        plan = self.plan
+        if plan.telemetry_drop(key):
+            self._owner._kill_stats.record("telemetry_drops")
+            return "drop"
+        if plan.telemetry_dup(key):
+            self._owner._kill_stats.record("telemetry_dups")
+            return "dup"
+        return "keep"
 
 
 class ShardedPredictionService:
@@ -353,10 +441,15 @@ class ShardedPredictionService:
         default_timeout_s: float | None = None,
         fault_plan: FaultPlan | FaultInjector | None = None,
         route_seed: int = 0,
+        stats_timeout_s: float = 2.0,
         **service_kwargs,
     ):
         if shards < 1:
             raise ServiceError(f"shards must be >= 1, got {shards}")
+        if stats_timeout_s <= 0:
+            raise ServiceError(
+                f"stats_timeout_s must be > 0, got {stats_timeout_s}"
+            )
         if shard_queue_capacity < 1:
             raise ServiceError(
                 "shard_queue_capacity must be >= 1, "
@@ -374,6 +467,11 @@ class ShardedPredictionService:
         service_kwargs.pop("surrogate", None)
         self.n_shards = int(shards)
         self.default_timeout_s = default_timeout_s
+        #: How long a stats round-trip waits for lagging shards.  The
+        #: telemetry sampler scrapes stats() on its own cadence; drills
+        #: running sub-second sampler intervals lower this so a shard
+        #: dying mid-scrape cannot stall the timeline past its gap bound.
+        self.stats_timeout_s = float(stats_timeout_s)
         self.route_seed = int(route_seed)
         self._service_kwargs = dict(service_kwargs)
         self._shard_queue_capacity = int(shard_queue_capacity)
@@ -392,6 +490,9 @@ class ShardedPredictionService:
         #: the attributes for API parity (obs collectors skip None).
         self.prepare_cache = None
         self.result_cache = None
+        #: Tracer that absorbs worker span shipments; captured at traced
+        #: submits so stitching survives a scoped use_tracer exit.
+        self._trace_sink: Tracer | None = None
         self._ids = itertools.count()
         self._dispatches = itertools.count()
         self._stats_tokens = itertools.count()
@@ -432,7 +533,21 @@ class ShardedPredictionService:
         backpressure).  A request routed to a permanently failed shard
         raises :class:`~repro.errors.ShardFailedError` — rerouting it
         would silently break the cache-affinity contract.
+
+        When tracing is on, the dispatch runs inside a ``shard.submit``
+        span whose id crosses the process boundary on the request
+        message; the tracer is also captured as the sink that absorbs
+        span records shipped back by the workers (the collector thread
+        outlives any scoped ``use_tracer`` block, so absorption must
+        not depend on the global still pointing at the same tracer).
         """
+        tracer = get_tracer()
+        if tracer.enabled:
+            self._trace_sink = tracer
+        with tracer.span("shard.submit") as span:
+            return self._dispatch_request(request, block, span)
+
+    def _dispatch_request(self, request: Request, block: bool, span) -> Future:
         if self._closed.is_set():
             self._stats.record_closed_reject()
             raise ServiceClosedError("service is shut down")
@@ -441,11 +556,12 @@ class ShardedPredictionService:
         )
         dispatch = next(self._dispatches)
         ticket_id = next(self._ids)
+        span.set(shard=shard_idx, ticket=ticket_id)
         with self._lock:
             slot = self._shards[shard_idx]
             if slot.failed:
                 raise ShardFailedError(shard_idx, slot.restarts)
-            entry = _Inflight(shard_idx, slot.generation)
+            entry = _Inflight(shard_idx, slot.generation, span.span_id)
             self._inflight[ticket_id] = entry
             inbox = slot.inbox
         if self._plan is not None and self._plan.shard_kill(dispatch):
@@ -454,10 +570,21 @@ class ShardedPredictionService:
             # fails with ShardCrashError regardless of watchdog timing.
             self._kill_stats.record("shard_kills")
             self.kill_shard(shard_idx)
-        msg = ("req", ticket_id, request)
+        msg = ("req", ticket_id, request, span.span_id)
         if block:
             self._blocking_put(slot, entry, ticket_id, msg)
         else:
+            if inbox is None:
+                # Shard mid-respawn: its replacement inbox isn't wired
+                # up yet.  For a non-blocking caller that's the same as
+                # a full queue — shed instead of waiting.
+                with self._lock:
+                    self._inflight.pop(ticket_id, None)
+                self._stats.record_reject()
+                raise ServiceOverloadedError(
+                    self._shard_queue_capacity,
+                    depth=self._shard_queue_capacity,
+                )
             try:
                 inbox.put_nowait(msg)
             except queue.Full:
@@ -585,12 +712,22 @@ class ShardedPredictionService:
             ]
             entries = [self._inflight.pop(tid) for tid in stale_ids]
             self._crashed_tickets += len(entries)
-            if slot.restarts < self._max_restarts and not self._closed.is_set():
+            respawn = (
+                slot.restarts < self._max_restarts
+                and not self._closed.is_set()
+            )
+            if respawn:
                 slot.restarts += 1
                 self._respawns += 1
-                self._spawn(slot)
             else:
                 slot.failed = True
+        if respawn:
+            # Spawning a replacement takes process-start time; doing it
+            # outside the lock keeps submitters and the telemetry
+            # sampler's stats scrapes from stalling behind a respawn.
+            # Safe vs. close(): _handle_death runs only on the watchdog
+            # thread, which close() joins before its shutdown sweep.
+            self._spawn(slot)
         error = ShardCrashError(slot.index, exitcode)
         for entry in entries:
             self._stats.record_failed()
@@ -617,9 +754,10 @@ class ShardedPredictionService:
         # Drop the parent's copy of the write end: the worker must be
         # the pipe's only writer, or its death never reads as EOF.
         send_conn.close()
-        slot.process = process
-        slot.inbox = inbox
-        self._result_conns.add(recv_conn)
+        with self._lock:
+            slot.process = process
+            slot.inbox = inbox
+            self._result_conns.add(recv_conn)
 
     def _worker_plan(self):
         """The fault plan forwarded to workers (shard kills stay parent-side)."""
@@ -678,8 +816,25 @@ class ShardedPredictionService:
         kind = msg[0]
         if kind in ("ok", "err"):
             self._resolve(kind, msg)
+        elif kind == "spans":
+            self._absorb_spans(msg)
         elif kind in ("stats", "bye"):
             self._absorb_snapshot(kind, msg)
+
+    def _absorb_spans(self, msg: tuple) -> None:
+        """Stitch a worker's drained span records into the trace sink."""
+        sink = self._trace_sink
+        if sink is None or not sink.enabled:
+            return
+        _, _shard_id, _gen, records, worker_now = msg
+        # time.monotonic() is system-wide on every platform we run on,
+        # so a small send→receive delta is transport latency, not clock
+        # skew — leave the timestamps alone.  A large delta means the
+        # worker genuinely lives on a different monotonic epoch; shift
+        # its spans onto ours.
+        delta = time.monotonic() - float(worker_now)
+        offset = delta if abs(delta) > 1.0 else 0.0
+        sink.absorb(records, offset_s=offset)
 
     def _resolve(self, kind: str, msg: tuple) -> None:
         _, _shard_id, _gen, ticket_id, payload = msg
@@ -698,17 +853,32 @@ class ShardedPredictionService:
             if kind == "ok":
                 self._stats.record_late_discard()
             return
+        done_at = time.monotonic()
         if kind == "ok":
             response = dataclasses.replace(
                 payload,
                 request_id=ticket_id,
-                latency_s=time.monotonic() - entry.enqueued_at,
+                latency_s=done_at - entry.enqueued_at,
             )
             self._stats.record_done(response.latency_s)
             future.set_result(response)
         else:
             self._stats.record_failed()
             future.set_exception(payload)
+        if entry.trace_parent is not None:
+            sink = self._trace_sink
+            if sink is not None:
+                # Retroactive parent-side view of the dispatch: queue +
+                # pipe + worker execution, bracketed by the same ids the
+                # worker's shard.worker span parents into.
+                sink.record_span(
+                    "shard.roundtrip",
+                    entry.enqueued_at,
+                    done_at,
+                    parent=entry.trace_parent,
+                    shard=entry.shard,
+                    outcome=kind,
+                )
 
     def _absorb_snapshot(self, kind: str, msg: tuple) -> None:
         shard_id, gen = msg[1], msg[2]
@@ -728,16 +898,19 @@ class ShardedPredictionService:
     # ------------------------------------------------------------------ #
     # Stats & introspection
     # ------------------------------------------------------------------ #
-    def _refresh_shard_stats(self, timeout: float = 2.0) -> None:
+    def _refresh_shard_stats(self, timeout: float | None = None) -> None:
         """Round-trip a stats request to every live shard (best effort).
 
-        Shards that do not answer within ``timeout`` (e.g. mid-drain
-        behind a deep backlog) keep their previous snapshot; after
-        :meth:`close` the drain handshake has already delivered final
-        snapshots, so no round-trip is needed.
+        Shards that do not answer within ``timeout`` (default: the
+        service's ``stats_timeout_s``; e.g. mid-drain behind a deep
+        backlog) keep their previous snapshot; after :meth:`close` the
+        drain handshake has already delivered final snapshots, so no
+        round-trip is needed.
         """
         if self._closed.is_set():
             return
+        if timeout is None:
+            timeout = self.stats_timeout_s
         token = next(self._stats_tokens)
         event = threading.Event()
         with self._lock:
@@ -785,8 +958,25 @@ class ShardedPredictionService:
         batch_total = sum(s.mean_batch_size * s.n_batches for s in worker)
         n_groups = sum(s.n_groups for s in worker)
         n_group_served = sum(s.n_group_served for s in worker)
+        # Queue waits are measured inside the replicas; exact cross-shard
+        # percentiles would need the raw samples, so the aggregate is the
+        # completed-weighted mean of per-shard percentiles — an
+        # approximation, and labelled as such in DESIGN §14.
+        qw_weight = sum(s.n_completed for s in worker)
+        qw50 = qw95 = 0.0
+        if qw_weight:
+            qw50 = (
+                sum(s.p50_queue_wait_s * s.n_completed for s in worker)
+                / qw_weight
+            )
+            qw95 = (
+                sum(s.p95_queue_wait_s * s.n_completed for s in worker)
+                / qw_weight
+            )
         return dataclasses.replace(
             base,
+            p50_queue_wait_s=qw50,
+            p95_queue_wait_s=qw95,
             n_batches=n_batches,
             mean_batch_size=(batch_total / n_batches) if n_batches else 0.0,
             prepare_hits=sum(s.prepare_hits for s in worker),
@@ -926,6 +1116,7 @@ def make_service(
     shard_queue_capacity: int = 64,
     max_restarts: int = 2,
     route_seed: int = 0,
+    stats_timeout_s: float = 2.0,
     surrogate=None,
     **kwargs,
 ):
@@ -951,5 +1142,6 @@ def make_service(
         shard_queue_capacity=shard_queue_capacity,
         max_restarts=max_restarts,
         route_seed=route_seed,
+        stats_timeout_s=stats_timeout_s,
         **kwargs,
     )

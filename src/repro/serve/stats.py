@@ -50,6 +50,10 @@ class ServiceStats:
     result_misses: int
     #: Submissions refused because the service was closed/draining.
     n_closed_rejects: int = 0
+    #: Time spent in the admission queue before a batch worker picked the
+    #: request up — the backpressure component of end-to-end latency.
+    p50_queue_wait_s: float = 0.0
+    p95_queue_wait_s: float = 0.0
     # Prefix-reuse layer (repro.llm.prefix_cache); all zero when the
     # service runs with enable_prefix_cache=False.
     prefix_hits: int = 0
@@ -122,6 +126,13 @@ class ServiceStats:
         t.add_row(["throughput (req/s)", round(self.throughput_rps, 1)])
         t.add_row(["p50 latency", format_duration(self.p50_latency_s)])
         t.add_row(["p95 latency", format_duration(self.p95_latency_s)])
+        if self.p50_queue_wait_s or self.p95_queue_wait_s:
+            t.add_row(
+                ["p50 queue wait", format_duration(self.p50_queue_wait_s)]
+            )
+            t.add_row(
+                ["p95 queue wait", format_duration(self.p95_queue_wait_s)]
+            )
         t.add_row(["batches dispatched", self.n_batches])
         t.add_row(["mean batch size", round(self.mean_batch_size, 2)])
         t.add_row(["batch occupancy", f"{self.batch_occupancy:.0%}"])
@@ -157,6 +168,7 @@ class StatsRecorder:
         self._lock = threading.Lock()
         self._max_batch_size = int(max_batch_size)
         self._latencies: list[float] = []
+        self._queue_waits: list[float] = []
         self._batch_sizes: list[int] = []
         self._group_widths: list[int] = []
         self._submitted = 0
@@ -225,6 +237,11 @@ class StatsRecorder:
         with self._lock:
             self._batch_sizes.append(int(batch_size))
 
+    def record_queue_wait(self, wait_s: float) -> None:
+        """Admission-to-pickup delay for one request."""
+        with self._lock:
+            self._queue_waits.append(max(float(wait_s), 0.0))
+
     def record_group(self, width: int) -> None:
         """One shared-prompt lockstep decode serving ``width`` requests."""
         with self._lock:
@@ -261,6 +278,9 @@ class StatsRecorder:
             n_done = int(lat.size)
             p50 = float(np.percentile(lat, 50)) if n_done else 0.0
             p95 = float(np.percentile(lat, 95)) if n_done else 0.0
+            waits = np.asarray(self._queue_waits, dtype=float)
+            qw50 = float(np.percentile(waits, 50)) if waits.size else 0.0
+            qw95 = float(np.percentile(waits, 95)) if waits.size else 0.0
             window = 0.0
             if self._first_submit_t is not None and self._last_done_t is not None:
                 window = max(self._last_done_t - self._first_submit_t, 1e-9)
@@ -277,6 +297,8 @@ class StatsRecorder:
                 mean_batch_size=(sum(sizes) / len(sizes)) if sizes else 0.0,
                 p50_latency_s=p50,
                 p95_latency_s=p95,
+                p50_queue_wait_s=qw50,
+                p95_queue_wait_s=qw95,
                 throughput_rps=(n_done / window) if window else 0.0,
                 prepare_hits=prepare_hits,
                 prepare_misses=prepare_misses,

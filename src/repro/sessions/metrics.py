@@ -21,18 +21,21 @@ def collect_session_metrics(
     """Freeze a :class:`~repro.sessions.manager.SessionManager`'s state
     into labelled instruments.
 
-    Point-in-time, like the service collector: pass a fresh registry
-    (the default) or accept double-counting.
+    Idempotent, like the service collector: counters are set to the
+    snapshot's absolute totals, so the telemetry sampler can scrape the
+    same registry every interval without compounding.
     """
     registry = registry if registry is not None else MetricsRegistry()
     snap = manager.snapshot()
 
     for tenant, agg in snap["tenants"].items():
-        registry.counter("sessions.evaluations", tenant=tenant).inc(
+        registry.counter("sessions.evaluations", tenant=tenant).set_absolute(
             agg["completed_evaluations"]
         )
-        registry.counter("sessions.shed", tenant=tenant).inc(agg["shed"])
-        registry.counter("sessions.eval_errors", tenant=tenant).inc(
+        registry.counter("sessions.shed", tenant=tenant).set_absolute(
+            agg["shed"]
+        )
+        registry.counter("sessions.eval_errors", tenant=tenant).set_absolute(
             agg["eval_errors"]
         )
         registry.gauge("sessions.throughput_eps", tenant=tenant).set(
@@ -41,8 +44,10 @@ def collect_session_metrics(
     for state, count in snap["states"].items():
         registry.gauge("sessions.sessions", state=state).set(count)
     for reason, count in snap["admission"]["denied"].items():
-        registry.counter("sessions.denied", reason=reason).inc(count)
-    registry.counter("sessions.shed_total").inc(snap["admission"]["shed"])
+        registry.counter("sessions.denied", reason=reason).set_absolute(count)
+    registry.counter("sessions.shed_total").set_absolute(
+        snap["admission"]["shed"]
+    )
     registry.gauge("sessions.inflight").set(
         snap["admission"]["total_inflight"]
     )

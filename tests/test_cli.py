@@ -348,3 +348,83 @@ class TestLoadtestCommand:
         assert main(self.FAST + ["--trace", str(trace)]) == 0
         body = trace.read_text()
         assert "loadgen.run" in body
+
+
+class TestTelemetryCommands:
+    FAST = TestLoadtestCommand.FAST
+
+    def test_loadtest_telemetry_export_then_top(self, tmp_path, capsys):
+        """The pipeline path: sampled load → framed timeline → dashboard."""
+        timeline = tmp_path / "telemetry.jsonl"
+        assert main(self.FAST + [
+            "--telemetry", str(timeline), "--telemetry-interval", "0.1",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "telemetry records" in captured.err
+        assert timeline.exists()
+
+        assert main(["top", str(timeline), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "qps (completed)" in out
+        assert "timeline:" in out and "max gap" in out
+
+    def test_top_live_mode_honors_refresh_limit(self, tmp_path, capsys):
+        timeline = tmp_path / "telemetry.jsonl"
+        assert main(self.FAST + [
+            "--telemetry", str(timeline), "--telemetry-interval", "0.1",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["top", str(timeline), "--interval", "0.01",
+                     "--refresh-limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\x1b[2J") == 2
+
+    def test_telemetry_file_is_fsck_clean(self, tmp_path, capsys):
+        timeline = tmp_path / "telemetry.jsonl"
+        assert main(self.FAST + ["--telemetry", str(timeline)]) == 0
+        capsys.readouterr()
+        assert main(["fsck", "--strict", str(timeline)]) == 0
+        out = capsys.readouterr().out
+        assert "events:telemetry" in out and "clean" in out
+
+    def test_trace_flame_writes_both_formats(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self.FAST + ["--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "flame", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "folded call paths" in out
+        assert "speedscope profiles" in out
+        folded = tmp_path / "trace.jsonl.folded"
+        speedscope = tmp_path / "trace.jsonl.speedscope.json"
+        assert folded.exists() and speedscope.exists()
+        assert "loadgen.run" in folded.read_text()
+        import json as _json
+
+        doc = _json.loads(speedscope.read_text())
+        assert doc["profiles"]
+
+    def test_trace_flame_explicit_output_paths(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self.FAST + ["--trace", str(trace)]) == 0
+        capsys.readouterr()
+        folded = tmp_path / "out.folded"
+        speedscope = tmp_path / "out.json"
+        assert main(["trace", "flame", str(trace),
+                     "--folded", str(folded),
+                     "--speedscope", str(speedscope)]) == 0
+        capsys.readouterr()
+        assert folded.exists() and speedscope.exists()
+
+    def test_chaos_reports_telemetry_liveness(self, capsys):
+        assert main([
+            "chaos", "--size", "SM", "--n-icl", "2", "--requests", "12",
+            "--unique", "4", "--latency-s", "0.001", "--stall-s", "0.001",
+            "--telemetry-drop-rate", "0.15", "--telemetry-dup-rate", "0.1",
+            "--verify-determinism",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry liveness" in out
+        assert "VIOLATED" not in out
+        assert "deterministic across two identical runs: yes" in out

@@ -1,0 +1,168 @@
+"""Tests for :mod:`repro.obs.flame`: folded stacks and speedscope export.
+
+The tricky part of flame export is the *sequenced* tree walk: spans may
+overlap, spill past their parent (cross-process ``shard.worker`` returns
+at submit time while its subtree finishes later), or repeat the same
+path.  These tests pin the invariants both formats need — strict
+nesting, self-time accounting, merged duplicate paths — on hand-built
+span forests where the right answer is checkable by eye.
+"""
+
+import json
+
+from repro.obs import (
+    Span,
+    folded_stacks,
+    speedscope_document,
+    write_folded,
+    write_speedscope,
+)
+
+
+def _span(name, span_id, parent_id, start_s, duration_s):
+    return Span(name=name, span_id=span_id, parent_id=parent_id,
+                start_s=start_s, duration_s=duration_s)
+
+
+def _values(lines):
+    out = {}
+    for line in lines:
+        path, value = line.rsplit(" ", 1)
+        out[path] = int(value)
+    return out
+
+
+class TestFoldedStacks:
+    def test_self_time_subtracts_children(self):
+        lines = folded_stacks([
+            _span("root", 1, None, 0.0, 1.0),
+            _span("child", 2, 1, 0.2, 0.5),
+        ])
+        values = _values(lines)
+        assert values == {
+            "root": 500_000,
+            "root;child": 500_000,
+        }
+
+    def test_duplicate_paths_merge(self):
+        lines = folded_stacks([
+            _span("root", 1, None, 0.0, 1.0),
+            _span("op", 2, 1, 0.0, 0.2),
+            _span("op", 3, 1, 0.5, 0.3),
+        ])
+        values = _values(lines)
+        assert values["root;op"] == 500_000
+        assert values["root"] == 500_000
+
+    def test_leaf_with_zero_duration_is_kept(self):
+        lines = folded_stacks([_span("instant", 1, None, 5.0, 0.0)])
+        assert lines == ["instant 0"]
+
+    def test_fully_covered_parent_is_dropped(self):
+        # The child covers the whole window: the parent frame carries no
+        # self time and would only add noise.
+        lines = folded_stacks([
+            _span("root", 1, None, 0.0, 1.0),
+            _span("child", 2, 1, 0.0, 1.0),
+        ])
+        assert _values(lines) == {"root;child": 1_000_000}
+
+    def test_parent_window_widens_to_cover_subtree(self):
+        # shard.worker closes at submit time (1ms) but its child runs
+        # for 20ms more; the subtree must not be clamped away.
+        lines = folded_stacks([
+            _span("shard.worker", 1, None, 0.0, 0.001),
+            _span("serve.request", 2, 1, 0.001, 0.020),
+        ])
+        values = _values(lines)
+        assert values["shard.worker;serve.request"] == 20_000
+        assert values["shard.worker"] == 1_000
+
+    def test_overlapping_siblings_are_sequenced(self):
+        # Second child starts before the first ends: it is begun at the
+        # first's end so intervals never overlap, and total child time
+        # never exceeds the parent window.
+        lines = folded_stacks([
+            _span("root", 1, None, 0.0, 1.0),
+            _span("a", 2, 1, 0.0, 0.6),
+            _span("b", 3, 1, 0.4, 0.6),
+        ])
+        values = _values(lines)
+        assert values["root;a"] == 600_000
+        assert values["root;b"] == 400_000
+        assert "root" not in values  # fully covered
+
+
+class TestSpeedscope:
+    def test_document_structure(self):
+        doc = speedscope_document([
+            _span("root", 1, None, 0.0, 1.0),
+            _span("child", 2, 1, 0.2, 0.5),
+        ])
+        assert doc["$schema"].startswith("https://www.speedscope.app")
+        assert [f["name"] for f in doc["shared"]["frames"]] == [
+            "root", "child",
+        ]
+        (profile,) = doc["profiles"]
+        assert profile["type"] == "evented"
+        assert profile["unit"] == "seconds"
+        assert profile["startValue"] == 0.0
+        assert profile["endValue"] == 1.0
+
+    def test_events_nest_strictly(self):
+        doc = speedscope_document([
+            _span("root", 1, None, 0.0, 1.0),
+            _span("a", 2, 1, 0.0, 0.6),
+            _span("b", 3, 1, 0.4, 0.6),
+            _span("leaf", 4, 3, 0.5, 0.1),
+        ])
+        (profile,) = doc["profiles"]
+        stack = []
+        last_at = profile["startValue"]
+        for event in profile["events"]:
+            assert event["at"] >= last_at
+            last_at = event["at"]
+            if event["type"] == "O":
+                stack.append(event["frame"])
+            else:
+                assert stack and stack.pop() == event["frame"]
+        assert stack == []
+
+    def test_one_profile_per_root(self):
+        doc = speedscope_document([
+            _span("req", 1, None, 0.0, 0.5),
+            _span("req", 2, None, 1.0, 0.5),
+            _span("inner", 3, 2, 1.1, 0.2),
+        ])
+        assert [p["name"] for p in doc["profiles"]] == [
+            "req #1", "req #2",
+        ]
+
+    def test_orphans_become_roots(self):
+        # A span whose parent never arrived (SIGKILLed shard) still
+        # renders — as its own root profile, not a crash.
+        doc = speedscope_document([
+            _span("stranded", 9, 12345, 0.0, 0.3),
+        ])
+        assert [p["name"] for p in doc["profiles"]] == ["stranded #9"]
+
+
+class TestWriters:
+    def test_write_folded(self, tmp_path):
+        spans = [
+            _span("root", 1, None, 0.0, 1.0),
+            _span("child", 2, 1, 0.2, 0.5),
+        ]
+        path = tmp_path / "trace.folded"
+        assert write_folded(spans, path) == 2
+        body = path.read_text()
+        assert body.endswith("\n")
+        assert _values(body.splitlines())["root;child"] == 500_000
+
+    def test_write_speedscope(self, tmp_path):
+        spans = [_span("root", 1, None, 0.0, 1.0)]
+        path = tmp_path / "trace.speedscope.json"
+        assert write_speedscope(spans, path, name="bench") == 1
+        doc = json.loads(path.read_text())
+        assert doc["name"] == "bench"
+        assert len(doc["profiles"]) == 1
